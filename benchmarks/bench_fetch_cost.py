@@ -1,0 +1,30 @@
+"""Benchmark: simulated disk-fetch cost of the initial index probe (extension).
+
+Quantifies the fetch time the paper excludes from its runtime comparison
+(Section 7.2, "between 1 and 40 seconds ... from disk") on the simulated
+paged store, per query set, initial-column heuristic, and super-key layout.
+"""
+
+from repro.experiments import run_fetch_cost
+
+from .common import bench_settings, publish
+
+
+def test_fetch_cost_initial_probe(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(run_fetch_cost, settings)
+    publish(result, "fetch_cost")
+
+    rows = result.row_dicts()
+    by_key = {(row["query set"], row["initial column"]): row for row in rows}
+    for (workload, selector), row in by_key.items():
+        # The per-row layout never costs more to fetch than the per-cell layout.
+        assert row["est. fetch s (per-row)"] <= row["est. fetch s (per-cell)"] + 1e-9
+        if selector == "cardinality":
+            worst = by_key[(workload, "worst_case")]
+            # The cardinality heuristic fetches no more PL items than the
+            # worst-case column choice (Section 6.1 / 7.5.4).
+            assert (
+                row["avg PL items fetched"]
+                <= worst["avg PL items fetched"] + 1e-9
+            )

@@ -1,0 +1,26 @@
+"""Benchmark: Figure 4 — MATE vs SCR / MCR / SCR-Josie / MCR-Josie runtime.
+
+Regenerates the six runtime series of Figure 4 (one per WT/OD query set) and
+the speed-up factors of MATE over every baseline.
+"""
+
+from repro.experiments import run_figure4
+
+from .common import bench_settings, publish
+
+
+def test_figure4_system_comparison(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.25)
+    result = run_once(run_figure4, settings)
+    publish(result, "figure4_systems")
+
+    assert len(result.rows) == 6
+    for row in result.row_dicts():
+        # Expected shape: MATE is never slower than the slowest baseline and
+        # is faster than MCR-style retrieval on every query set.
+        mate = row["mate runtime (s)"]
+        baselines = [
+            row["scr runtime (s)"], row["mcr runtime (s)"],
+            row["scr_josie runtime (s)"], row["mcr_josie runtime (s)"],
+        ]
+        assert mate <= max(baselines)

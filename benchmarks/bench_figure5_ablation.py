@@ -1,0 +1,26 @@
+"""Benchmark: Figure 5 — influence of the XASH components on precision.
+
+Regenerates the eight bars of Figure 5 on the WT(100) query set: unfiltered
+SCR, length-only, rare characters, char+loc, char+len+loc (no rotation),
+full XASH at 128 and 512 bits, and the ideal zero-FP oracle.
+"""
+
+from repro.experiments import run_figure5
+
+from .common import bench_settings, publish
+
+
+def test_figure5_xash_component_ablation(run_once):
+    settings = bench_settings(default_queries=3, default_scale=0.3)
+    result = run_once(run_figure5, settings)
+    publish(result, "figure5_ablation")
+
+    precision = {row[0]: row[1] for row in result.rows}
+    # Shape checks: each added feature must not hurt, the ideal system is
+    # perfect, and full XASH beats the unfiltered baseline decisively.
+    assert precision["Ideal system"] == 1.0
+    assert precision["SCR (no filter)"] <= precision["Length"] + 0.05
+    assert precision["Length"] <= precision["Char. + loc."] + 0.05
+    assert precision["Char. + loc."] <= precision["Xash (512 bit)"] + 0.05
+    assert precision["Xash (128 bit)"] > precision["SCR (no filter)"]
+    assert precision["Xash (512 bit)"] >= precision["Xash (128 bit)"] - 0.02

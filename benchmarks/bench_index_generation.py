@@ -1,0 +1,22 @@
+"""Benchmark: index generation cost (the §7.1 "Index generation" paragraph).
+
+Measures MATE's offline index build time and the extra storage of the per-cell
+vs per-row super-key layouts against a JOSIE-style set index.
+"""
+
+from repro.experiments import run_index_generation
+
+from .common import bench_settings, publish
+
+
+def test_index_generation_cost(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.4)
+    result = run_once(
+        run_index_generation,
+        settings,
+        workload_names=("WT_100", "OD_1000", "School"),
+    )
+    publish(result, "index_generation")
+    for row in result.row_dicts():
+        # Shape check from the paper: per-row layout is the compact one.
+        assert row["super keys / row (B)"] <= row["super keys / cell (B)"]

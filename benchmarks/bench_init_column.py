@@ -1,0 +1,25 @@
+"""Benchmark: Section 7.5.4 — initial-column selection heuristics.
+
+Regenerates the fetched-PL-item comparison between MATE's cardinality
+heuristic, the column-order and longest-string heuristics, and the worst/best
+case bounds.
+"""
+
+from repro.experiments import run_init_column
+
+from .common import bench_settings, publish
+
+
+def test_init_column_heuristics(run_once):
+    settings = bench_settings(default_queries=5, default_scale=0.3)
+    result = run_once(run_init_column, settings, base_cardinality=150)
+    publish(result, "init_column_heuristics")
+
+    values = {row[0]: row[1] for row in result.rows}
+    # Shape check (paper §7.5.4): cardinality fetches fewer PLs than the
+    # column-order/TLS heuristics and the worst case, and at least as many as
+    # the ground-truth best case.
+    assert values["best_case"] <= values["cardinality"]
+    assert values["cardinality"] <= values["column_order"]
+    assert values["cardinality"] <= values["worst_case"]
+    assert values["cardinality"] <= values["longest_string"]

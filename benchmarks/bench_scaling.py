@@ -1,0 +1,30 @@
+"""Benchmark: corpus-size scaling study (extension).
+
+Sweeps the corpus scale while holding the query set fixed, and reports the
+false-positive pressure and the MATE-vs-SCR runtimes at each scale.  This is
+the ablation DESIGN.md calls out for the Section 7.2 claim that MATE's gain
+over SCR grows with the number of FP rows.
+"""
+
+from repro.experiments import run_scaling
+
+from .common import bench_settings, publish
+
+
+def test_scaling_corpus_size(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.25)
+    result = run_once(
+        run_scaling, settings, workload_name="WT_100", scale_factors=(0.5, 1.0, 2.0)
+    )
+    publish(result, "scaling_corpus_size")
+
+    rows = result.row_dicts()
+    # Shape checks: corpora really do grow, the candidate-row pressure on SCR
+    # grows with them, and MATE never loses to SCR.
+    tables = [row["corpus tables"] for row in rows]
+    assert tables == sorted(tables)
+    unfiltered = [row["scr unfiltered rows"] for row in rows]
+    assert unfiltered[-1] >= unfiltered[0]
+    # MATE never loses to SCR (a small tolerance absorbs timer noise on the
+    # scales where both finish in tens of milliseconds).
+    assert all(row["scr/mate"] >= 0.9 for row in rows)

@@ -1,0 +1,29 @@
+"""Benchmark: sharded (scale-out) discovery study (extension).
+
+Validates that sharding the corpus and merging per-shard top-k lists returns
+exactly the single-engine result, and reports the per-shard work balance that
+a distributed deployment of the paper's system would care about.
+"""
+
+from repro.experiments import run_sharding
+
+from .common import bench_settings, publish
+
+
+def test_sharded_discovery(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(
+        run_sharding, settings, workload_name="WT_100", shard_counts=(1, 2, 4)
+    )
+    publish(result, "sharding")
+
+    rows = result.row_dicts()
+    # Merge correctness: every shard count reproduces the single-engine top-k
+    # joinability scores (table identities may differ only at tie boundaries).
+    for row in rows:
+        matched, total = str(row["top-k scores identical"]).split("/")
+        assert matched == total
+    # The summed shard work stays within a small factor of the 1-shard work
+    # (sharding redistributes work, it does not multiply it).
+    baseline = rows[0]["total shard work (s)"]
+    assert all(row["total shard work (s)"] <= baseline * 3 + 0.05 for row in rows)

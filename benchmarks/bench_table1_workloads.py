@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 1 (input query-table statistics).
+
+Prints, per query set, the number of queries, the corpus, and the built vs
+paper cardinality/joinability so the scale-down of the synthetic workloads is
+explicit.
+"""
+
+from repro.experiments import run_table1
+
+from .common import bench_settings, publish
+
+
+def test_table1_workload_statistics(run_once):
+    settings = bench_settings(default_queries=3, default_scale=0.3)
+    result = run_once(run_table1, settings)
+    publish(result, "table1_workloads")
+    assert len(result.rows) == 8
+    for row in result.row_dicts():
+        assert row["cardinality (built)"] > 0
+        assert row["joinability (built)"] > 0

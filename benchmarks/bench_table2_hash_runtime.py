@@ -1,0 +1,26 @@
+"""Benchmark: Table 2 — MATE's runtime per hash function and hash size.
+
+Regenerates the Table 2 sweep: SCR plus MATE with MD5, Murmur, CityHash,
+SimHash, HT, BF, LHBF, and XASH at 128/256/512-bit super keys, over the eight
+query sets (scaled down).
+"""
+
+from repro.experiments import run_table2
+
+from .common import bench_settings, publish
+
+
+def test_table2_hash_function_runtime(run_once):
+    settings = bench_settings(default_queries=1, default_scale=0.15)
+    result = run_once(run_table2, settings, hash_sizes=settings.hash_sizes)
+    publish(result, "table2_hash_runtime")
+
+    assert len(result.rows) == 8
+    rows = result.row_dicts()
+    # Shape check: averaged over the query sets, MATE+XASH(128) beats SCR and
+    # the uniform-hash variants.
+    def average(column: str) -> float:
+        return sum(row[column] for row in rows) / len(rows)
+
+    assert average("xash/128 (s)") <= average("scr (s)")
+    assert average("xash/128 (s)") <= average("md5/128 (s)")

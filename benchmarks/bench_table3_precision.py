@@ -1,0 +1,30 @@
+"""Benchmark: Table 3 — row-filter precision per hash function.
+
+Regenerates the Table 3 precision sweep (mean ± std per query set) for the
+128- and 512-bit hash sizes and checks the headline shape: XASH achieves the
+highest average precision.
+"""
+
+from repro.experiments import TABLE3_HASHES, run_table3
+
+from .common import bench_settings, publish
+
+
+def test_table3_hash_function_precision(run_once):
+    settings = bench_settings(default_queries=1, default_scale=0.15)
+    result = run_once(run_table3, settings)
+    publish(result, "table3_precision")
+
+    assert result.rows[-1][0] == "Average"
+    averages = dict(zip(result.headers[1:], result.rows[-1][1:]))
+
+    def avg(name: str) -> float:
+        return float(averages[name])
+
+    # Shape checks from the paper: precision grows with the hash size for
+    # XASH, and XASH(512) beats every uniform hash at the same size.
+    assert avg("xash/512") >= avg("xash/128")
+    for uniform in ("md5", "cityhash", "simhash"):
+        assert avg("xash/512") >= avg(f"{uniform}/512")
+        assert avg("xash/128") >= avg(f"{uniform}/128")
+    assert set(TABLE3_HASHES) <= {h.split("/")[0] for h in averages}

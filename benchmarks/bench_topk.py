@@ -1,0 +1,27 @@
+"""Benchmark: Section 7.5.1 — precision as a function of k.
+
+Regenerates the precision-vs-k study (k from 2 to 20) on the WT(100) query
+set for XASH, BF, HT and SimHash.
+"""
+
+from repro.experiments import run_topk
+
+from .common import bench_settings, publish
+
+
+def test_topk_precision(run_once):
+    settings = bench_settings(default_queries=3, default_scale=0.3)
+    result = run_once(run_topk, settings, k_values=(2, 5, 10, 15, 20))
+    publish(result, "topk_precision")
+
+    rows = result.row_dicts()
+    assert [row["k"] for row in rows] == [2, 5, 10, 15, 20]
+    # Shape check: XASH dominates the uniform SimHash for every k and beats
+    # the single-bit hash table on average over the k values.
+    for row in rows:
+        assert row["xash precision"] >= row["simhash precision"] - 0.05
+
+    def average(column: str) -> float:
+        return sum(row[column] for row in rows) / len(rows)
+
+    assert average("xash precision") >= average("hashtable precision") - 0.05

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at laptop scale
+and prints (and saves) the corresponding rows.  The scale is controlled by
+environment variables so that a user with more time can crank it up:
+
+* ``MATE_BENCH_QUERIES``      — queries per query set (default: per benchmark)
+* ``MATE_BENCH_CORPUS_SCALE`` — corpus scale factor (default: per benchmark)
+* ``MATE_BENCH_SEED``         — workload seed (default 7)
+* ``MATE_BENCH_K``            — top-k (default 10)
+
+Results are written to ``benchmarks/results/<name>.txt`` in addition to being
+printed, so EXPERIMENTS.md can reference stable artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments import ExperimentResult, ExperimentSettings
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_settings(
+    default_queries: int,
+    default_scale: float,
+    hash_sizes: tuple[int, ...] = (128, 256, 512),
+) -> ExperimentSettings:
+    """Build experiment settings from the environment with per-bench defaults."""
+    return ExperimentSettings(
+        seed=int(os.environ.get("MATE_BENCH_SEED", "7")),
+        num_queries=int(os.environ.get("MATE_BENCH_QUERIES", str(default_queries))),
+        corpus_scale=float(
+            os.environ.get("MATE_BENCH_CORPUS_SCALE", str(default_scale))
+        ),
+        k=int(os.environ.get("MATE_BENCH_K", "10")),
+        hash_sizes=hash_sizes,
+    )
+
+
+def publish(result: ExperimentResult, name: str) -> ExperimentResult:
+    """Print an experiment result and persist it under benchmarks/results/."""
+    text = result.to_text()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    return result

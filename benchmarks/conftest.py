@@ -1,0 +1,29 @@
+"""Pytest wiring for the benchmark harness."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the src/ layout importable when the package is not installed.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiments are macro-benchmarks (seconds each); multiple
+    auto-calibrated rounds would multiply the runtime for no extra insight.
+    """
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

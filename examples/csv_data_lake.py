@@ -1,0 +1,132 @@
+"""Discover joinable tables in a directory of CSV files with the DataLake facade.
+
+This example mirrors how a practitioner would actually use the library: a
+folder full of CSV exports (here: a small HR/finance data lake written to a
+temporary directory), a query table, and no knowledge of which candidate
+columns line up with the composite key.  The :class:`repro.lake.DataLake`
+facade profiles the corpus, derives a MATE configuration from the measured
+statistics (unique-value count for the Eq. 5 bit budget, corpus character
+frequencies for the rare-character table), builds the extended inverted
+index, and answers top-k n-ary join queries.
+
+Run with::
+
+    python examples/csv_data_lake.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.datamodel import QueryTable, Table
+from repro.lake import DataLake
+from repro.storage import table_to_csv
+
+
+def write_example_lake(directory: Path) -> None:
+    """Write a handful of CSV tables simulating an HR/finance data lake."""
+    tables = [
+        Table(
+            table_id=0,
+            name="employees",
+            columns=["first_name", "last_name", "office", "role"],
+            rows=[
+                ["muhammad", "lee", "berlin", "dancer"],
+                ["ansel", "adams", "london", "photographer"],
+                ["helmut", "newton", "berlin", "photographer"],
+                ["gretchen", "lee", "hannover", "artist"],
+                ["adam", "sandler", "boston", "actor"],
+            ],
+        ),
+        Table(
+            table_id=1,
+            name="salaries",
+            columns=["vorname", "nachname", "standort", "salary"],
+            rows=[
+                ["muhammad", "lee", "berlin", "60000"],
+                ["ansel", "adams", "london", "50000"],
+                ["helmut", "newton", "berlin", "300000"],
+                ["maria", "garcia", "madrid", "70000"],
+            ],
+        ),
+        Table(
+            table_id=2,
+            name="office_addresses",
+            columns=["office", "street", "country"],
+            rows=[
+                ["berlin", "unter den linden 1", "germany"],
+                ["london", "baker street 221b", "uk"],
+                ["hannover", "welfengarten 1", "germany"],
+                ["boston", "main street 5", "us"],
+            ],
+        ),
+        Table(
+            table_id=3,
+            name="first_names_only",
+            columns=["name", "popularity"],
+            rows=[
+                ["muhammad", "high"],
+                ["ansel", "low"],
+                ["helmut", "low"],
+                ["gretchen", "medium"],
+            ],
+        ),
+    ]
+    for table in tables:
+        table_to_csv(table, directory / f"{table.name}.csv")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = Path(tmp)
+        write_example_lake(directory)
+
+        # 1. Ingest the directory: one corpus table per CSV file.
+        lake = DataLake.from_directory(directory, name="hr-lake")
+        print(f"ingested {len(lake)} tables from {directory}")
+
+        # 2. Profile the lake; the recommended configuration is derived from
+        #    the measured statistics rather than guessed.
+        profile = lake.profile()
+        print("\ncorpus profile:")
+        for key, value in profile.as_dict().items():
+            print(f"  {key}: {value}")
+
+        # 3. Query: which tables join with (first name, last name)?  The
+        #    salaries table uses German column names and a different column
+        #    order — exactly the situation n-ary discovery has to handle.
+        employees = lake.table_by_source("employees")
+        query = QueryTable(
+            table=employees, key_columns=["first_name", "last_name"]
+        )
+        result = lake.discover(query, k=3)
+
+        print(f"\ntop-{result.k} joinable tables for key {query.key_columns}:")
+        for entry in result.tables:
+            candidate = lake.corpus.get_table(entry.table_id)
+            mapping = entry.column_mapping or ()
+            mapped = [candidate.columns[c] for c in mapping]
+            print(
+                f"  {candidate.name:<20} joinability={entry.joinability}  "
+                f"key maps onto {mapped}"
+            )
+
+        counters = result.counters
+        print("\ninstrumentation:")
+        print(f"  candidate rows checked: {counters.rows_checked}")
+        print(f"  false-positive rows:    {counters.false_positive_rows}")
+        print(f"  row-filter precision:   {counters.precision:.2f}")
+
+        # 4. The single-column table ("first_names_only") matches one key
+        #    value per row but never the full composite key, so it should not
+        #    outrank the real joinable tables — the core claim of the paper.
+        names_only_id = lake.sources["first_names_only"]
+        print(
+            "\njoinability of the single-column distractor table: "
+            f"{result.joinability_of(names_only_id)}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Similarity (fuzzy) join discovery — the future-work direction of Section 9.
+
+Web tables are full of near-duplicates: transliterated names, typos, trailing
+whitespace, "st." vs "street".  The paper's conclusion notes that XASH's
+syntactic features make it a natural prefilter for *similarity* joins; this
+example runs the :class:`repro.extensions.SimilarityJoinDiscovery` extension
+on a corpus where the most valuable candidate table only matches the query
+key approximately, and contrasts the result with exact MATE discovery.
+
+Run with::
+
+    python examples/similarity_join.py
+"""
+
+from __future__ import annotations
+
+from repro import MateConfig, MateDiscovery, QueryTable, Table, TableCorpus, build_index
+from repro.extensions import SimilarityJoinDiscovery, xash_similarity
+from repro.hashing import SuperKeyGenerator
+
+
+def build_corpus() -> tuple[TableCorpus, QueryTable]:
+    """A corpus with one exact match, one typo-ridden match, one distractor."""
+    corpus = TableCorpus(name="fuzzy-lake")
+    corpus.create_table(
+        name="clean_directory",
+        columns=["first", "last", "country", "phone"],
+        rows=[
+            ["muhammad", "lee", "us", "555-0100"],
+            ["ansel", "adams", "uk", "555-0101"],
+        ],
+    )
+    corpus.create_table(
+        name="scraped_directory",  # one character off in every last name
+        columns=["given_name", "family_name", "country"],
+        rows=[
+            ["muhammad", "leo", "us"],
+            ["ansel", "adama", "uk"],
+            ["helmut", "nevton", "germany"],
+        ],
+    )
+    corpus.create_table(
+        name="unrelated_names",
+        columns=["name", "animal"],
+        rows=[["muhammad", "owl"], ["ansel", "fox"], ["helmut", "lynx"]],
+    )
+
+    query_table = Table(
+        table_id=100,
+        name="query",
+        columns=["first", "last", "country"],
+        rows=[
+            ["muhammad", "lee", "us"],
+            ["ansel", "adams", "uk"],
+            ["helmut", "newton", "germany"],
+        ],
+    )
+    query = QueryTable(table=query_table, key_columns=["first", "last"])
+    return corpus, query
+
+
+def main() -> None:
+    corpus, query = build_corpus()
+    config = MateConfig(hash_size=128, k=3, expected_unique_values=100_000)
+    index = build_index(corpus, config=config)
+
+    # Exact n-ary discovery only finds the clean directory.
+    exact = MateDiscovery(corpus, index, config=config).discover(query, k=3)
+    print("exact MATE discovery:")
+    for entry in exact.tables:
+        print(
+            f"  {corpus.get_table(entry.table_id).name:<20} "
+            f"joinability={entry.joinability}"
+        )
+
+    # Similarity discovery also surfaces the scraped (typo-ridden) directory.
+    fuzzy = SimilarityJoinDiscovery(
+        corpus, index, config=config, max_distance=1, min_bit_overlap=0.5
+    )
+    print("\nsimilarity-join discovery (edit distance <= 1 per key value):")
+    for result in fuzzy.discover(query, k=3):
+        table = corpus.get_table(result.table_id)
+        print(
+            f"  {table.name:<20} similarity joinability={result.similarity_joinability} "
+            f"(exact: {result.exact_joinability})"
+        )
+        for match in result.matches:
+            if match.total_distance > 0:
+                print(
+                    f"      {match.key_tuple} matched {match.matched_values} "
+                    f"(total edit distance {match.total_distance})"
+                )
+
+    # The XASH-bit similarity proxy that powers the prefilter.
+    generator = SuperKeyGenerator.from_name("xash", config)
+    print("\nXASH-bit similarity proxy (shares rare characters + length):")
+    for first, second in [("adams", "adama"), ("newton", "nevton"), ("adams", "owl")]:
+        print(f"  {first!r:10} vs {second!r:10}: "
+              f"{xash_similarity(first, second, generator):.2f}")
+
+
+if __name__ == "__main__":
+    main()

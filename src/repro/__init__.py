@@ -1,0 +1,100 @@
+"""MATE reproduction: multi-attribute (n-ary) joinable table discovery.
+
+This package reimplements the system described in "MATE: Multi-Attribute
+Table Extraction" (Esmailoghli, Quiané-Ruiz, Abedjan — VLDB 2022) as a
+self-contained Python library:
+
+* :mod:`repro.hashing` — XASH and every baseline hash function, plus the
+  super-key machinery;
+* :mod:`repro.index` — the extended single-attribute inverted index;
+* :mod:`repro.core` — Algorithm 1: initialization, table/row filtering,
+  joinability calculation, and sharded scale-out discovery;
+* :mod:`repro.baselines` — SCR, MCR, the JOSIE-based adaptations, and the
+  prefix-tree related-work baseline;
+* :mod:`repro.lake` — data-lake ingestion (CSV / DWTC-style JSON), corpus
+  profiling, and column type inference;
+* :mod:`repro.extensions` — similarity joins, duplicate detection, union
+  search, and composite-key discovery;
+* :mod:`repro.datagen` — synthetic corpora and the Table 1 query workloads;
+* :mod:`repro.experiments` — one module per table/figure of the paper plus
+  the extension studies.
+
+Quickstart::
+
+    from repro import MateConfig, MateDiscovery, build_index
+    from repro.datagen import build_workload
+
+    workload = build_workload("WT_100", seed=7)
+    config = MateConfig(hash_size=128, k=10, expected_unique_values=100_000)
+    index = build_index(workload.corpus, config=config)
+    mate = MateDiscovery(workload.corpus, index, config=config)
+    result = mate.discover(workload.queries[0])
+    for table in result.tables:
+        print(table.table_id, table.joinability)
+"""
+
+from .config import DEFAULT_CONFIG, MateConfig, required_number_of_ones
+from .core import (
+    DiscoveryResult,
+    MateDiscovery,
+    ShardedMateDiscovery,
+    TableResult,
+    exact_joinability,
+    exact_joinability_score,
+    top_k_by_exact_joinability,
+)
+from .datamodel import QueryTable, Row, Table, TableCorpus, table_from_dicts
+from .lake import DataLake
+from .exceptions import (
+    ConfigurationError,
+    CorpusError,
+    DataModelError,
+    DiscoveryError,
+    HashingError,
+    MateError,
+    StorageError,
+)
+from .hashing import (
+    SuperKeyGenerator,
+    XashHashFunction,
+    available_hash_functions,
+    create_hash_function,
+)
+from .index import IndexBuilder, IndexMaintainer, InvertedIndex, build_index
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "CorpusError",
+    "DEFAULT_CONFIG",
+    "DataLake",
+    "DataModelError",
+    "DiscoveryError",
+    "DiscoveryResult",
+    "HashingError",
+    "IndexBuilder",
+    "IndexMaintainer",
+    "InvertedIndex",
+    "MateConfig",
+    "MateDiscovery",
+    "MateError",
+    "QueryTable",
+    "Row",
+    "ShardedMateDiscovery",
+    "StorageError",
+    "SuperKeyGenerator",
+    "Table",
+    "TableCorpus",
+    "TableResult",
+    "XashHashFunction",
+    "available_hash_functions",
+    "build_index",
+    "create_hash_function",
+    "exact_joinability",
+    "exact_joinability_score",
+    "required_number_of_ones",
+    "table_from_dicts",
+    "top_k_by_exact_joinability",
+    "__version__",
+]

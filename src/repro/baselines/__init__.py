@@ -1,0 +1,21 @@
+"""Baseline systems: SCR, MCR, the JOSIE-based adaptations, and the
+prefix-tree (Li et al.) related-work baseline."""
+
+from .josie import ColumnId, JosieIndex, JosieMatch, JosieSearch
+from .josie_adapters import McrJosieDiscovery, ScrJosieDiscovery
+from .mcr import McrDiscovery
+from .prefix_tree import PrefixTreeDiscovery, TablePrefixTree
+from .scr import ScrDiscovery
+
+__all__ = [
+    "ColumnId",
+    "JosieIndex",
+    "JosieMatch",
+    "JosieSearch",
+    "McrDiscovery",
+    "McrJosieDiscovery",
+    "PrefixTreeDiscovery",
+    "ScrDiscovery",
+    "ScrJosieDiscovery",
+    "TablePrefixTree",
+]

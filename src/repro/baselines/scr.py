@@ -1,0 +1,43 @@
+"""Single-Column Retrieval (SCR) baseline (Section 7.1.1).
+
+SCR is MATE without the super key: it keeps every other optimisation of
+Algorithm 1 (initial-column selection, candidate ordering, both table-level
+pruning rules) but cannot prune rows cheaply — every fetched candidate row has
+to be verified through exact value comparisons in memory.
+
+Implementation-wise this is the core engine with the row filter switched to
+``"none"``; the class exists so experiments and users can refer to the
+baseline by name and so its result objects carry the right ``system`` label.
+"""
+
+from __future__ import annotations
+
+from ..config import MateConfig
+from ..core.column_selection import ColumnSelector
+from ..core.discovery import MateDiscovery
+from ..datamodel import TableCorpus
+from ..index import InvertedIndex
+
+
+class ScrDiscovery(MateDiscovery):
+    """SCR: Algorithm 1 with exact row verification instead of the super key."""
+
+    system_name = "scr"
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        index: InvertedIndex,
+        config: MateConfig | None = None,
+        column_selector: ColumnSelector | str = "cardinality",
+        use_table_filters: bool = True,
+    ):
+        super().__init__(
+            corpus=corpus,
+            index=index,
+            config=config,
+            hash_function_name=index.hash_function_name,
+            column_selector=column_selector,
+            row_filter_mode="none",
+            use_table_filters=use_table_filters,
+        )

@@ -1,0 +1,270 @@
+"""Command-line interface for the MATE reproduction.
+
+Four sub-commands cover the typical workflow:
+
+``generate``
+    Generate a synthetic Table 1 workload and write the corpus (and query
+    tables) to a JSON file.
+``index``
+    Build the extended inverted index for a corpus JSON file and store it in a
+    SQLite database.
+``discover``
+    Run MATE (or a baseline) against an indexed corpus for a query table given
+    as CSV plus a list of key columns.
+``experiment``
+    Run one of the paper's experiments (table1, table2, table3, figure4,
+    figure5, figure6, topk, init_column, index_generation) or one of the
+    extension studies (scaling, fetch_cost, frequency_source, sharding,
+    related_work, short_values); print the resulting table and optionally
+    save it as text/CSV/JSON via ``--out``.
+``profile``
+    Profile a data lake (a directory of CSV / JSON-lines tables or a corpus
+    JSON file): table/row/value counts, column type mix, posting-list-length
+    skew, and the recommended MATE configuration.
+``suggest-key``
+    Discover composite-key candidates (unique column combinations) for a CSV
+    table, the undocumented-key situation the paper's introduction describes.
+
+Example::
+
+    python -m repro.cli experiment figure5 --queries 2 --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .baselines import McrDiscovery, ScrDiscovery
+from .config import MateConfig
+from .core import MateDiscovery
+from .datagen import TABLE1_SPECS, build_workload
+from .datamodel import QueryTable
+from .experiments import (
+    ExperimentSettings,
+    run_fetch_cost,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_frequency_source,
+    run_index_generation,
+    run_init_column,
+    run_related_work,
+    run_scaling,
+    run_sharding,
+    run_short_values,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_topk,
+)
+from .extensions import discover_key_candidates
+from .index import build_index
+from .lake import DataLake, profile_corpus
+from .storage import SQLiteBackend, load_corpus_json, save_corpus_json, table_from_csv
+
+#: Experiment name -> runner, for the ``experiment`` sub-command.
+EXPERIMENT_RUNNERS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "figure4": run_figure4,
+    "figure5": run_figure5,
+    "figure6": run_figure6,
+    "topk": run_topk,
+    "init_column": run_init_column,
+    "index_generation": run_index_generation,
+    "scaling": run_scaling,
+    "fetch_cost": run_fetch_cost,
+    "frequency_source": run_frequency_source,
+    "sharding": run_sharding,
+    "related_work": run_related_work,
+    "short_values": run_short_values,
+}
+
+#: System name -> discovery engine class, for the ``discover`` sub-command.
+SYSTEMS = {"mate": MateDiscovery, "scr": ScrDiscovery, "mcr": McrDiscovery}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="mate-repro",
+        description="MATE: multi-attribute joinable table discovery (reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic workload")
+    generate.add_argument("workload", choices=sorted(TABLE1_SPECS))
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--queries", type=int, default=3)
+    generate.add_argument("--scale", type=float, default=0.5)
+    generate.add_argument("--corpus-out", type=Path, required=True)
+    generate.add_argument("--queries-out", type=Path, default=None)
+
+    index = subparsers.add_parser("index", help="build the extended inverted index")
+    index.add_argument("corpus", type=Path, help="corpus JSON file")
+    index.add_argument("--database", type=Path, required=True, help="SQLite output")
+    index.add_argument("--hash-function", default="xash")
+    index.add_argument("--hash-size", type=int, default=128)
+
+    discover = subparsers.add_parser("discover", help="find joinable tables")
+    discover.add_argument("corpus", type=Path, help="corpus JSON file")
+    discover.add_argument("query", type=Path, help="query table CSV file")
+    discover.add_argument("--key", nargs="+", required=True, help="composite key columns")
+    discover.add_argument("--database", type=Path, default=None,
+                          help="SQLite database with a prebuilt index")
+    discover.add_argument("--system", choices=sorted(SYSTEMS), default="mate")
+    discover.add_argument("--k", type=int, default=10)
+    discover.add_argument("--hash-size", type=int, default=128)
+
+    experiment = subparsers.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS))
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument("--queries", type=int, default=2)
+    experiment.add_argument("--scale", type=float, default=0.25)
+    experiment.add_argument("--k", type=int, default=10)
+    experiment.add_argument(
+        "--out", type=Path, default=None,
+        help="also save the result (format from the suffix: .txt/.csv/.json)",
+    )
+
+    profile = subparsers.add_parser("profile", help="profile a data lake")
+    profile.add_argument(
+        "source", type=Path,
+        help="directory of CSV/JSON-lines tables, or a corpus JSON file",
+    )
+
+    suggest = subparsers.add_parser(
+        "suggest-key", help="discover composite-key candidates for a CSV table"
+    )
+    suggest.add_argument("table", type=Path, help="CSV file")
+    suggest.add_argument("--max-arity", type=int, default=3)
+    suggest.add_argument("--limit", type=int, default=5,
+                         help="number of candidates to print")
+
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    workload = build_workload(
+        args.workload, seed=args.seed, num_queries=args.queries, corpus_scale=args.scale
+    )
+    save_corpus_json(workload.corpus, args.corpus_out)
+    print(f"wrote corpus with {len(workload.corpus)} tables to {args.corpus_out}")
+    if args.queries_out is not None:
+        from .datamodel import TableCorpus
+
+        query_corpus = TableCorpus(name=f"{workload.name}_queries")
+        for query in workload.queries:
+            query_corpus.add_table(query.table)
+        save_corpus_json(query_corpus, args.queries_out)
+        print(f"wrote {len(workload.queries)} query tables to {args.queries_out}")
+    return 0
+
+
+def _command_index(args: argparse.Namespace) -> int:
+    corpus = load_corpus_json(args.corpus)
+    config = MateConfig(hash_size=args.hash_size)
+    index = build_index(corpus, config=config, hash_function_name=args.hash_function)
+    with SQLiteBackend(args.database) as backend:
+        backend.save_corpus(corpus)
+        backend.save_index("main", index)
+    print(
+        f"indexed {len(corpus)} tables ({index.num_posting_items()} postings, "
+        f"{args.hash_function}/{args.hash_size}) into {args.database}"
+    )
+    return 0
+
+
+def _command_discover(args: argparse.Namespace) -> int:
+    corpus = load_corpus_json(args.corpus)
+    config = MateConfig(hash_size=args.hash_size, k=args.k)
+    if args.database is not None and Path(args.database).exists():
+        with SQLiteBackend(args.database) as backend:
+            index = backend.load_index("main")
+    else:
+        index = build_index(corpus, config=config)
+
+    query_table = table_from_csv(10_000_000, args.query)
+    query = QueryTable(table=query_table, key_columns=[c.lower() for c in args.key])
+    engine_class = SYSTEMS[args.system]
+    engine = engine_class(corpus, index, config=config)
+    result = engine.discover(query, k=args.k)
+
+    print(f"top-{args.k} joinable tables ({args.system}, key={query.key_columns}):")
+    for entry in result.tables:
+        print(f"  table {entry.table_id:>6}  joinability={entry.joinability:>5}  "
+              f"{entry.table_name}")
+    counters = result.counters
+    print(f"rows checked: {counters.rows_checked}, precision: {counters.precision:.2f}, "
+          f"runtime: {counters.runtime_seconds:.3f}s")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    settings = ExperimentSettings(
+        seed=args.seed, num_queries=args.queries, corpus_scale=args.scale, k=args.k
+    )
+    result = EXPERIMENT_RUNNERS[args.name](settings)
+    print(result.to_text())
+    if args.out is not None:
+        from .experiments import save_result
+
+        save_result(result, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    source = Path(args.source)
+    if source.is_dir():
+        corpus = DataLake.from_directory(source).corpus
+    else:
+        corpus = load_corpus_json(source)
+    profile = profile_corpus(corpus)
+    print(f"profile of {corpus.name!r}:")
+    for key, value in profile.as_dict().items():
+        print(f"  {key}: {value}")
+    config = profile.recommended_config()
+    print("recommended configuration:")
+    print(f"  hash_size: {config.hash_size}")
+    print(f"  alpha (1-bits per hash): {config.alpha}")
+    print(f"  beta (bits per character segment): {config.beta}")
+    print(f"  length segment bits: {config.length_segment_bits}")
+    return 0
+
+
+def _command_suggest_key(args: argparse.Namespace) -> int:
+    table = table_from_csv(0, args.table)
+    candidates = discover_key_candidates(table, max_arity=args.max_arity)
+    if not candidates:
+        print(f"no composite-key candidate found for {args.table}")
+        return 1
+    print(f"composite-key candidates for {args.table} (best first):")
+    for candidate in candidates[: args.limit]:
+        marker = "UCC" if candidate.is_unique else f"{candidate.uniqueness:.2f}"
+        print(f"  [{marker:>4}] {', '.join(candidate.columns)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "index": _command_index,
+        "discover": _command_discover,
+        "experiment": _command_experiment,
+        "profile": _command_profile,
+        "suggest-key": _command_suggest_key,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

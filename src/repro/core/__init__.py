@@ -1,0 +1,65 @@
+"""MATE's core: joinability, filtering, column selection, and Algorithm 1."""
+
+from .column_selection import (
+    COLUMN_SELECTORS,
+    fetched_pl_count,
+    get_column_selector,
+    select_best_case,
+    select_by_cardinality,
+    select_by_column_order,
+    select_by_longest_string,
+    select_worst_case,
+)
+from .discovery import MateDiscovery
+from .filters import (
+    ROW_FILTER_MODES,
+    RowFilter,
+    should_abandon_table,
+    should_prune_table,
+)
+from .parallel import (
+    ShardedMateDiscovery,
+    ShardStatistics,
+    merge_discovery_results,
+    shard_corpus,
+)
+from .joinability import (
+    exact_joinability,
+    exact_joinability_score,
+    joinability_from_matches,
+    row_contains_key,
+    row_mappings,
+    top_k_by_exact_joinability,
+)
+from .results import DiscoveryResult, TableResult
+from .topk import RankedTable, TopKHeap
+
+__all__ = [
+    "COLUMN_SELECTORS",
+    "DiscoveryResult",
+    "MateDiscovery",
+    "ROW_FILTER_MODES",
+    "RankedTable",
+    "RowFilter",
+    "ShardStatistics",
+    "ShardedMateDiscovery",
+    "TableResult",
+    "TopKHeap",
+    "exact_joinability",
+    "exact_joinability_score",
+    "fetched_pl_count",
+    "get_column_selector",
+    "joinability_from_matches",
+    "merge_discovery_results",
+    "row_contains_key",
+    "row_mappings",
+    "select_best_case",
+    "select_by_cardinality",
+    "select_by_column_order",
+    "select_by_longest_string",
+    "select_worst_case",
+    "shard_corpus",
+    "should_abandon_table",
+    "should_prune_table",
+    "top_k_by_exact_joinability",
+]

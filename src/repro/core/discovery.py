@@ -1,0 +1,228 @@
+"""The MATE discovery engine: Algorithm 1 of the paper.
+
+:class:`MateDiscovery` wires together the four online phases of Figure 2:
+
+1. **Initialization** (Section 6.1): pick the initial query column, fetch its
+   PL items (with super keys) from the index, group and sort the candidate
+   tables, and build the dictionary mapping initial-column values to the
+   aggregated super keys of the query's composite key combinations.
+2. **Table filtering** (Section 6.2): the two coarse-grained pruning rules.
+3. **Row filtering** (Section 6.3): the super-key subsumption check per
+   candidate row.
+4. **Joinability calculation**: exact verification of the surviving rows and
+   the Eq. 2 best-mapping score, feeding the top-k heap.
+
+The engine is deliberately configurable along exactly the axes the paper's
+experiments vary: the hash function (Tables 2/3, Figure 5), the row-filter
+mode (SCR baseline, ideal oracle), the initial-column selector
+(Section 7.5.4), ``k`` (Section 7.5.1), and the hash size.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Sequence
+
+from ..config import MateConfig
+from ..datamodel import MISSING, QueryTable, TableCorpus
+from ..exceptions import DiscoveryError
+from ..hashing import SuperKeyGenerator
+from ..index import FetchedItem, InvertedIndex
+from ..metrics import DiscoveryCounters
+from .column_selection import ColumnSelector, get_column_selector
+from .filters import RowFilter, should_abandon_table, should_prune_table
+from .joinability import joinability_from_matches, row_contains_key
+from .results import DiscoveryResult
+from .topk import TopKHeap
+
+
+class MateDiscovery:
+    """Top-k n-ary joinable table discovery (Algorithm 1)."""
+
+    system_name = "mate"
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        index: InvertedIndex,
+        config: MateConfig | None = None,
+        hash_function_name: str | None = None,
+        column_selector: ColumnSelector | str = "cardinality",
+        row_filter_mode: str = "superkey",
+        use_table_filters: bool = True,
+    ):
+        self.corpus = corpus
+        self.index = index
+        self.config = config or MateConfig()
+        self.hash_function_name = hash_function_name or index.hash_function_name
+        if (
+            row_filter_mode == "superkey"
+            and self.hash_function_name != index.hash_function_name
+        ):
+            raise DiscoveryError(
+                "the discovery hash function must match the index "
+                f"({self.hash_function_name!r} != {index.hash_function_name!r})"
+            )
+        self.super_key_generator = SuperKeyGenerator.from_name(
+            self.hash_function_name, self.config
+        )
+        self.column_selector = (
+            get_column_selector(column_selector)
+            if isinstance(column_selector, str)
+            else column_selector
+        )
+        self.row_filter = RowFilter(self.super_key_generator, mode=row_filter_mode)
+        self.use_table_filters = use_table_filters
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def discover(self, query: QueryTable, k: int | None = None) -> DiscoveryResult:
+        """Return the top-k joinable tables for ``query``.
+
+        ``k`` defaults to the configured value.  The result carries the full
+        instrumentation counters of the run.
+        """
+        if k is None:
+            k = self.config.k
+        if k <= 0:
+            raise DiscoveryError(f"k must be positive, got {k}")
+        counters = DiscoveryCounters()
+        started = time.perf_counter()
+
+        # ---------------- Initialization (lines 3-6) ----------------
+        initial_column = self.column_selector(query, self.index)
+        if initial_column not in query.key_columns:
+            raise DiscoveryError(
+                f"initial column {initial_column!r} is not a key column of the query"
+            )
+        key_map = self._build_key_super_key_map(query, initial_column)
+        probe_values = list(key_map)
+
+        grouped = self.index.fetch_grouped_by_table(probe_values)
+        counters.pl_items_fetched = sum(len(items) for items in grouped.values())
+        counters.candidate_tables = len(grouped)
+        counters.extra["initial_column_cardinality"] = float(len(probe_values))
+
+        # Sort candidate tables by decreasing PL-item count (line 5).
+        candidates = sorted(
+            grouped.items(), key=lambda entry: (-len(entry[1]), entry[0])
+        )
+
+        topk = TopKHeap(k)
+        mappings: dict[int, tuple[int, ...] | None] = {}
+
+        # ---------------- Candidate-table loop (lines 7-22) ----------------
+        for position, (table_id, items) in enumerate(candidates):
+            if self.use_table_filters and should_prune_table(len(items), topk):
+                counters.tables_pruned_by_rule1 += len(candidates) - position
+                break
+            joinability, mapping = self._evaluate_table(
+                table_id, items, key_map, topk, counters
+            )
+            counters.tables_evaluated += 1
+            if topk.update(table_id, joinability):
+                mappings[table_id] = mapping
+
+        counters.runtime_seconds = time.perf_counter() - started
+        names = {
+            table_id: self.corpus.get_table(table_id).name
+            for table_id, _ in topk.result_tuples()
+        }
+        return DiscoveryResult.from_ranked(
+            system=self.system_name,
+            k=k,
+            ranked=topk.results(),
+            counters=counters,
+            mappings=mappings,
+            names=names,
+        )
+
+    # ------------------------------------------------------------------
+    # Initialization helpers
+    # ------------------------------------------------------------------
+    def _build_key_super_key_map(
+        self, query: QueryTable, initial_column: str
+    ) -> dict[str, list[tuple[tuple[str, ...], int]]]:
+        """Map initial-column values to (key tuple, aggregated hash) pairs.
+
+        This is the ``superkey_map_Q`` dictionary of Algorithm 1 (line 6): it
+        lets the row filter find, for a fetched PL item, exactly the query key
+        combinations that share the probed value.
+        """
+        initial_position = query.key_columns.index(initial_column)
+        key_map: dict[str, list[tuple[tuple[str, ...], int]]] = defaultdict(list)
+        for key_tuple in sorted(query.key_tuples()):
+            probe_value = key_tuple[initial_position]
+            if probe_value == MISSING:
+                continue
+            if any(value == MISSING for value in key_tuple):
+                continue
+            key_super_key = self.super_key_generator.key_super_key(key_tuple)
+            key_map[probe_value].append((key_tuple, key_super_key))
+        return dict(key_map)
+
+    # ------------------------------------------------------------------
+    # Per-table evaluation (row filtering + joinability calculation)
+    # ------------------------------------------------------------------
+    def _evaluate_table(
+        self,
+        table_id: int,
+        items: Sequence[FetchedItem],
+        key_map: dict[str, list[tuple[tuple[str, ...], int]]],
+        topk: TopKHeap,
+        counters: DiscoveryCounters,
+    ) -> tuple[int, tuple[int, ...] | None]:
+        """Evaluate one candidate table and return (joinability, mapping)."""
+        posting_count = len(items)
+        rows_checked = 0
+        rows_matched = 0
+        surviving: list[tuple[FetchedItem, tuple[str, ...]]] = []
+
+        for item in items:
+            if self.use_table_filters and should_abandon_table(
+                posting_count, rows_checked, rows_matched, topk
+            ):
+                counters.tables_pruned_by_rule2 += 1
+                break
+            rows_checked += 1
+            counters.rows_checked += 1
+            row = self.corpus.get_row(item.table_id, item.row_index)
+            row_survived = False
+            for key_tuple, key_super_key in key_map.get(item.value, ()):
+                if self.row_filter.passes(
+                    item.super_key, key_super_key, row, key_tuple, counters
+                ):
+                    surviving.append((item, key_tuple))
+                    row_survived = True
+            if row_survived:
+                rows_matched += 1
+
+        joinability, mapping = self._calculate_joinability(surviving, counters)
+        return joinability, mapping
+
+    def _calculate_joinability(
+        self,
+        surviving: list[tuple[FetchedItem, tuple[str, ...]]],
+        counters: DiscoveryCounters,
+    ) -> tuple[int, tuple[int, ...] | None]:
+        """Exact verification of surviving rows and Eq. 2 scoring (line 21)."""
+        verified: list[tuple[tuple[str, ...], tuple[str, ...]]] = []
+        row_outcome: dict[tuple[int, int], bool] = {}
+        for item, key_tuple in surviving:
+            row = self.corpus.get_row(item.table_id, item.row_index)
+            counters.value_comparisons += len(row) * len(key_tuple)
+            location = item.location()
+            if row_contains_key(row, key_tuple):
+                verified.append((row, key_tuple))
+                row_outcome[location] = True
+            else:
+                row_outcome.setdefault(location, False)
+
+        counters.rows_passed_filter += len(row_outcome)
+        counters.true_positive_rows += sum(1 for hit in row_outcome.values() if hit)
+        counters.false_positive_rows += sum(
+            1 for hit in row_outcome.values() if not hit
+        )
+        return joinability_from_matches(verified)

@@ -1,0 +1,148 @@
+"""Joinability computation (Section 2, Eq. 1 and Eq. 2).
+
+The joinability of a candidate table ``S`` w.r.t. a query table ``R`` with a
+composite key ``X`` is the size of the intersection of the key projection of
+``R`` with the projection of ``S`` onto the *best* column combination ``Y'``
+of the same arity (Eq. 2).  Because the column mapping is unknown, a naive
+evaluation enumerates all ``P(|S|, |X|)`` ordered column combinations.
+
+Two implementations are provided:
+
+* :func:`exact_joinability` — the brute-force reference that literally
+  enumerates column permutations.  It is used by tests as ground truth and by
+  the "Best"/"Ideal" oracles in the experiments.
+* :func:`joinability_from_matches` — the verification-step variant used by
+  the discovery engines: given the (row, key-tuple) pairs that survived
+  filtering, it finds the single column mapping supported by the largest
+  number of *distinct* key tuples, using per-row backtracking over value
+  positions instead of global permutation enumeration.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from itertools import permutations
+from typing import Iterable, Sequence
+
+from ..datamodel import MISSING, QueryTable, Table
+
+
+def candidate_positions(
+    row: Sequence[str], key_values: Sequence[str]
+) -> list[list[int]]:
+    """For each key value, list the columns of ``row`` holding that value."""
+    positions: list[list[int]] = []
+    for value in key_values:
+        positions.append(
+            [index for index, cell in enumerate(row) if cell == value and value != MISSING]
+        )
+    return positions
+
+
+def row_mappings(
+    row: Sequence[str], key_values: Sequence[str]
+) -> list[tuple[int, ...]]:
+    """Enumerate all injective column assignments matching ``key_values`` in ``row``.
+
+    Each returned tuple assigns, position by position, a distinct column index
+    to every key value.  An empty list means the row does not contain the full
+    composite key.
+    """
+    positions = candidate_positions(row, key_values)
+    if any(not options for options in positions):
+        return []
+
+    assignments: list[tuple[int, ...]] = []
+
+    def backtrack(index: int, used: set[int], current: list[int]) -> None:
+        if index == len(positions):
+            assignments.append(tuple(current))
+            return
+        for column in positions[index]:
+            if column in used:
+                continue
+            used.add(column)
+            current.append(column)
+            backtrack(index + 1, used, current)
+            current.pop()
+            used.remove(column)
+
+    backtrack(0, set(), [])
+    return assignments
+
+
+def row_contains_key(row: Sequence[str], key_values: Sequence[str]) -> bool:
+    """Return whether ``row`` contains all ``key_values`` in distinct columns."""
+    return bool(row_mappings(row, key_values))
+
+
+def joinability_from_matches(
+    matches: Iterable[tuple[Sequence[str], tuple[str, ...]]],
+) -> tuple[int, tuple[int, ...] | None]:
+    """Compute joinability from verified (row, key-tuple) matches.
+
+    ``matches`` yields pairs of a candidate-table row and the distinct query
+    key tuple it was matched against.  The result is the largest number of
+    distinct key tuples supported by one single column mapping (Eq. 2),
+    together with that mapping (or ``None`` when there are no matches).
+    """
+    support: dict[tuple[int, ...], set[tuple[str, ...]]] = defaultdict(set)
+    for row, key_tuple in matches:
+        for mapping in row_mappings(row, key_tuple):
+            support[mapping].add(key_tuple)
+    if not support:
+        return 0, None
+    best_mapping, best_tuples = max(
+        support.items(), key=lambda item: (len(item[1]), item[0])
+    )
+    return len(best_tuples), best_mapping
+
+
+def exact_joinability(
+    query: QueryTable, table: Table
+) -> tuple[int, tuple[int, ...] | None]:
+    """Brute-force joinability (Eq. 2) by enumerating column permutations.
+
+    Only feasible for tables with a modest number of columns; intended as the
+    ground-truth oracle for tests and the "Best"/"Ideal" baselines.
+    """
+    key_tuples = query.key_tuples()
+    if not key_tuples:
+        return 0, None
+    key_size = query.key_size
+    if table.num_columns < key_size:
+        return 0, None
+
+    best_score = 0
+    best_mapping: tuple[int, ...] | None = None
+    for mapping in permutations(range(table.num_columns), key_size):
+        projected = {
+            tuple(row[column] for column in mapping)
+            for row in table.rows
+        }
+        score = len(key_tuples & projected)
+        if score > best_score:
+            best_score = score
+            best_mapping = mapping
+    return best_score, best_mapping
+
+
+def exact_joinability_score(query: QueryTable, table: Table) -> int:
+    """Convenience wrapper returning only the joinability score."""
+    score, _ = exact_joinability(query, table)
+    return score
+
+
+def top_k_by_exact_joinability(
+    query: QueryTable, tables: Iterable[Table], k: int
+) -> list[tuple[int, int]]:
+    """Return the ground-truth top-k ``(table_id, joinability)`` pairs.
+
+    Ties are broken by table id (ascending) to keep the ordering stable, which
+    matches how the discovery engines report results.
+    """
+    scored = [
+        (table.table_id, exact_joinability_score(query, table)) for table in tables
+    ]
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return [pair for pair in scored[:k] if pair[1] > 0]

@@ -1,0 +1,87 @@
+"""Bounded top-k result heap used by every discovery engine (Algorithm 1).
+
+The heap keeps the ``k`` best candidate tables seen so far, ordered by
+joinability.  The table-filtering rules of Section 6.2 need two things from
+it: whether ``k`` results have been collected yet (the rules only apply after
+that) and the joinability of the *worst* table currently in the top-k
+(``j_k``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..exceptions import DiscoveryError
+
+
+@dataclass(frozen=True, order=True)
+class RankedTable:
+    """One entry of the top-k result list."""
+
+    joinability: int
+    table_id: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(table_id, joinability)`` for reporting."""
+        return self.table_id, self.joinability
+
+
+class TopKHeap:
+    """Min-heap of the ``k`` highest-joinability tables."""
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise DiscoveryError(f"k must be positive, got {k}")
+        self.k = k
+        # Heap entries are (joinability, -table_id) so that, at equal
+        # joinability, the table with the *larger* id is evicted first and the
+        # reported ranking prefers smaller ids (stable, deterministic output).
+        self._heap: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether ``k`` tables have been collected (the filter rules' guard)."""
+        return len(self._heap) >= self.k
+
+    def min_joinability(self) -> int:
+        """Joinability of the worst table in the current top-k (``j_k``).
+
+        Returns 0 while the heap is not full, so the pruning rules never fire
+        before ``k`` joinable tables have been seen (Section 6.2).
+        """
+        if not self.is_full:
+            return 0
+        return self._heap[0][0]
+
+    def update(self, table_id: int, joinability: int) -> bool:
+        """Offer a (table, joinability) pair; returns whether it was kept.
+
+        Tables with joinability 0 are never added — a table with no joinable
+        row is not a result (and would otherwise pollute the pruning bound).
+        """
+        if joinability <= 0:
+            return False
+        entry = (joinability, -table_id)
+        if not self.is_full:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def results(self) -> list[RankedTable]:
+        """Return the current contents sorted best-first."""
+        ordered = sorted(self._heap, key=lambda e: (-e[0], -e[1]))
+        return [
+            RankedTable(joinability=joinability, table_id=-negative_id)
+            for joinability, negative_id in ordered
+        ]
+
+    def result_tuples(self) -> list[tuple[int, int]]:
+        """Return ``(table_id, joinability)`` pairs sorted best-first."""
+        return [entry.as_tuple() for entry in self.results()]

@@ -1,0 +1,57 @@
+"""Synthetic corpora, query tables, and Table 1 workloads."""
+
+from .corpora import (
+    COLUMN_FACTORIES,
+    CorpusProfile,
+    KEYABLE_COLUMN_TYPES,
+    OPEN_DATA_PROFILE,
+    PROFILES,
+    SCHOOL_PROFILE,
+    SyntheticCorpusGenerator,
+    WEB_TABLE_PROFILE,
+    generate_corpus,
+)
+from .planting import PlantedTable, plant_distractor_table, plant_joinable_table
+from .queries import (
+    generate_airline_query,
+    generate_entity_query,
+    generate_movie_query,
+    generate_school_query,
+    generate_sensor_query,
+)
+from .workload import (
+    FIGURE4_WORKLOADS,
+    QueryWorkload,
+    TABLE1_SPECS,
+    TABLE2_WORKLOADS,
+    WorkloadSpec,
+    build_all_table1_workloads,
+    build_workload,
+)
+
+__all__ = [
+    "COLUMN_FACTORIES",
+    "CorpusProfile",
+    "FIGURE4_WORKLOADS",
+    "KEYABLE_COLUMN_TYPES",
+    "OPEN_DATA_PROFILE",
+    "PROFILES",
+    "PlantedTable",
+    "QueryWorkload",
+    "SCHOOL_PROFILE",
+    "SyntheticCorpusGenerator",
+    "TABLE1_SPECS",
+    "TABLE2_WORKLOADS",
+    "WEB_TABLE_PROFILE",
+    "WorkloadSpec",
+    "build_all_table1_workloads",
+    "build_workload",
+    "generate_airline_query",
+    "generate_corpus",
+    "generate_entity_query",
+    "generate_movie_query",
+    "generate_school_query",
+    "generate_sensor_query",
+    "plant_distractor_table",
+    "plant_joinable_table",
+]

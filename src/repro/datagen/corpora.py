@@ -1,0 +1,252 @@
+"""Synthetic corpus generators standing in for DWTC / Open Data / School.
+
+The real corpora of Section 7.1 (145M web tables, 17k open-data tables, the
+School corpus) are neither available offline nor tractable at laptop scale.
+The generators below produce corpora that preserve the properties MATE's
+evaluation depends on (see DESIGN.md §5 for the substitution argument):
+
+* **web-table profile** — very many, small, narrow tables with low per-column
+  cardinality and heavy value sharing (the paper's WT query groups have
+  cardinalities of 3–151);
+* **open-data profile** — fewer but wider and longer tables with larger
+  cardinalities (the OD groups go up to a few thousand distinct values);
+* **school profile** — few, very wide tables (the School corpus averages 27
+  columns), which stresses the number of values aggregated per super key.
+
+Every cell is drawn from shared vocabularies with a Zipf-like skew, so values
+recur across unrelated tables and single-column probes hit many
+false-positive rows — the phenomenon MATE's filter is designed to prune.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..datamodel import Table, TableCorpus
+from . import vocab
+
+#: A column generator: given the RNG, produce one cell value.
+ValueFactory = Callable[[random.Random], str]
+
+
+def _person_first(rng: random.Random) -> str:
+    return vocab.zipf_choice(rng, vocab.FIRST_NAMES)
+
+
+def _person_last(rng: random.Random) -> str:
+    return vocab.zipf_choice(rng, vocab.LAST_NAMES)
+
+
+def _country(rng: random.Random) -> str:
+    return vocab.zipf_choice(rng, vocab.COUNTRIES)
+
+
+def _city(rng: random.Random) -> str:
+    return vocab.zipf_choice(rng, vocab.CITIES)
+
+
+def _occupation(rng: random.Random) -> str:
+    return vocab.zipf_choice(rng, vocab.OCCUPATIONS)
+
+
+def _generic_word(rng: random.Random) -> str:
+    return vocab.zipf_choice(rng, vocab.GENERIC_WORDS)
+
+
+def _date(rng: random.Random) -> str:
+    return vocab.random_date(rng)
+
+
+def _timestamp(rng: random.Random) -> str:
+    return vocab.random_timestamp(rng)
+
+
+def _number(rng: random.Random) -> str:
+    return vocab.random_number(rng)
+
+
+def _code(rng: random.Random) -> str:
+    return vocab.random_code(rng)
+
+
+def _pseudo_word(rng: random.Random) -> str:
+    return vocab.random_word(rng)
+
+
+def _token(rng: random.Random) -> str:
+    return vocab.zipf_choice(rng, vocab.SHARED_TOKENS, skew=1.1)
+
+
+#: The pool of column types synthetic tables draw from.  Names double as the
+#: generated column names (suffixed with an index on collision).
+COLUMN_FACTORIES: dict[str, ValueFactory] = {
+    "first_name": _person_first,
+    "last_name": _person_last,
+    "country": _country,
+    "city": _city,
+    "occupation": _occupation,
+    "category": _generic_word,
+    "date": _date,
+    "timestamp": _timestamp,
+    "amount": _number,
+    "code": _code,
+    "label": _pseudo_word,
+    "token": _token,
+}
+
+#: Column types whose values are strings suitable for composite keys.
+KEYABLE_COLUMN_TYPES: tuple[str, ...] = (
+    "first_name", "last_name", "country", "city", "occupation", "category",
+    "date", "timestamp", "token",
+)
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Shape parameters of a synthetic corpus."""
+
+    name: str
+    num_tables: int
+    min_rows: int
+    max_rows: int
+    min_columns: int
+    max_columns: int
+    #: Column types to prefer (sampled uniformly from this tuple).
+    column_types: tuple[str, ...] = tuple(COLUMN_FACTORIES)
+    #: Zipf skew of value sampling inside each vocabulary.
+    skew: float = 1.2
+    #: Fraction of tables that are much wider than ``max_columns``; real web
+    #: table and open-data corpora have a long tail of very wide tables, which
+    #: is exactly where OR-aggregated super keys saturate (Section 7.3).
+    wide_table_fraction: float = 0.1
+    #: Column count drawn for those wide tables (between ``max_columns`` and
+    #: this value).
+    wide_max_columns: int = 25
+
+    def scaled(self, scale: float) -> "CorpusProfile":
+        """Return a copy with the number of tables scaled by ``scale``."""
+        return CorpusProfile(
+            name=self.name,
+            num_tables=max(1, int(self.num_tables * scale)),
+            min_rows=self.min_rows,
+            max_rows=self.max_rows,
+            min_columns=self.min_columns,
+            max_columns=self.max_columns,
+            column_types=self.column_types,
+            skew=self.skew,
+            wide_table_fraction=self.wide_table_fraction,
+            wide_max_columns=self.wide_max_columns,
+        )
+
+
+#: Web-table-like corpus: many small, narrow tables.
+WEB_TABLE_PROFILE = CorpusProfile(
+    name="webtables",
+    num_tables=400,
+    min_rows=5,
+    max_rows=40,
+    min_columns=3,
+    max_columns=6,
+)
+
+#: Open-data-like corpus: fewer but much wider and longer tables.  The real
+#: German Open Data corpus averages ~26 columns per table (440k columns over
+#: 17k tables, Section 7.1), which is what makes the bloom-filter baseline's
+#: per-value bit budget collapse there.
+OPEN_DATA_PROFILE = CorpusProfile(
+    name="opendata",
+    num_tables=120,
+    min_rows=50,
+    max_rows=300,
+    min_columns=15,
+    max_columns=35,
+    wide_table_fraction=0.05,
+    wide_max_columns=45,
+)
+
+#: School-corpus-like: few, very wide, long tables (27 columns on average).
+SCHOOL_PROFILE = CorpusProfile(
+    name="school",
+    num_tables=30,
+    min_rows=200,
+    max_rows=600,
+    min_columns=20,
+    max_columns=30,
+)
+
+PROFILES: dict[str, CorpusProfile] = {
+    profile.name: profile
+    for profile in (WEB_TABLE_PROFILE, OPEN_DATA_PROFILE, SCHOOL_PROFILE)
+}
+
+
+@dataclass
+class SyntheticCorpusGenerator:
+    """Generates a corpus of random tables from a :class:`CorpusProfile`."""
+
+    profile: CorpusProfile
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def generate(self, name: str | None = None) -> TableCorpus:
+        """Generate the full corpus."""
+        corpus = TableCorpus(name=name or self.profile.name)
+        for _ in range(self.profile.num_tables):
+            self.add_random_table(corpus)
+        return corpus
+
+    def add_random_table(self, corpus: TableCorpus, prefix: str = "table") -> Table:
+        """Generate one random table and add it to ``corpus``."""
+        rng = self._rng
+        if rng.random() < self.profile.wide_table_fraction:
+            num_columns = rng.randint(
+                self.profile.max_columns,
+                max(self.profile.wide_max_columns, self.profile.max_columns),
+            )
+        else:
+            num_columns = rng.randint(
+                self.profile.min_columns, self.profile.max_columns
+            )
+        num_rows = rng.randint(self.profile.min_rows, self.profile.max_rows)
+        column_types = [rng.choice(self.profile.column_types) for _ in range(num_columns)]
+        columns = self._column_names(column_types)
+        rows = [
+            [COLUMN_FACTORIES[column_type](rng) for column_type in column_types]
+            for _ in range(num_rows)
+        ]
+        table_id = corpus.next_table_id()
+        table = Table(
+            table_id=table_id,
+            name=f"{prefix}_{self.profile.name}_{table_id}",
+            columns=columns,
+            rows=rows,
+        )
+        corpus.add_table(table)
+        return table
+
+    @staticmethod
+    def _column_names(column_types: Sequence[str]) -> list[str]:
+        """Derive unique column names from (possibly repeated) column types."""
+        counts: dict[str, int] = {}
+        names: list[str] = []
+        for column_type in column_types:
+            seen = counts.get(column_type, 0)
+            names.append(column_type if seen == 0 else f"{column_type}_{seen + 1}")
+            counts[column_type] = seen + 1
+        return names
+
+
+def generate_corpus(
+    profile: CorpusProfile | str, seed: int = 0, scale: float = 1.0, name: str | None = None
+) -> TableCorpus:
+    """Convenience wrapper: generate a corpus from a profile (or profile name)."""
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    if scale != 1.0:
+        profile = profile.scaled(scale)
+    return SyntheticCorpusGenerator(profile=profile, seed=seed).generate(name=name)

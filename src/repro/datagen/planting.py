@@ -1,0 +1,252 @@
+"""Planting joinable and distractor tables into a synthetic corpus.
+
+Purely random synthetic tables almost never share full composite keys with a
+query table, so — like the paper, which extends selected tables "with joinable
+tables" for the School experiment — the workload builder *plants* candidate
+tables with controlled properties:
+
+* **joinable tables**: contain a chosen number of the query's composite-key
+  tuples, with the key values spread over renamed, permuted columns (as in the
+  running example where ``F. Name``/``L. Name``/``Country`` map onto
+  ``Vorname``/``Nachname``/``Land``), padded with extra columns and noise
+  rows;
+* **partial-match (distractor) tables**: contain many rows that share *some*
+  key values with the query but never a full combination — exactly the
+  false-positive rows that an n-ary-unaware system retrieves and MATE's super
+  key is designed to prune.
+
+The planting records double as approximate ground truth for the experiments;
+exact ground truth is always recomputable with
+:func:`repro.core.joinability.exact_joinability`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datamodel import QueryTable, Table, TableCorpus
+from . import vocab
+from .corpora import COLUMN_FACTORIES
+
+#: Column-name translations used for planted tables, echoing the paper's
+#: German candidate table in Figure 1.
+_TRANSLATED_NAMES: dict[str, str] = {
+    "first_name": "vorname",
+    "last_name": "nachname",
+    "country": "land",
+    "city": "stadt",
+    "occupation": "besetzung",
+    "category": "kategorie",
+    "date": "datum",
+    "timestamp": "zeitstempel",
+}
+
+
+@dataclass(frozen=True)
+class PlantedTable:
+    """Record of one planted candidate table."""
+
+    table_id: int
+    #: Number of distinct query key tuples embedded in the table.
+    planted_joinability: int
+    #: Whether the table only contains partial (single-column) matches.
+    is_distractor: bool
+
+
+def _base_column_name(column: str) -> str:
+    """Strip the disambiguating suffix from a generated column name."""
+    head, _, tail = column.rpartition("_")
+    if tail.isdigit() and head:
+        return head
+    return column
+
+
+def _translated_column_name(column: str, position: int) -> str:
+    base = _base_column_name(column)
+    return _TRANSLATED_NAMES.get(base, f"spalte_{position}")
+
+
+def _noise_value(rng: random.Random, column: str) -> str:
+    """Draw a non-matching cell value for a partial/noise row.
+
+    Most of the time the value comes from an arbitrary domain (a row of a web
+    table that happens to contain the probed value has unrelated content in
+    its other columns); occasionally it is a same-domain near-miss (another
+    city next to the queried city), which is the harder case for syntactic
+    filtering.
+    """
+    base = _base_column_name(column)
+    factory = COLUMN_FACTORIES.get(base)
+    if factory is not None and rng.random() < 0.3:
+        return factory(rng)
+    factory = COLUMN_FACTORIES[rng.choice(list(COLUMN_FACTORIES))]
+    return factory(rng)
+
+
+def _random_extra_columns(rng: random.Random) -> int:
+    """Draw the number of extra (non-key) columns for a planted table.
+
+    Real corpora have a long tail of very wide tables; roughly a third of the
+    planted candidates are made wide (15-30 extra columns) because those are
+    the rows on which OR-aggregated super keys saturate and hash functions
+    with many 1-bits per value start passing false positives (Section 7.3).
+    """
+    if rng.random() < 0.35:
+        return rng.randint(15, 30)
+    return rng.randint(2, 12)
+
+
+def plant_joinable_table(
+    corpus: TableCorpus,
+    query: QueryTable,
+    rng: random.Random,
+    joinability: int,
+    extra_columns: int | None = None,
+    noise_rows: int = 10,
+    partial_rows: int = 10,
+    name_prefix: str = "planted",
+) -> PlantedTable:
+    """Create one candidate table containing ``joinability`` query key tuples.
+
+    The key columns are renamed and their order permuted, ``extra_columns``
+    unrelated columns are appended (a random 2-12 when not given, mirroring
+    the wide-table tail of real corpora), ``noise_rows`` completely random
+    rows and ``partial_rows`` rows sharing only a single key value are added,
+    and all rows are shuffled.
+    """
+    if extra_columns is None:
+        extra_columns = _random_extra_columns(rng)
+    key_tuples = sorted(query.key_tuples())
+    joinability = max(0, min(joinability, len(key_tuples)))
+    selected = rng.sample(key_tuples, joinability) if joinability else []
+
+    key_size = query.key_size
+    column_order = list(range(key_size))
+    rng.shuffle(column_order)
+
+    key_column_names: list[str] = []
+    for position, original in enumerate(column_order):
+        name = _translated_column_name(query.key_columns[original], position)
+        while name in key_column_names:
+            name = f"{name}_{position + 1}"
+        key_column_names.append(name)
+    extra_column_names = [f"extra_{i + 1}" for i in range(extra_columns)]
+    columns = key_column_names + extra_column_names
+
+    # Each extra column gets a value domain of its own (realistic tables mix
+    # names, places, dates, numbers, ...), which is what stresses the
+    # OR-aggregated super keys.
+    extra_types = [rng.choice(list(COLUMN_FACTORIES)) for _ in extra_column_names]
+
+    def extra_part() -> list[str]:
+        return [COLUMN_FACTORIES[column_type](rng) for column_type in extra_types]
+
+    key_tuple_set = set(key_tuples)
+
+    def is_accidental_match(key_part: list[str]) -> bool:
+        """Whether a noise/partial row accidentally forms a full key match."""
+        original_order = [""] * key_size
+        for position, original in enumerate(column_order):
+            original_order[original] = key_part[position]
+        return tuple(original_order) in key_tuple_set
+
+    rows: list[list[str]] = []
+    for key_tuple in selected:
+        key_part = [key_tuple[original] for original in column_order]
+        rows.append(key_part + extra_part())
+
+    # Partial rows: copy one key value from a random tuple, randomise the rest.
+    # Accidental full matches are re-drawn so the planted joinability stays
+    # exact (it doubles as ground truth for the experiments).
+    for _ in range(partial_rows):
+        if not key_tuples:
+            break
+        source = rng.choice(key_tuples)
+        keep_position = rng.randrange(key_size)
+        for _attempt in range(10):
+            key_part = []
+            for position, original in enumerate(column_order):
+                if original == keep_position:
+                    key_part.append(source[original])
+                else:
+                    key_part.append(_noise_value(rng, query.key_columns[original]))
+            if not is_accidental_match(key_part):
+                break
+        rows.append(key_part + extra_part())
+
+    # Fully random noise rows.
+    for _ in range(noise_rows):
+        for _attempt in range(10):
+            key_part = [
+                _noise_value(rng, query.key_columns[original])
+                for original in column_order
+            ]
+            if not is_accidental_match(key_part):
+                break
+        rows.append(key_part + extra_part())
+
+    rng.shuffle(rows)
+    table = corpus.create_table(
+        name=f"{name_prefix}_{corpus.next_table_id()}",
+        columns=columns,
+        rows=rows,
+    )
+    return PlantedTable(
+        table_id=table.table_id,
+        planted_joinability=len(selected),
+        is_distractor=False,
+    )
+
+
+def plant_distractor_table(
+    corpus: TableCorpus,
+    query: QueryTable,
+    rng: random.Random,
+    matching_rows: int = 20,
+    noise_rows: int = 10,
+    extra_columns: int | None = None,
+    name_prefix: str = "distractor",
+) -> PlantedTable:
+    """Create a table sharing single key values with the query but no full key.
+
+    Every "matching" row copies exactly one value from a random query key
+    tuple; these rows are retrieved by a single-column probe (they are FP rows
+    for n-ary discovery) but never contribute to composite joinability.
+    """
+    if extra_columns is None:
+        extra_columns = _random_extra_columns(rng)
+    key_tuples = sorted(query.key_tuples())
+    key_size = query.key_size
+    columns = [f"col_{i + 1}" for i in range(key_size + extra_columns)]
+
+    key_tuple_set = set(key_tuples)
+    rows: list[list[str]] = []
+    for _ in range(matching_rows):
+        if not key_tuples:
+            break
+        source = rng.choice(key_tuples)
+        keep_position = rng.randrange(key_size)
+        for _attempt in range(10):
+            row = []
+            for position in range(key_size):
+                if position == keep_position:
+                    row.append(source[position])
+                else:
+                    row.append(_noise_value(rng, query.key_columns[position]))
+            if tuple(row) not in key_tuple_set:
+                break
+        row.extend(_noise_value(rng, rng.choice(query.key_columns)) for _ in range(extra_columns))
+        rows.append(row)
+    for _ in range(noise_rows):
+        rows.append([vocab.random_word(rng) for _ in columns])
+
+    rng.shuffle(rows)
+    table = corpus.create_table(
+        name=f"{name_prefix}_{corpus.next_table_id()}",
+        columns=columns,
+        rows=rows,
+    )
+    return PlantedTable(
+        table_id=table.table_id, planted_joinability=0, is_distractor=True
+    )

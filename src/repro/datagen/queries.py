@@ -1,0 +1,172 @@
+"""Query-table generation.
+
+The paper draws query tables from the corpora themselves (random tables with
+random key columns, grouped by cardinality, Table 1) plus two "real" workloads
+(Kaggle machine-learning datasets and the School corpus).  This module builds
+synthetic equivalents of all of them:
+
+* :func:`generate_entity_query` — a generic entity table (people/places) with
+  a composite key of configurable size and cardinality; used for the WT/OD
+  query groups.
+* :func:`generate_movie_query` — a Kaggle-IMDB-like query table with the
+  <director name, movie title> key from Section 6.1/7.3.
+* :func:`generate_airline_query` — a Kaggle-Airline-like query table with the
+  <airline name, country> key from Section 7.3.
+* :func:`generate_school_query` — a wide School-corpus-like query table with
+  the <program type, school name> key from Section 7.1.
+* :func:`generate_sensor_query` — the air-quality motivating example from the
+  introduction: a sensor table keyed on <timestamp, location>.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datamodel import QueryTable, Table
+from . import vocab
+from .corpora import COLUMN_FACTORIES, KEYABLE_COLUMN_TYPES
+
+
+def _unique_key_tuples(
+    rng: random.Random, column_types: list[str], cardinality: int
+) -> list[tuple[str, ...]]:
+    """Draw ``cardinality`` distinct key tuples for the given column types."""
+    tuples: set[tuple[str, ...]] = set()
+    attempts = 0
+    max_attempts = cardinality * 50 + 100
+    while len(tuples) < cardinality and attempts < max_attempts:
+        attempts += 1
+        tuples.add(
+            tuple(COLUMN_FACTORIES[column_type](rng) for column_type in column_types)
+        )
+    # Top up with guaranteed-unique synthetic values if the vocabulary was too
+    # small for the requested cardinality.
+    counter = 0
+    while len(tuples) < cardinality:
+        counter += 1
+        tuples.add(
+            tuple(
+                f"{vocab.random_word(rng)}{counter}" for _ in column_types
+            )
+        )
+    return sorted(tuples)
+
+
+def generate_entity_query(
+    table_id: int,
+    rng: random.Random,
+    cardinality: int = 20,
+    key_size: int = 2,
+    extra_columns: int = 2,
+    name: str = "query",
+) -> QueryTable:
+    """Generate a generic query table with a ``key_size``-column composite key."""
+    key_size = max(1, key_size)
+    key_types = rng.sample(
+        KEYABLE_COLUMN_TYPES, k=min(key_size, len(KEYABLE_COLUMN_TYPES))
+    )
+    while len(key_types) < key_size:
+        key_types.append(rng.choice(KEYABLE_COLUMN_TYPES))
+
+    key_columns = []
+    counts: dict[str, int] = {}
+    for key_type in key_types:
+        seen = counts.get(key_type, 0)
+        key_columns.append(key_type if seen == 0 else f"{key_type}_{seen + 1}")
+        counts[key_type] = seen + 1
+
+    extra_names = [f"measure_{i + 1}" for i in range(extra_columns)]
+    columns = key_columns + extra_names
+
+    key_tuples = _unique_key_tuples(rng, key_types, cardinality)
+    rows = [
+        list(key_tuple) + [vocab.random_number(rng) for _ in extra_names]
+        for key_tuple in key_tuples
+    ]
+    table = Table(table_id=table_id, name=name, columns=columns, rows=rows)
+    return QueryTable(table=table, key_columns=key_columns)
+
+
+def generate_movie_query(
+    table_id: int, rng: random.Random, cardinality: int = 100, name: str = "kaggle_movies"
+) -> QueryTable:
+    """Kaggle-IMDB-like query: key = <director name, movie title>."""
+    pairs: set[tuple[str, str]] = set()
+    while len(pairs) < cardinality:
+        pairs.add((vocab.full_name(rng), vocab.movie_title(rng)))
+    rows = [
+        [director, title, str(rng.randint(1950, 2021)), str(rng.randint(1, 10))]
+        for director, title in sorted(pairs)
+    ]
+    table = Table(
+        table_id=table_id,
+        name=name,
+        columns=["director name", "movie title", "title year", "imdb score"],
+        rows=rows,
+    )
+    return QueryTable(table=table, key_columns=["director name", "movie title"])
+
+
+def generate_airline_query(
+    table_id: int, rng: random.Random, cardinality: int = 60, name: str = "kaggle_airlines"
+) -> QueryTable:
+    """Kaggle-Airline-like query: key = <airline name, country>."""
+    pairs: set[tuple[str, str]] = set()
+    while len(pairs) < cardinality:
+        pairs.add((vocab.airline_name(rng), rng.choice(vocab.COUNTRIES)))
+    rows = [
+        [airline, country, str(rng.randint(1, 500)), rng.choice(("yes", "no"))]
+        for airline, country in sorted(pairs)
+    ]
+    table = Table(
+        table_id=table_id,
+        name=name,
+        columns=["airline name", "country", "fleet size", "active"],
+        rows=rows,
+    )
+    return QueryTable(table=table, key_columns=["airline name", "country"])
+
+
+def generate_school_query(
+    table_id: int,
+    rng: random.Random,
+    cardinality: int = 150,
+    extra_columns: int = 20,
+    name: str = "school_query",
+) -> QueryTable:
+    """School-corpus-like query: key = <program type, school name>, very wide."""
+    pairs: set[tuple[str, str]] = set()
+    while len(pairs) < cardinality:
+        pairs.add((rng.choice(vocab.SCHOOL_PROGRAMS), vocab.school_name(rng)))
+    extra_names = [f"metric_{i + 1}" for i in range(extra_columns)]
+    rows = [
+        [program, school] + [vocab.random_number(rng) for _ in extra_names]
+        for program, school in sorted(pairs)
+    ]
+    table = Table(
+        table_id=table_id,
+        name=name,
+        columns=["program type", "school name"] + extra_names,
+        rows=rows,
+    )
+    return QueryTable(table=table, key_columns=["program type", "school name"])
+
+
+def generate_sensor_query(
+    table_id: int, rng: random.Random, cardinality: int = 50, name: str = "air_quality"
+) -> QueryTable:
+    """The introduction's air-quality sensor table: key = <timestamp, location>."""
+    pairs: set[tuple[str, str]] = set()
+    while len(pairs) < cardinality:
+        pairs.add((vocab.random_timestamp(rng), rng.choice(vocab.CITIES)))
+    rows = [
+        [timestamp, location, f"{rng.uniform(1.0, 120.0):.1f}"]
+        for timestamp, location in sorted(pairs)
+    ]
+    table = Table(
+        table_id=table_id,
+        name=name,
+        columns=["timestamp", "location", "pollution ratio"],
+        rows=rows,
+    )
+    return QueryTable(table=table, key_columns=["timestamp", "location"])

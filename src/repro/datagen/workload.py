@@ -1,0 +1,262 @@
+"""Workload construction: the Table 1 query sets at laptop scale.
+
+Table 1 of the paper defines eight query-table collections (WT 10/100/1000,
+OD 100/1k/10k, Kaggle, School) characterised by the corpus they run against,
+their average cardinality, and their average joinability.  This module builds
+scaled-down but shape-preserving equivalents:
+
+* the corpus is generated from the matching
+  :class:`~repro.datagen.corpora.CorpusProfile`,
+* query tables are generated with the target cardinality,
+* joinable and distractor tables are planted so that (a) every query has a
+  non-trivial ground-truth top-k and (b) single-column probes retrieve many
+  false-positive rows.
+
+Cardinalities above a few thousand are scaled down (see
+:data:`TABLE1_SPECS`); the scaling factors are reported by the Table 1
+experiment so EXPERIMENTS.md can show paper-vs-built numbers side by side.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from ..datamodel import QueryTable, TableCorpus
+from .corpora import (
+    CorpusProfile,
+    OPEN_DATA_PROFILE,
+    SCHOOL_PROFILE,
+    SyntheticCorpusGenerator,
+    WEB_TABLE_PROFILE,
+)
+from .planting import PlantedTable, plant_distractor_table, plant_joinable_table
+from .queries import (
+    generate_airline_query,
+    generate_entity_query,
+    generate_movie_query,
+    generate_school_query,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one query-set workload (one row of Table 1)."""
+
+    name: str
+    corpus_profile: CorpusProfile
+    #: Number of query tables to generate.
+    num_queries: int
+    #: Target cardinality (number of distinct key tuples) of each query.
+    cardinality: int
+    #: Number of columns in the composite key.
+    key_size: int
+    #: Joinable tables planted per query (their joinability is spread between
+    #: 1 and the query cardinality).
+    joinable_tables_per_query: int = 4
+    #: Distractor tables planted per query (single-column matches only).
+    distractor_tables_per_query: int = 4
+    #: Scale factor applied to the corpus profile's table count.
+    corpus_scale: float = 1.0
+    #: The cardinality the paper reports for this query set (for reporting).
+    paper_cardinality: float = 0.0
+    #: The average joinability the paper reports (for reporting).
+    paper_joinability: float = 0.0
+    #: Optional specialised query generator (Kaggle / School sets).
+    query_kind: str = "entity"
+
+    def scaled(self, scale: float) -> "WorkloadSpec":
+        """Scale the corpus and query count (used by fast test configurations)."""
+        return replace(
+            self,
+            num_queries=max(1, int(self.num_queries * scale)),
+            corpus_scale=self.corpus_scale * scale,
+        )
+
+
+@dataclass
+class QueryWorkload:
+    """A generated workload: corpus + query tables + planting records."""
+
+    name: str
+    spec: WorkloadSpec
+    corpus: TableCorpus
+    queries: list[QueryTable]
+    planted: dict[int, list[PlantedTable]] = field(default_factory=dict)
+
+    def planted_for(self, query_index: int) -> list[PlantedTable]:
+        """Planting records of the ``query_index``-th query."""
+        return self.planted.get(query_index, [])
+
+    def average_cardinality(self) -> float:
+        """Average number of distinct key tuples across the queries."""
+        if not self.queries:
+            return 0.0
+        return sum(len(q.key_tuples()) for q in self.queries) / len(self.queries)
+
+    def average_planted_joinability(self) -> float:
+        """Average total planted joinability per query (Table 1's "Joinability")."""
+        if not self.queries:
+            return 0.0
+        totals = []
+        for index in range(len(self.queries)):
+            totals.append(
+                sum(p.planted_joinability for p in self.planted_for(index))
+            )
+        return sum(totals) / len(totals)
+
+
+#: Laptop-scale equivalents of the Table 1 query sets.  Cardinalities above
+#: ~300 are scaled down to keep pure-Python runtimes reasonable; the paper's
+#: numbers are retained in ``paper_cardinality`` / ``paper_joinability``.
+TABLE1_SPECS: dict[str, WorkloadSpec] = {
+    "WT_10": WorkloadSpec(
+        name="WT_10", corpus_profile=WEB_TABLE_PROFILE, num_queries=5,
+        cardinality=4, key_size=2, paper_cardinality=3, paper_joinability=4,
+    ),
+    "WT_100": WorkloadSpec(
+        name="WT_100", corpus_profile=WEB_TABLE_PROFILE, num_queries=5,
+        cardinality=16, key_size=2, paper_cardinality=16, paper_joinability=52,
+    ),
+    "WT_1000": WorkloadSpec(
+        name="WT_1000", corpus_profile=WEB_TABLE_PROFILE, num_queries=5,
+        cardinality=100, key_size=3, paper_cardinality=151, paper_joinability=99,
+    ),
+    "OD_100": WorkloadSpec(
+        name="OD_100", corpus_profile=OPEN_DATA_PROFILE, num_queries=5,
+        cardinality=15, key_size=2, paper_cardinality=15, paper_joinability=40,
+    ),
+    "OD_1000": WorkloadSpec(
+        name="OD_1000", corpus_profile=OPEN_DATA_PROFILE, num_queries=5,
+        cardinality=120, key_size=2, joinable_tables_per_query=5,
+        paper_cardinality=263, paper_joinability=1434,
+    ),
+    "OD_10000": WorkloadSpec(
+        name="OD_10000", corpus_profile=OPEN_DATA_PROFILE, num_queries=5,
+        cardinality=250, key_size=3, joinable_tables_per_query=6,
+        paper_cardinality=2455, paper_joinability=8187,
+    ),
+    "Kaggle": WorkloadSpec(
+        name="Kaggle", corpus_profile=WEB_TABLE_PROFILE, num_queries=4,
+        cardinality=200, key_size=2, joinable_tables_per_query=5,
+        paper_cardinality=34400, paper_joinability=2318, query_kind="kaggle",
+    ),
+    "School": WorkloadSpec(
+        name="School", corpus_profile=SCHOOL_PROFILE, num_queries=3,
+        cardinality=150, key_size=2, joinable_tables_per_query=5,
+        paper_cardinality=3100, paper_joinability=15130, query_kind="school",
+    ),
+}
+
+#: The six query sets shown in Figure 4 (systems comparison).
+FIGURE4_WORKLOADS: tuple[str, ...] = (
+    "WT_10", "WT_100", "WT_1000", "OD_100", "OD_1000", "OD_10000",
+)
+
+#: All eight query sets of Tables 2 and 3.
+TABLE2_WORKLOADS: tuple[str, ...] = tuple(TABLE1_SPECS)
+
+
+def _make_query(
+    spec: WorkloadSpec, query_index: int, rng: random.Random
+) -> QueryTable:
+    """Generate one query table according to the spec's query kind."""
+    table_id = 1_000_000 + query_index  # ids outside any corpus range
+    if spec.query_kind == "kaggle":
+        if query_index % 2 == 0:
+            return generate_movie_query(table_id, rng, cardinality=spec.cardinality)
+        return generate_airline_query(table_id, rng, cardinality=spec.cardinality)
+    if spec.query_kind == "school":
+        return generate_school_query(table_id, rng, cardinality=spec.cardinality)
+    return generate_entity_query(
+        table_id,
+        rng,
+        cardinality=spec.cardinality,
+        key_size=spec.key_size,
+        name=f"{spec.name}_query_{query_index}",
+    )
+
+
+def build_workload(
+    spec: WorkloadSpec | str,
+    seed: int = 0,
+    num_queries: int | None = None,
+    corpus_scale: float | None = None,
+) -> QueryWorkload:
+    """Build one workload: corpus, query tables, and planted candidates."""
+    if isinstance(spec, str):
+        spec = TABLE1_SPECS[spec]
+    if num_queries is not None or corpus_scale is not None:
+        spec = replace(
+            spec,
+            num_queries=num_queries if num_queries is not None else spec.num_queries,
+            corpus_scale=corpus_scale if corpus_scale is not None else spec.corpus_scale,
+        )
+    rng = random.Random(seed)
+    profile = spec.corpus_profile
+    if spec.corpus_scale != 1.0:
+        profile = profile.scaled(spec.corpus_scale)
+    corpus = SyntheticCorpusGenerator(profile=profile, seed=seed).generate(
+        name=f"{spec.name}_corpus"
+    )
+
+    queries: list[QueryTable] = []
+    planted: dict[int, list[PlantedTable]] = {}
+    for query_index in range(spec.num_queries):
+        query = _make_query(spec, query_index, rng)
+        queries.append(query)
+        records: list[PlantedTable] = []
+        cardinality = max(len(query.key_tuples()), 1)
+        for plant_index in range(spec.joinable_tables_per_query):
+            # Spread planted joinability between ~20% and 100% of the query
+            # cardinality so the top-k has a meaningful ordering.  Partial
+            # (single-value) rows outnumber the joinable rows, mirroring the
+            # paper's observation that single-column probes retrieve orders of
+            # magnitude more irrelevant rows than joinable ones.
+            fraction = 0.2 + 0.8 * (plant_index + 1) / spec.joinable_tables_per_query
+            joinability = max(1, int(cardinality * fraction))
+            records.append(
+                plant_joinable_table(
+                    corpus,
+                    query,
+                    rng,
+                    joinability=joinability,
+                    noise_rows=rng.randint(5, 15),
+                    partial_rows=min(rng.randint(1, 3) * cardinality, 400),
+                )
+            )
+        for _ in range(spec.distractor_tables_per_query):
+            records.append(
+                plant_distractor_table(
+                    corpus,
+                    query,
+                    rng,
+                    matching_rows=min(rng.randint(2, 5) * cardinality, 600),
+                    noise_rows=rng.randint(5, 15),
+                )
+            )
+        planted[query_index] = records
+
+    return QueryWorkload(
+        name=spec.name, spec=spec, corpus=corpus, queries=queries, planted=planted
+    )
+
+
+def build_all_table1_workloads(
+    seed: int = 0,
+    num_queries: int | None = None,
+    corpus_scale: float | None = None,
+    names: tuple[str, ...] | None = None,
+) -> dict[str, QueryWorkload]:
+    """Build every (selected) Table 1 workload; returns a name-keyed dict."""
+    selected = names or tuple(TABLE1_SPECS)
+    return {
+        name: build_workload(
+            TABLE1_SPECS[name],
+            seed=seed + offset,
+            num_queries=num_queries,
+            corpus_scale=corpus_scale,
+        )
+        for offset, name in enumerate(selected)
+    }

@@ -1,0 +1,22 @@
+"""Relational data model: tables, rows, query tables, and corpora."""
+
+from .corpus import CorpusStatistics, TableCorpus
+from .table import (
+    MISSING,
+    QueryTable,
+    Row,
+    Table,
+    normalize_value,
+    table_from_dicts,
+)
+
+__all__ = [
+    "MISSING",
+    "CorpusStatistics",
+    "QueryTable",
+    "Row",
+    "Table",
+    "TableCorpus",
+    "normalize_value",
+    "table_from_dicts",
+]

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the MATE reproduction library.
+
+All library-specific errors derive from :class:`MateError` so that callers can
+catch a single exception type at API boundaries while still being able to
+distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class MateError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(MateError):
+    """Raised when a :class:`repro.config.MateConfig` is invalid."""
+
+
+class DataModelError(MateError):
+    """Raised for malformed tables, columns, rows, or query specifications."""
+
+
+class CorpusError(MateError):
+    """Raised when an operation references a table that is not in the corpus."""
+
+
+class IndexError_(MateError):
+    """Raised for inconsistent inverted-index operations.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`.
+    """
+
+
+class StorageError(MateError):
+    """Raised by storage backends for persistence failures."""
+
+
+class HashingError(MateError):
+    """Raised when a hash function is misconfigured or misused."""
+
+
+class DiscoveryError(MateError):
+    """Raised when a discovery run is invoked with invalid inputs."""
+
+
+class ExperimentError(MateError):
+    """Raised by the experiment harness for invalid experiment setups."""

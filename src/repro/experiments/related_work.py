@@ -1,0 +1,120 @@
+"""Related-work comparison: MATE vs the prefix-tree index of Li et al. [24].
+
+The paper's related-work section argues that the prefix-tree approach "is not
+scalable to data lakes" because it "assumes that the one-to-one mapping
+between the composite key columns and the columns in the candidate tables is
+apriori known".  This experiment measures both halves of that argument on the
+same workloads:
+
+* with the mapping *unknown* (the data-lake situation), the prefix-tree
+  baseline must enumerate every ordered column mapping per candidate table —
+  the ``P(|T'|, |Q|)`` factor of Eq. 3 — and its runtime reflects that;
+* MATE answers the same query from the single-attribute index plus the
+  super-key filter, without enumerating mappings.
+
+Both engines return the same top-k (the prefix tree is exhaustive), so the
+result agreement doubles as a correctness cross-check.
+"""
+
+from __future__ import annotations
+
+from ..baselines import PrefixTreeDiscovery
+from .runner import ExperimentResult, ExperimentSettings, build_context, run_mate, run_system
+
+#: Query sets used by default: small web-table workloads where the factorial
+#: enumeration is still tractable enough to measure.
+DEFAULT_RELATED_WORK_WORKLOADS: tuple[str, ...] = ("WT_10", "WT_100")
+
+
+def run_related_work(
+    settings: ExperimentSettings | None = None,
+    workload_names: tuple[str, ...] = DEFAULT_RELATED_WORK_WORKLOADS,
+    hash_size: int = 128,
+    max_candidate_columns: int = 16,
+) -> ExperimentResult:
+    """Compare MATE and the prefix-tree baseline per query set.
+
+    ``max_candidate_columns`` defaults to 16 so that every planted joinable
+    table (whose width stays below that) is evaluated by the prefix tree;
+    only the random wide-table tail of the corpus is skipped.
+    """
+    settings = settings or ExperimentSettings()
+
+    rows: list[list[object]] = []
+    for offset, workload_name in enumerate(workload_names):
+        context = build_context(workload_name, settings, seed_offset=offset)
+        mate = run_mate(context, "xash", hash_size, label="mate")
+
+        prefix_engine = PrefixTreeDiscovery(
+            context.workload.corpus,
+            config=context.config(hash_size),
+            max_candidate_columns=max_candidate_columns,
+        )
+        prefix = run_system(
+            context,
+            lambda _context, _hash_size: prefix_engine,
+            label="prefix-tree",
+            hash_size=hash_size,
+        )
+
+        # Agreement is measured on the best joinability among the tables the
+        # prefix tree could afford to evaluate: anything wider than
+        # ``max_candidate_columns`` is out of its reach by construction (that
+        # inability is the related-work critique being measured), so MATE's
+        # hits on those tables are excluded from the comparison.
+        corpus = context.workload.corpus
+        matches = 0
+        for mate_result, prefix_result in zip(mate.results, prefix.results):
+            mate_best = max(
+                (
+                    joinability
+                    for table_id, joinability in mate_result.result_tuples()
+                    if corpus.get_table(table_id).num_columns
+                    <= max_candidate_columns
+                ),
+                default=0,
+            )
+            prefix_best = max(
+                (j for _, j in prefix_result.result_tuples()), default=0
+            )
+            if mate_best == prefix_best:
+                matches += 1
+        num_queries = max(len(context.queries), 1)
+        mappings = prefix.counters.extra.get("mappings_evaluated", 0.0)
+        skipped = prefix.counters.extra.get("tables_skipped_too_wide", 0.0)
+        slowdown = (
+            prefix.mean_runtime / mate.mean_runtime if mate.mean_runtime > 0 else 0.0
+        )
+        rows.append(
+            [
+                workload_name,
+                round(mate.mean_runtime, 4),
+                round(prefix.mean_runtime, 4),
+                round(slowdown, 1),
+                int(mappings / num_queries),
+                int(skipped),
+                f"{matches}/{num_queries}",
+            ]
+        )
+    return ExperimentResult(
+        name="Related work: MATE vs prefix-tree (Li et al.) n-ary joinability",
+        headers=[
+            "query set",
+            "mate runtime (s)",
+            "prefix-tree runtime (s)",
+            "slowdown",
+            "avg mappings enumerated",
+            "tables skipped (too wide)",
+            "best-score agreement (evaluable tables)",
+        ],
+        rows=rows,
+        notes=[
+            "Expected shape: without a known column mapping the prefix-tree "
+            "baseline enumerates P(|T'|, |Q|) mappings per candidate table "
+            "and is substantially slower than MATE, while (being exhaustive "
+            "over the mappings it can afford) it finds the same best "
+            "joinability as MATE on the tables narrow enough for it to "
+            "evaluate; wide joinable tables are simply out of its reach, "
+            "which is the §8 critique in measurable form.",
+        ],
+    )

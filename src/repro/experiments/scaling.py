@@ -1,0 +1,81 @@
+"""Corpus-size scaling study (extension beyond the paper's figures).
+
+The paper argues that MATE's advantage over the unfiltered SCR adaptation
+grows with the number of false-positive rows, which in turn grows with the
+corpus (Section 7.2: "Performance gain of Mate over SCR-based approaches
+depends on the number of FP rows").  The evaluation varies the *query*
+cardinality (Figure 4) but keeps each corpus fixed; this experiment varies
+the corpus size directly and reports, per scale factor, the FP pressure and
+the runtime of MATE and SCR.
+
+Expected shape: FP rows grow roughly linearly with the corpus scale, SCR's
+runtime grows with them, and MATE's relative advantage widens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .runner import ExperimentResult, ExperimentSettings, build_context, run_mate
+
+#: Corpus scale factors swept by default (multiples of the settings' scale).
+DEFAULT_SCALE_FACTORS: tuple[float, ...] = (0.5, 1.0, 2.0)
+
+
+def run_scaling(
+    settings: ExperimentSettings | None = None,
+    workload_name: str = "WT_100",
+    scale_factors: tuple[float, ...] = DEFAULT_SCALE_FACTORS,
+    hash_size: int = 128,
+) -> ExperimentResult:
+    """Measure MATE vs SCR as the corpus grows.
+
+    ``scale_factors`` multiply the corpus scale configured in ``settings``;
+    the query set itself is held fixed so only the corpus-side FP pressure
+    changes.
+    """
+    settings = settings or ExperimentSettings()
+
+    rows: list[list[object]] = []
+    for factor in scale_factors:
+        scaled_settings = replace(
+            settings, corpus_scale=settings.corpus_scale * factor
+        )
+        context = build_context(workload_name, scaled_settings)
+        corpus_tables = len(context.workload.corpus)
+        mate = run_mate(context, "xash", hash_size, label="mate")
+        scr = run_mate(
+            context, "xash", hash_size, row_filter_mode="none", label="scr"
+        )
+        speedup = (
+            scr.mean_runtime / mate.mean_runtime if mate.mean_runtime > 0 else 0.0
+        )
+        rows.append(
+            [
+                factor,
+                corpus_tables,
+                round(mate.mean_runtime, 4),
+                round(scr.mean_runtime, 4),
+                round(speedup, 2),
+                mate.counters.false_positive_rows,
+                scr.counters.rows_passed_filter,
+            ]
+        )
+    return ExperimentResult(
+        name=f"Scaling study: corpus size sweep on {workload_name}",
+        headers=[
+            "scale factor",
+            "corpus tables",
+            "mate runtime (s)",
+            "scr runtime (s)",
+            "scr/mate",
+            "mate FP rows",
+            "scr unfiltered rows",
+        ],
+        rows=rows,
+        notes=[
+            "Expected shape: the number of candidate rows SCR must verify "
+            "grows with the corpus, and MATE's speed-up over SCR widens (or "
+            "at least does not shrink) as the corpus grows.",
+        ],
+    )

@@ -1,0 +1,149 @@
+"""Short-key-value study: plain XASH vs the bigram-extended variant (§9).
+
+The paper's conclusion identifies short key values as the case where XASH
+"cannot use its optimal potential": a two-character country code sets at most
+two character bits, so many unrelated short values collide under
+OR-aggregation.  This experiment builds a workload whose composite keys are
+made of short codes and measures the row-filter precision and runtime of
+
+* plain ``xash`` (the paper's hash),
+* ``xash_short`` (the bigram-extended variant of
+  :mod:`repro.hashing.short_values`), and
+* the bloom-filter baseline for reference.
+
+Expected shape: on short-key workloads ``xash_short`` filters at least as
+well as plain XASH (strictly better when the key values leave budget unused);
+on ordinary workloads the two behave identically because the bigram path
+never triggers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core import MateDiscovery
+from ..datagen import OPEN_DATA_PROFILE, SyntheticCorpusGenerator
+from ..datagen.planting import plant_distractor_table, plant_joinable_table
+from ..datamodel import QueryTable, Table, TableCorpus
+from ..index import IndexBuilder
+from ..metrics import summarize_precision
+from .runner import ExperimentResult, ExperimentSettings
+
+#: Hash functions compared, in report order.
+SHORT_VALUE_HASHES: tuple[str, ...] = ("xash", "xash_short", "bloom")
+
+#: Alphabet used for the short codes (letters only, like ISO country codes).
+_CODE_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _random_code(rng: random.Random, min_length: int, max_length: int) -> str:
+    length = rng.randint(min_length, max_length)
+    return "".join(rng.choice(_CODE_ALPHABET) for _ in range(length))
+
+
+def build_short_value_scenario(
+    settings: ExperimentSettings,
+    cardinality: int = 60,
+    code_length: tuple[int, int] = (2, 3),
+    key_size: int = 2,
+) -> tuple[TableCorpus, list[QueryTable]]:
+    """Build a corpus and queries whose composite keys are short codes.
+
+    The corpus is an open-data-profile corpus (wide tables, so super keys
+    aggregate many values) into which joinable and distractor tables are
+    planted for every query; the query key columns hold 2-3 character codes,
+    the regime the paper flags as hard for XASH.
+    """
+    rng = random.Random(settings.seed)
+    profile = OPEN_DATA_PROFILE.scaled(settings.corpus_scale)
+    corpus = SyntheticCorpusGenerator(profile=profile, seed=settings.seed).generate(
+        name="short_value_corpus"
+    )
+
+    queries: list[QueryTable] = []
+    for query_index in range(settings.num_queries):
+        code_pool = list({
+            _random_code(rng, *code_length) for _ in range(cardinality * 3)
+        })
+        rng.shuffle(code_pool)
+        rows = []
+        for row_index in range(cardinality):
+            rows.append(
+                [
+                    code_pool[row_index % len(code_pool)],
+                    code_pool[(row_index * 7 + 1) % len(code_pool)],
+                    str(rng.randint(0, 10_000)),
+                ]
+            )
+        table = Table(
+            table_id=4_000_000 + query_index,
+            name=f"short_value_query_{query_index}",
+            columns=["code_a", "code_b", "measure"],
+            rows=rows,
+        )
+        query = QueryTable(table=table, key_columns=["code_a", "code_b"][:key_size])
+        queries.append(query)
+        for plant_index in range(3):
+            plant_joinable_table(
+                corpus,
+                query,
+                rng,
+                joinability=max(2, cardinality // (plant_index + 2)),
+                noise_rows=rng.randint(5, 15),
+                partial_rows=cardinality,
+            )
+        for _ in range(3):
+            plant_distractor_table(
+                corpus,
+                query,
+                rng,
+                matching_rows=2 * cardinality,
+                noise_rows=rng.randint(5, 15),
+            )
+    return corpus, queries
+
+
+def run_short_values(
+    settings: ExperimentSettings | None = None,
+    hash_size: int = 128,
+    hashes: tuple[str, ...] = SHORT_VALUE_HASHES,
+    cardinality: int = 60,
+) -> ExperimentResult:
+    """Compare hash functions on a short-key-value workload."""
+    settings = settings or ExperimentSettings()
+    corpus, queries = build_short_value_scenario(settings, cardinality=cardinality)
+
+    rows: list[list[object]] = []
+    for hash_name in hashes:
+        config = settings.config(
+            hash_size, bloom_values_per_row=corpus.average_columns_per_table()
+        )
+        index = IndexBuilder(config=config, hash_function_name=hash_name).build(corpus)
+        engine = MateDiscovery(
+            corpus, index, config=config, hash_function_name=hash_name
+        )
+        results = [engine.discover(query, k=settings.k) for query in queries]
+        precision = summarize_precision([r.precision for r in results])
+        false_positives = sum(r.counters.false_positive_rows for r in results)
+        runtime = sum(r.runtime_seconds for r in results) / max(len(results), 1)
+        rows.append(
+            [
+                hash_name,
+                round(precision.mean, 3),
+                round(precision.std, 3),
+                false_positives,
+                round(runtime, 4),
+            ]
+        )
+    return ExperimentResult(
+        name="Short key values: XASH vs bigram-extended XASH vs BF",
+        headers=["hash", "precision", "std", "FP rows", "runtime (s)"],
+        rows=rows,
+        notes=[
+            "Expected shape: on composite keys made of 2-3 character codes, "
+            "plain xash under-uses its bit budget — this is exactly the §9 "
+            "weakness, and it can even fall behind the bloom filter here — "
+            "while xash_short recovers most of the lost precision by "
+            "spending the unused budget on bigrams.",
+        ],
+    )

@@ -1,0 +1,55 @@
+"""Extensions beyond the paper's core experiments.
+
+The paper's introduction sketches two further applications of the super-key
+machinery — duplicate table detection and table union search — and Section 9
+lists similarity joins as future work; Section 1 also motivates the need for
+composite keys that are undocumented in the corpus.  The modules here
+implement all four so downstream users can build on them; they are clearly
+separated from the reproduction of the paper's own evaluation:
+
+* :mod:`repro.extensions.duplicates`     — duplicate rows / tables,
+* :mod:`repro.extensions.union_search`   — table union search,
+* :mod:`repro.extensions.similarity`     — similarity (fuzzy) joins,
+* :mod:`repro.extensions.key_discovery`  — composite-key (UCC) suggestions.
+"""
+
+from .duplicates import (
+    DuplicateRowPair,
+    DuplicateTableResult,
+    find_duplicate_rows,
+    find_duplicate_tables,
+)
+from .key_discovery import (
+    KeyCandidate,
+    discover_key_candidates,
+    evaluate_combination,
+    rank_key_candidates,
+    suggest_query,
+)
+from .similarity import (
+    SimilarityJoinDiscovery,
+    SimilarityTableResult,
+    SimilarRowMatch,
+    levenshtein_distance,
+    xash_similarity,
+)
+from .union_search import UnionCandidate, UnionSearch
+
+__all__ = [
+    "DuplicateRowPair",
+    "DuplicateTableResult",
+    "KeyCandidate",
+    "SimilarRowMatch",
+    "SimilarityJoinDiscovery",
+    "SimilarityTableResult",
+    "UnionCandidate",
+    "UnionSearch",
+    "discover_key_candidates",
+    "evaluate_combination",
+    "find_duplicate_rows",
+    "find_duplicate_tables",
+    "levenshtein_distance",
+    "rank_key_candidates",
+    "suggest_query",
+    "xash_similarity",
+]

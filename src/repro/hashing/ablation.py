@@ -1,0 +1,107 @@
+"""XASH component ablations for the Figure 5 experiment.
+
+Figure 5 measures the precision of MATE's row filter when only subsets of
+XASH's features are active:
+
+* ``xash_length``        — only the value-length bit,
+* ``xash_rare``          — only the rare-character bits (no position, no
+  length, no rotation),
+* ``xash_char_loc``      — rare characters + their positions,
+* ``xash_char_len_loc``  — rare characters + positions + length, but no
+  rotation (the paper's "Char. + len. + loc."),
+* ``xash``               — the full hash (registered in
+  :mod:`repro.hashing.xash`).
+
+Each variant simply forces the corresponding ablation switches on the shared
+:class:`~repro.config.MateConfig` before delegating to the normal XASH code
+path, so the bit layout stays identical and only the feature set changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import MateConfig
+from .base import register_hash_function
+from .xash import XashHashFunction
+
+
+class _AblatedXash(XashHashFunction):
+    """Base class that rewrites the ablation switches of the config."""
+
+    #: Overrides applied to the configuration, set by subclasses.
+    overrides: dict[str, bool] = {}
+
+    def __init__(self, config: MateConfig):
+        super().__init__(replace(config, **self.overrides))
+
+
+@register_hash_function("xash_length")
+class LengthOnlyXash(_AblatedXash):
+    """Only the length segment is populated ("Length" bar in Figure 5)."""
+
+    name = "xash_length"
+    overrides = {
+        "use_rare_characters": False,
+        "encode_location": False,
+        "encode_length": True,
+        "rotation": False,
+    }
+
+    def hash_value(self, value: str) -> int:
+        if value == "":
+            return 0
+        length = len(value)
+        if self.length_segment_bits <= 0:
+            return 0
+        return 1 << (self.char_region_bits + length % self.length_segment_bits)
+
+
+@register_hash_function("xash_rare")
+class RareCharactersXash(_AblatedXash):
+    """Rare-character bits only ("Rare characters" bar in Figure 5)."""
+
+    name = "xash_rare"
+    overrides = {
+        "use_rare_characters": True,
+        "encode_location": False,
+        "encode_length": False,
+        "rotation": False,
+    }
+
+
+@register_hash_function("xash_char_loc")
+class CharacterLocationXash(_AblatedXash):
+    """Rare characters + positions ("Char. + loc." bar in Figure 5)."""
+
+    name = "xash_char_loc"
+    overrides = {
+        "use_rare_characters": True,
+        "encode_location": True,
+        "encode_length": False,
+        "rotation": False,
+    }
+
+
+@register_hash_function("xash_char_len_loc")
+class CharacterLengthLocationXash(_AblatedXash):
+    """Everything except rotation ("Char. + len. + loc." bar in Figure 5)."""
+
+    name = "xash_char_len_loc"
+    overrides = {
+        "use_rare_characters": True,
+        "encode_location": True,
+        "encode_length": True,
+        "rotation": False,
+    }
+
+
+#: The Figure 5 bars in presentation order (the "SCI"/no-filter and "Ideal"
+#: bars are produced by the experiment harness, not by a hash function).
+FIGURE5_VARIANTS: tuple[str, ...] = (
+    "xash_length",
+    "xash_rare",
+    "xash_char_loc",
+    "xash_char_len_loc",
+    "xash",
+)

@@ -1,0 +1,155 @@
+"""Analytical collision / false-positive models (Section 6.4 of the paper).
+
+The paper compares XASH against the less-hashing bloom filter analytically:
+
+* the probability that two random words collide under an ``|a|``-bit LHBF is
+  ``2 / (|a| * (|a| - 1))``;
+* under XASH a collision requires the same ``K`` rare characters in the same
+  relative positions *and* (when the length feature is enabled) the same
+  length bucket, giving ``1/(17 * 3) * prod_i 1/((37 - i) * beta)``-style
+  probabilities.
+
+These closed forms are implemented here, together with a simple saturation
+model for OR-aggregated super keys that explains the Table 2/3 behaviour of
+the dense (uniform) hashes: once a row's super key has most bits set, any key
+hash is covered and the filter stops filtering.  The ablation benchmark uses
+these functions to sanity-check the measured trends against theory.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import MateConfig
+from ..exceptions import HashingError
+
+
+def lhbf_pairwise_collision_probability(hash_size: int) -> float:
+    """Probability that two random values collide under a 2-hash LHBF.
+
+    This is the ``2 / (|a| * (|a| - 1))`` term of Section 6.4.
+    """
+    if hash_size < 2:
+        raise HashingError("hash_size must be at least 2")
+    return 2.0 / (hash_size * (hash_size - 1))
+
+
+def xash_pairwise_collision_probability(
+    config: MateConfig, include_length: bool = True
+) -> float:
+    """Probability that two random values produce identical XASH hashes.
+
+    Follows the Section 6.4 derivation: the second value must draw the same
+    ``K = alpha - 1`` (rare) characters out of the alphabet, each in the same
+    one of ``beta`` position buckets, and — when the length feature is active —
+    fall into the same of the ``|a_l|`` length buckets.
+    """
+    k = config.characters_per_value
+    alphabet_size = config.alphabet_size
+    beta = config.beta
+    if k >= alphabet_size:
+        raise HashingError("cannot encode more characters than the alphabet holds")
+    probability = 1.0
+    for i in range(k):
+        probability *= 1.0 / ((alphabet_size - i) * beta)
+    if include_length and config.length_segment_bits > 0:
+        probability *= 1.0 / config.length_segment_bits
+    return probability
+
+
+def expected_ones_per_value(hash_name: str, config: MateConfig) -> float:
+    """Expected number of 1-bits a single value contributes to a super key."""
+    from .base import create_hash_function
+    from .bloom import _BloomBase
+
+    hash_function = create_hash_function(hash_name, config)
+    if isinstance(hash_function, _BloomBase):
+        return float(hash_function.num_hashes)
+    if hash_name.startswith("xash"):
+        ones = 0.0
+        if config.encode_length and hash_name != "xash_rare" and hash_name != "xash_char_loc":
+            ones += 1.0
+        if hash_name != "xash_length":
+            ones += config.characters_per_value
+        return ones
+    # Uniform hashes set roughly half the bits.
+    return config.hash_size / 2.0
+
+
+def super_key_saturation(
+    bits_per_value: float, values_per_row: int, hash_size: int
+) -> float:
+    """Expected fraction of super-key bits set after OR-aggregating a row.
+
+    Standard occupancy model: each of the ``values_per_row * bits_per_value``
+    draws hits a uniformly random bit, so the fill fraction is
+    ``1 - (1 - 1/|a|)^(draws)``.
+    """
+    if hash_size <= 0:
+        raise HashingError("hash_size must be positive")
+    if bits_per_value < 0 or values_per_row < 0:
+        raise HashingError("bits_per_value and values_per_row must be non-negative")
+    draws = bits_per_value * values_per_row
+    return 1.0 - (1.0 - 1.0 / hash_size) ** draws
+
+
+def expected_false_positive_rate(
+    bits_per_value: float,
+    values_per_row: int,
+    key_size: int,
+    hash_size: int,
+) -> float:
+    """Probability that a non-matching row's super key covers a random key.
+
+    The key contributes ``key_size * bits_per_value`` (not necessarily
+    distinct) bits; each must already be set in the row's super key, whose
+    fill fraction comes from :func:`super_key_saturation`.
+    """
+    saturation = super_key_saturation(bits_per_value, values_per_row, hash_size)
+    key_bits = max(key_size * bits_per_value, 0.0)
+    return saturation ** key_bits
+
+
+def compare_filters_theoretically(
+    config: MateConfig, values_per_row: int, key_size: int
+) -> dict[str, float]:
+    """Return the theoretical FP rate of each filter family for a row shape.
+
+    Used by the ablation/analysis example to show *why* the dense hashes fail:
+    their per-value bit count saturates the super key long before the sparse
+    XASH encoding does.
+    """
+    results: dict[str, float] = {}
+    for name in ("xash", "bloom", "lhbf", "hashtable", "md5"):
+        bits = expected_ones_per_value(name, config)
+        results[name] = expected_false_positive_rate(
+            bits, values_per_row, key_size, config.hash_size
+        )
+    return results
+
+
+def break_even_row_width(config: MateConfig, key_size: int = 2) -> int:
+    """Smallest row width at which XASH's theoretical FP rate beats the bloom filter.
+
+    Scans row widths from 1 to 200; returns 201 if the bloom filter stays
+    ahead throughout (which happens when its ``V`` parameter matches the row
+    width exactly).
+    """
+    for width in range(1, 201):
+        rates = compare_filters_theoretically(config, width, key_size)
+        if rates["xash"] <= rates["bloom"]:
+            return width
+    return 201
+
+
+def theoretical_summary(config: MateConfig) -> dict[str, float]:
+    """Bundle the §6.4 quantities for reporting (used by the docs example)."""
+    return {
+        "alpha": float(config.alpha),
+        "beta": float(config.beta),
+        "length_segment_bits": float(config.length_segment_bits),
+        "xash_collision_probability": xash_pairwise_collision_probability(config),
+        "lhbf_collision_probability": lhbf_pairwise_collision_probability(
+            config.hash_size
+        ),
+    }

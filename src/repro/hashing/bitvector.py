@@ -1,0 +1,138 @@
+"""Fixed-width bit-vector helpers.
+
+Super keys and per-value hashes are represented as plain Python integers
+interpreted as bit vectors of a fixed width (the configured hash size).  This
+module collects the small bit-manipulation primitives the rest of the hashing
+package builds on:
+
+* masking to a width,
+* circular rotation inside an arbitrary-width region (Section 5.3.5),
+* population count,
+* the subsumption check used by the row filter (Section 6.3): a query super
+  key ``q`` is *covered* by a row super key ``r`` iff ``q OR r == r``.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import HashingError
+
+
+def mask(width: int) -> int:
+    """Return a bit mask with the lowest ``width`` bits set.
+
+    >>> bin(mask(4))
+    '0b1111'
+    """
+    if width < 0:
+        raise HashingError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to its lowest ``width`` bits."""
+    return value & mask(width)
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits in ``value``.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if value < 0:
+        raise HashingError("popcount is only defined for non-negative integers")
+    return value.bit_count()
+
+
+def set_bit(value: int, index: int) -> int:
+    """Return ``value`` with bit ``index`` (0 = least significant) set."""
+    if index < 0:
+        raise HashingError(f"bit index must be non-negative, got {index}")
+    return value | (1 << index)
+
+
+def get_bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 or 1)."""
+    if index < 0:
+        raise HashingError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def rotate_left(value: int, shift: int, width: int) -> int:
+    """Circularly rotate the lowest ``width`` bits of ``value`` left by ``shift``.
+
+    Bits that fall off the most-significant end re-enter at the
+    least-significant end, exactly as described for the XASH rotation step
+    (Section 5.3.5).  Bits above ``width`` must be zero.
+
+    >>> bin(rotate_left(0b0110, 1, 4))
+    '0b1100'
+    >>> bin(rotate_left(0b1100, 1, 4))
+    '0b1001'
+    """
+    if width <= 0:
+        raise HashingError(f"width must be positive, got {width}")
+    if value >> width:
+        raise HashingError(
+            f"value {value:#x} does not fit into {width} bits"
+        )
+    shift %= width
+    if shift == 0:
+        return value
+    region = mask(width)
+    return ((value << shift) | (value >> (width - shift))) & region
+
+
+def rotate_right(value: int, shift: int, width: int) -> int:
+    """Circularly rotate the lowest ``width`` bits of ``value`` right by ``shift``."""
+    if width <= 0:
+        raise HashingError(f"width must be positive, got {width}")
+    shift %= width
+    return rotate_left(value, width - shift, width) if shift else value
+
+
+def subsumes(superset: int, subset: int) -> bool:
+    """Return ``True`` iff every set bit of ``subset`` is also set in ``superset``.
+
+    This is the row-filtering predicate of Section 6.3: a candidate row with
+    super key ``superset`` may contain the query key whose super key is
+    ``subset`` iff ``subset | superset == superset``.
+
+    >>> subsumes(0b1110, 0b0110)
+    True
+    >>> subsumes(0b1110, 0b0001)
+    False
+    """
+    return subset & ~superset == 0
+
+
+def to_bit_string(value: int, width: int) -> str:
+    """Render ``value`` as a ``width``-character binary string (MSB first)."""
+    if value >> width:
+        raise HashingError(f"value {value:#x} does not fit into {width} bits")
+    return format(value, f"0{width}b")
+
+
+def from_bit_string(bits: str) -> int:
+    """Parse a binary string (MSB first) into an integer."""
+    if bits == "":
+        return 0
+    if any(c not in "01" for c in bits):
+        raise HashingError(f"invalid bit string: {bits!r}")
+    return int(bits, 2)
+
+
+def fold(value: int, width: int) -> int:
+    """Fold an arbitrarily long integer into ``width`` bits by XOR-ing chunks.
+
+    Used to shrink digests of standard hash functions (MD5, CityHash, ...)
+    onto the configured hash size without discarding entropy.
+    """
+    if width <= 0:
+        raise HashingError(f"width must be positive, got {width}")
+    folded = 0
+    region = mask(width)
+    while value:
+        folded ^= value & region
+        value >>= width
+    return folded

@@ -1,0 +1,122 @@
+"""Bloom-filter style baselines: BF, LHBF and the single-hash hash table.
+
+These are the "filter with post-processing" baselines of Section 7.1.2.  They
+share the super-key machinery with XASH — each cell value sets a small number
+of bits, rows are OR-aggregated — but choose the bits with general-purpose
+hash functions instead of syntactic features:
+
+* **BF** (``bloom``): a classic Bloom filter using ``H`` Murmur3-based hash
+  functions, where ``H = (|a| / V) * ln 2`` and ``V`` is the average number of
+  columns per corpus table (the number of values inserted per super key).
+* **LHBF** (``lhbf``): the Kirsch–Mitzenmacher "less hashing" construction
+  that derives all ``H`` probe positions from only two base hashes
+  ``g_i(x) = h1(x) + i * h2(x)``.
+* **HT** (``hashtable``): the degenerate one-bit-per-value case.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..config import MateConfig
+from ..exceptions import HashingError
+from .base import HashFunction, register_hash_function
+from .murmur import murmur3_32
+
+
+def optimal_number_of_hashes(hash_size: int, values_per_row: float) -> int:
+    """Return the optimal number of bloom-filter hash functions.
+
+    Uses the textbook formula ``H = (|a| / V) * ln 2`` (Section 7.1.2, citing
+    Fan et al.); always at least 1.
+    """
+    if hash_size <= 0:
+        raise HashingError(f"hash_size must be positive, got {hash_size}")
+    if values_per_row <= 0:
+        return 1
+    return max(1, round((hash_size / values_per_row) * math.log(2)))
+
+
+def false_positive_probability(
+    hash_size: int, inserted_values: int, num_hashes: int
+) -> float:
+    """Theoretical bloom-filter FP probability ``(1 - e^{-V*H/|a|})^H``."""
+    if hash_size <= 0 or num_hashes <= 0:
+        raise HashingError("hash_size and num_hashes must be positive")
+    if inserted_values <= 0:
+        return 0.0
+    exponent = -inserted_values * num_hashes / hash_size
+    return (1.0 - math.exp(exponent)) ** num_hashes
+
+
+class _BloomBase(HashFunction):
+    """Shared machinery for the bloom-filter family."""
+
+    def __init__(self, config: MateConfig, values_per_row: float | None = None):
+        super().__init__(config)
+        # ``V``: average number of values aggregated per super key.  Explicit
+        # argument > configuration > the paper's web-table default of 5.
+        if values_per_row is None:
+            values_per_row = config.bloom_values_per_row
+        self.values_per_row = float(values_per_row) if values_per_row else 5.0
+        self.num_hashes = self._number_of_hashes()
+
+    def _number_of_hashes(self) -> int:
+        raise NotImplementedError
+
+    def _positions(self, value: str) -> list[int]:
+        raise NotImplementedError
+
+    def hash_value(self, value: str) -> int:
+        if value == "":
+            return 0
+        result = 0
+        for position in self._positions(value):
+            result |= 1 << (position % self.hash_size)
+        return result
+
+
+@register_hash_function("bloom")
+class BloomFilterHashFunction(_BloomBase):
+    """Standard bloom filter with ``H`` independent Murmur3 seeds."""
+
+    name = "bloom"
+
+    def _number_of_hashes(self) -> int:
+        return optimal_number_of_hashes(self.hash_size, self.values_per_row)
+
+    def _positions(self, value: str) -> list[int]:
+        data = value.encode("utf-8")
+        return [
+            murmur3_32(data, seed=seed) % self.hash_size
+            for seed in range(self.num_hashes)
+        ]
+
+
+@register_hash_function("lhbf")
+class LessHashingBloomFilter(_BloomBase):
+    """Kirsch–Mitzenmacher less-hashing bloom filter (two base hashes)."""
+
+    name = "lhbf"
+
+    def _number_of_hashes(self) -> int:
+        return optimal_number_of_hashes(self.hash_size, self.values_per_row)
+
+    def _positions(self, value: str) -> list[int]:
+        data = value.encode("utf-8")
+        h1 = murmur3_32(data, seed=0)
+        h2 = murmur3_32(data, seed=0x5BD1E995) or 1
+        return [(h1 + i * h2) % self.hash_size for i in range(self.num_hashes)]
+
+
+@register_hash_function("hashtable")
+class HashTableHashFunction(_BloomBase):
+    """Single-hash baseline (HT in the paper): one bit per value."""
+
+    name = "hashtable"
+
+    def _number_of_hashes(self) -> int:
+        return 1
+
+    def _positions(self, value: str) -> list[int]:
+        return [murmur3_32(value.encode("utf-8"), seed=0xA1B2C3D4) % self.hash_size]

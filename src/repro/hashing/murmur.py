@@ -1,0 +1,177 @@
+"""Pure-Python MurmurHash3 implementation.
+
+The paper's bloom-filter baseline uses the Murmur3 family as its underlying
+hash (Section 7.1.2), and plain Murmur is itself one of the evaluated
+"standard" hash functions in Table 2.  No third-party package is available
+offline, so both the 32-bit (x86) and the 128-bit (x64) variants are
+implemented here from the reference algorithm, with the published test
+vectors checked in the test-suite.
+"""
+
+from __future__ import annotations
+
+from ..config import MateConfig
+from .base import HashFunction, register_hash_function
+from .bitvector import fold
+
+_MASK32 = 0xFFFFFFFF
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _rotl32(x: int, r: int) -> int:
+    return ((x << r) | (x >> (32 - r))) & _MASK32
+
+
+def _rotl64(x: int, r: int) -> int:
+    return ((x << r) | (x >> (64 - r))) & _MASK64
+
+
+def _fmix32(h: int) -> int:
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h
+
+
+def _fmix64(k: int) -> int:
+    k ^= k >> 33
+    k = (k * 0xFF51AFD7ED558CCD) & _MASK64
+    k ^= k >> 33
+    k = (k * 0xC4CEB9FE1A85EC53) & _MASK64
+    k ^= k >> 33
+    return k
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x86 32-bit of ``data`` with the given ``seed``.
+
+    >>> hex(murmur3_32(b""))
+    '0x0'
+    >>> hex(murmur3_32(b"hello", 0))
+    '0x248bfa47'
+    """
+    c1 = 0xCC9E2D51
+    c2 = 0x1B873593
+    length = len(data)
+    h1 = seed & _MASK32
+    rounded_end = (length & 0xFFFFFFFC)
+
+    for block_start in range(0, rounded_end, 4):
+        k1 = int.from_bytes(data[block_start:block_start + 4], "little")
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+        h1 ^= k1
+        h1 = _rotl32(h1, 13)
+        h1 = (h1 * 5 + 0xE6546B64) & _MASK32
+
+    k1 = 0
+    tail = length & 0x03
+    if tail >= 3:
+        k1 ^= data[rounded_end + 2] << 16
+    if tail >= 2:
+        k1 ^= data[rounded_end + 1] << 8
+    if tail >= 1:
+        k1 ^= data[rounded_end]
+        k1 = (k1 * c1) & _MASK32
+        k1 = _rotl32(k1, 15)
+        k1 = (k1 * c2) & _MASK32
+        h1 ^= k1
+
+    h1 ^= length
+    return _fmix32(h1)
+
+
+def murmur3_x64_128(data: bytes, seed: int = 0) -> int:
+    """MurmurHash3 x64 128-bit of ``data``, returned as a 128-bit integer."""
+    c1 = 0x87C37B91114253D5
+    c2 = 0x4CF5AD432745937F
+    length = len(data)
+    h1 = seed & _MASK64
+    h2 = seed & _MASK64
+    num_blocks = length // 16
+
+    for block in range(num_blocks):
+        offset = block * 16
+        k1 = int.from_bytes(data[offset:offset + 8], "little")
+        k2 = int.from_bytes(data[offset + 8:offset + 16], "little")
+
+        k1 = (k1 * c1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * c2) & _MASK64
+        h1 ^= k1
+        h1 = _rotl64(h1, 27)
+        h1 = (h1 + h2) & _MASK64
+        h1 = (h1 * 5 + 0x52DCE729) & _MASK64
+
+        k2 = (k2 * c2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * c1) & _MASK64
+        h2 ^= k2
+        h2 = _rotl64(h2, 31)
+        h2 = (h2 + h1) & _MASK64
+        h2 = (h2 * 5 + 0x38495AB5) & _MASK64
+
+    tail = data[num_blocks * 16:]
+    k1 = 0
+    k2 = 0
+    tail_length = len(tail)
+    if tail_length >= 9:
+        for i in range(min(tail_length, 16) - 1, 7, -1):
+            k2 = (k2 << 8) | tail[i]
+        k2 = (k2 * c2) & _MASK64
+        k2 = _rotl64(k2, 33)
+        k2 = (k2 * c1) & _MASK64
+        h2 ^= k2
+    if tail_length >= 1:
+        for i in range(min(tail_length, 8) - 1, -1, -1):
+            k1 = (k1 << 8) | tail[i]
+        k1 = (k1 * c1) & _MASK64
+        k1 = _rotl64(k1, 31)
+        k1 = (k1 * c2) & _MASK64
+        h1 ^= k1
+
+    h1 ^= length
+    h2 ^= length
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    h1 = _fmix64(h1)
+    h2 = _fmix64(h2)
+    h1 = (h1 + h2) & _MASK64
+    h2 = (h2 + h1) & _MASK64
+    return (h2 << 64) | h1
+
+
+def murmur3_string(value: str, seed: int = 0, bits: int = 128) -> int:
+    """Hash a string with Murmur3 and return a ``bits``-wide integer."""
+    data = value.encode("utf-8")
+    if bits <= 32:
+        return murmur3_32(data, seed) & ((1 << bits) - 1)
+    digest = murmur3_x64_128(data, seed)
+    if bits <= 128:
+        return fold(digest, bits)
+    combined = digest
+    produced = 128
+    while produced < bits:
+        seed += 1
+        combined |= murmur3_x64_128(data, seed) << produced
+        produced += 128
+    return combined & ((1 << bits) - 1)
+
+
+@register_hash_function("murmur")
+class MurmurHashFunction(HashFunction):
+    """Plain Murmur3 baseline (Table 2): digest folded onto the hash size.
+
+    Like every "standard" hash in the paper it produces roughly 50% 1-bits,
+    which is precisely why it performs poorly under OR-aggregation.
+    """
+
+    name = "murmur"
+
+    def hash_value(self, value: str) -> int:
+        if value == "":
+            return 0
+        return murmur3_string(value, seed=0x9747B28C, bits=self.hash_size)

@@ -1,0 +1,121 @@
+"""Short-value-aware XASH variant (the Section 9 future-work direction).
+
+The paper's conclusion notes that "Xash cannot use its optimal potential if
+cell values are too short": a value with fewer distinct characters than the
+per-value bit budget (``alpha - 1``) sets fewer 1-bits, so its hash carries
+less evidence and short key values (country codes, single digits, two-letter
+abbreviations) collide more often under OR-aggregation.
+
+:class:`ShortValueXashHashFunction` ("``xash_short``" in the registry) keeps
+the standard XASH behaviour for values that already exhaust the character
+budget and spends the *unused* budget of short values on character bigrams:
+
+* the distinct characters of the value are encoded exactly as in XASH;
+* if fewer than ``alpha - 1`` characters were encoded, adjacent character
+  pairs (bigrams) are mapped onto alphabet segments via a deterministic fold
+  and encoded with the same position rule until the budget is used up.
+
+The variant never sets more bits than plain XASH is allowed to (the Eq. 5
+budget still bounds the number of 1-bits), it is deterministic, and the
+no-false-negative argument is untouched because the row and the query value
+are hashed by the same function.  The ``short_values`` experiment measures
+what the extra evidence buys on a workload keyed by short codes.
+"""
+
+from __future__ import annotations
+
+from ..config import MateConfig
+from .base import register_hash_function
+from .bitvector import rotate_left
+from .xash import XashHashFunction
+
+
+def bigram_bucket(bigram: str, alphabet: str) -> str:
+    """Deterministically fold a character bigram onto one alphabet segment.
+
+    The fold must be stable across processes (no built-in ``hash``): it mixes
+    the two code points with distinct multipliers so that "ab" and "ba" land
+    in different buckets.
+
+    >>> bigram_bucket("ab", "abc") != bigram_bucket("ba", "abc")
+    True
+    """
+    if len(bigram) != 2:
+        raise ValueError(f"expected a 2-character bigram, got {bigram!r}")
+    mixed = ord(bigram[0]) * 31 + ord(bigram[1]) * 131
+    return alphabet[mixed % len(alphabet)]
+
+
+@register_hash_function("xash_short")
+class ShortValueXashHashFunction(XashHashFunction):
+    """XASH plus bigram evidence for values shorter than the bit budget."""
+
+    name = "xash_short"
+
+    def __init__(self, config: MateConfig):
+        super().__init__(config)
+
+    def hash_value(self, value: str) -> int:
+        """Hash a value; short values receive extra bigram bits."""
+        if value == "":
+            return 0
+        characters = self.normalized_characters(value)
+        length = len(characters)
+        budget = self.characters_per_value
+
+        selected = self.select_characters(characters)
+        character_region = 0
+        for character in selected:
+            segment = self._segment_of[character]
+            offset = self.character_location_bit(character, characters)
+            character_region |= 1 << (segment * self.beta + offset)
+
+        remaining_budget = budget - len(selected)
+        if remaining_budget > 0 and length >= 2:
+            character_region |= self._bigram_bits(characters, remaining_budget)
+
+        if self.config.rotation and character_region:
+            character_region = rotate_left(
+                character_region, length, self.char_region_bits
+            )
+
+        result = character_region
+        if self.config.encode_length and self.length_segment_bits > 0:
+            result |= 1 << (self.char_region_bits + length % self.length_segment_bits)
+        return result
+
+    # ------------------------------------------------------------------
+    # Bigram evidence for short values
+    # ------------------------------------------------------------------
+    def _bigram_bits(self, characters: list[str], budget: int) -> int:
+        """Encode up to ``budget`` adjacent bigrams of a short value."""
+        bits = 0
+        used = 0
+        length = len(characters)
+        for position in range(length - 1):
+            if used >= budget:
+                break
+            bigram = characters[position] + characters[position + 1]
+            bucket = bigram_bucket(bigram, self.alphabet)
+            segment = self._segment_of[bucket]
+            if self.beta == 1 or not self.config.encode_location:
+                offset = 0
+            else:
+                # Position of the bigram's first character, same rule as for
+                # single characters (Section 5.3.3).
+                import math
+
+                offset = min(
+                    max(math.ceil((position + 1) * self.beta / length), 1), self.beta
+                ) - 1
+            bit = 1 << (segment * self.beta + offset)
+            if bits & bit:
+                continue  # this bigram bucket/offset is already used
+            bits |= bit
+            used += 1
+        return bits
+
+    def is_short_value(self, value: str) -> bool:
+        """Whether ``value`` leaves part of the character budget unused."""
+        characters = self.normalized_characters(value)
+        return len(set(characters)) < self.characters_per_value

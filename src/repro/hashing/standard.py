@@ -1,0 +1,219 @@
+"""Standard cryptographic / general-purpose hash baselines (Table 2).
+
+The paper compares XASH against MD5, Google's CityHash, SimHash and Murmur
+used directly as super-key generators (no bloom-filter style post-processing).
+All of them approximate a uniform distribution over the hash space, so their
+outputs contain ~50% 1-bits and OR-aggregating a handful of them saturates the
+super key — the behaviour Table 2 and Table 3 demonstrate.
+
+Notes on substitutions:
+
+* **MD5** uses :mod:`hashlib` (always available).
+* **CityHash** — the original C++ library is not available offline; the
+  implementation below follows the CityHash64 structure (shift-mix / 128-to-64
+  multiply-xor finalisation) closely enough to preserve the statistical
+  behaviour that matters for the comparison.  This is documented as a
+  substitution in DESIGN.md.
+* **SimHash** is the classic Charikar construction over character trigrams
+  with MD5-derived feature hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..config import MateConfig
+from .base import HashFunction, register_hash_function
+from .bitvector import fold
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Constants from the CityHash reference implementation.
+_K0 = 0xC3A5C85C97CB3127
+_K1 = 0xB492B66FBE98F273
+_K2 = 0x9AE16A3B2F90404F
+_K_MUL = 0x9DDFEA08EB382D69
+
+
+def _shift_mix(value: int) -> int:
+    return (value ^ (value >> 47)) & _MASK64
+
+
+def _hash128_to_64(low: int, high: int) -> int:
+    """The Hash128to64 finaliser used throughout CityHash."""
+    a = ((low ^ high) * _K_MUL) & _MASK64
+    a ^= a >> 47
+    b = ((high ^ a) * _K_MUL) & _MASK64
+    b ^= b >> 47
+    b = (b * _K_MUL) & _MASK64
+    return b
+
+
+def _rotate64(value: int, shift: int) -> int:
+    if shift == 0:
+        return value
+    return ((value >> shift) | (value << (64 - shift))) & _MASK64
+
+
+def _fetch64(data: bytes, offset: int = 0) -> int:
+    return int.from_bytes(data[offset:offset + 8], "little")
+
+
+def _fetch32(data: bytes, offset: int = 0) -> int:
+    return int.from_bytes(data[offset:offset + 4], "little")
+
+
+def city_hash_64(data: bytes) -> int:
+    """A CityHash64-style hash of ``data`` (see module docstring)."""
+    length = len(data)
+    if length == 0:
+        return _K2
+    if length <= 16:
+        if length >= 8:
+            mul = (_K2 + length * 2) & _MASK64
+            a = (_fetch64(data, 0) + _K2) & _MASK64
+            b = _fetch64(data, length - 8)
+            c = (_rotate64(b, 37) * mul + a) & _MASK64
+            d = ((_rotate64(a, 25) + b) * mul) & _MASK64
+            return _hash128_to_64(c, d)
+        if length >= 4:
+            mul = (_K2 + length * 2) & _MASK64
+            a = _fetch32(data, 0)
+            return _hash128_to_64(
+                (length + (a << 3)) & _MASK64, _fetch32(data, length - 4)
+            )
+        a = data[0]
+        b = data[length >> 1]
+        c = data[length - 1]
+        y = (a + (b << 8)) & _MASK64
+        z = (length + (c << 2)) & _MASK64
+        return (_shift_mix((y * _K2) ^ (z * _K0)) * _K2) & _MASK64
+    if length <= 32:
+        mul = (_K2 + length * 2) & _MASK64
+        a = (_fetch64(data, 0) * _K1) & _MASK64
+        b = _fetch64(data, 8)
+        c = (_fetch64(data, length - 8) * mul) & _MASK64
+        d = (_fetch64(data, length - 16) * _K2) & _MASK64
+        return _hash128_to_64(
+            (_rotate64((a + b) & _MASK64, 43) + _rotate64(c, 30) + d) & _MASK64,
+            (a + _rotate64((b + _K2) & _MASK64, 18) + c) & _MASK64,
+        )
+    # Longer inputs: chunked mixing in the spirit of CityHash64's main loop.
+    state_x = (_fetch64(data, 0) * _K2) & _MASK64
+    state_y = _fetch64(data, 8)
+    for offset in range(16, length - 15, 16):
+        chunk_a = _fetch64(data, offset)
+        chunk_b = _fetch64(data, offset + 8)
+        state_x = _hash128_to_64(
+            (state_x + chunk_a) & _MASK64, _rotate64(state_y ^ chunk_b, 42)
+        )
+        state_y = (_rotate64(state_y + chunk_b, 44) * _K1) & _MASK64
+    tail_a = _fetch64(data, length - 16)
+    tail_b = _fetch64(data, length - 8)
+    return _hash128_to_64(
+        (_shift_mix((state_x + tail_a) * _K1) * _K1) & _MASK64,
+        (state_y + tail_b) & _MASK64,
+    )
+
+
+def city_hash_string(value: str, bits: int) -> int:
+    """Hash a string CityHash-style and widen/fold it to ``bits`` bits."""
+    data = value.encode("utf-8")
+    digest = city_hash_64(data)
+    if bits <= 64:
+        return fold(digest, bits)
+    combined = digest
+    produced = 64
+    salt = 1
+    while produced < bits:
+        combined |= city_hash_64(data + bytes([salt & 0xFF])) << produced
+        produced += 64
+        salt += 1
+    return combined & ((1 << bits) - 1)
+
+
+@register_hash_function("md5")
+class Md5HashFunction(HashFunction):
+    """MD5 baseline: the 128-bit digest folded onto the hash size."""
+
+    name = "md5"
+
+    def hash_value(self, value: str) -> int:
+        if value == "":
+            return 0
+        digest = hashlib.md5(value.encode("utf-8")).digest()
+        wide = int.from_bytes(digest, "big")
+        if self.hash_size <= 128:
+            return fold(wide, self.hash_size)
+        combined = wide
+        produced = 128
+        counter = 0
+        while produced < self.hash_size:
+            counter += 1
+            extra = hashlib.md5(
+                value.encode("utf-8") + counter.to_bytes(4, "big")
+            ).digest()
+            combined |= int.from_bytes(extra, "big") << produced
+            produced += 128
+        return combined & ((1 << self.hash_size) - 1)
+
+
+@register_hash_function("cityhash")
+class CityHashFunction(HashFunction):
+    """CityHash-style baseline (see module docstring for the substitution)."""
+
+    name = "cityhash"
+
+    def hash_value(self, value: str) -> int:
+        if value == "":
+            return 0
+        return city_hash_string(value, self.hash_size)
+
+
+@register_hash_function("simhash")
+class SimHashFunction(HashFunction):
+    """SimHash baseline over character trigrams (Charikar's construction).
+
+    Each trigram contributes +1/-1 to every bit position according to its
+    (MD5-derived) feature hash; the sign of the accumulated weight decides the
+    output bit.  The result is near-uniform, hence ~50% 1-bits.
+    """
+
+    name = "simhash"
+
+    #: Size of the character n-grams used as features.
+    ngram_size: int = 3
+
+    def _features(self, value: str) -> list[str]:
+        padded = f" {value} "
+        n = self.ngram_size
+        if len(padded) <= n:
+            return [padded]
+        return [padded[i:i + n] for i in range(len(padded) - n + 1)]
+
+    def hash_value(self, value: str) -> int:
+        if value == "":
+            return 0
+        weights = [0] * self.hash_size
+        for feature in self._features(value):
+            digest = hashlib.md5(feature.encode("utf-8")).digest()
+            feature_hash = int.from_bytes(digest, "big")
+            produced = 128
+            counter = 0
+            while produced < self.hash_size:
+                counter += 1
+                extra = hashlib.md5(
+                    feature.encode("utf-8") + counter.to_bytes(4, "big")
+                ).digest()
+                feature_hash |= int.from_bytes(extra, "big") << produced
+                produced += 128
+            for bit in range(self.hash_size):
+                if (feature_hash >> bit) & 1:
+                    weights[bit] += 1
+                else:
+                    weights[bit] -= 1
+        result = 0
+        for bit, weight in enumerate(weights):
+            if weight > 0:
+                result |= 1 << bit
+        return result

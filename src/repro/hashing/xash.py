@@ -1,0 +1,174 @@
+"""XASH: the syntactic hash function at the core of MATE (Section 5.2/5.3).
+
+XASH encodes three syntactic features of a cell value into a fixed-size bit
+vector with a strictly bounded number of 1-bits:
+
+1. **Least-frequent characters** (Section 5.3.2).  The ``alpha - 1`` rarest
+   characters of the value (by a global character-frequency table, ties broken
+   lexicographically) each set exactly one bit inside the segment dedicated to
+   that character.
+2. **Character location** (Section 5.3.3).  Each character segment is
+   ``beta`` bits wide; the bit chosen inside the segment encodes in which of
+   ``beta`` equal-width regions of the value the character (on average)
+   occurs: ``x = ceil(lambda * beta / l_v)`` with ``lambda`` the 1-based
+   average position and ``l_v`` the value length.
+3. **Value length** (Section 5.3.4).  One bit in a dedicated length segment,
+   at index ``l_v mod |a_l|``.
+
+Finally the character region is **rotated** left by the value length
+(Section 5.3.5) so that two values can only collide if they agree on both the
+rare characters *and* the length.
+
+Bit layout used here (least significant bit = index 0)::
+
+    [ character segments : alphabet_size * beta bits ][ length segment ]
+      bits 0 .. char_region_bits-1                      high-order bits
+
+The paper describes the length segment as the *left-most* (most significant)
+segment, which is exactly where it lives in this layout; the row filter
+exploits that for its short-circuit length pre-check.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import mean
+
+from ..config import MateConfig
+from ..exceptions import HashingError
+from .base import HashFunction, register_hash_function
+from .bitvector import rotate_left
+
+
+def normalize_character(character: str, alphabet: str) -> str:
+    """Map an arbitrary character onto the segmentation alphabet.
+
+    Characters already in the alphabet are returned unchanged (after
+    lowercasing).  Any other character (punctuation, accented letters,
+    CJK, ...) is mapped deterministically onto an alphabet bucket via its
+    code point so that every value, regardless of script, receives a hash.
+    """
+    if len(character) != 1:
+        raise HashingError(f"expected a single character, got {character!r}")
+    lowered = character.lower()
+    if lowered in alphabet:
+        return lowered
+    return alphabet[ord(lowered) % len(alphabet)]
+
+
+@register_hash_function("xash")
+class XashHashFunction(HashFunction):
+    """The XASH hash function (full feature set by default).
+
+    The ablation switches on :class:`~repro.config.MateConfig`
+    (``use_rare_characters``, ``encode_location``, ``encode_length``,
+    ``rotation``) turn individual features off; they exist to reproduce the
+    component study of Figure 5 and default to the full XASH behaviour.
+    """
+
+    name = "xash"
+
+    def __init__(self, config: MateConfig):
+        super().__init__(config)
+        self.alphabet = config.alphabet
+        self.beta = config.beta
+        self.char_region_bits = config.character_region_bits
+        self.length_segment_bits = config.length_segment_bits
+        self.characters_per_value = config.characters_per_value
+        self._segment_of = {c: i for i, c in enumerate(self.alphabet)}
+        frequencies = config.character_frequencies
+        default_frequency = max(frequencies.values(), default=1.0) + 1.0
+        self._frequency_of = {
+            c: frequencies.get(c, default_frequency) for c in self.alphabet
+        }
+
+    # ------------------------------------------------------------------
+    # Feature extraction
+    # ------------------------------------------------------------------
+    def normalized_characters(self, value: str) -> list[str]:
+        """Return the value's characters mapped onto the alphabet."""
+        return [normalize_character(c, self.alphabet) for c in value]
+
+    def select_characters(self, characters: list[str]) -> list[str]:
+        """Select the ``alpha - 1`` characters to encode (Section 5.3.2).
+
+        With ``use_rare_characters`` enabled (the default) the distinct
+        characters are ranked by global frequency (rarest first), ties broken
+        lexicographically; otherwise the first distinct characters in order of
+        appearance are used (ablation baseline).
+        """
+        distinct = sorted(set(characters))
+        if not distinct:
+            return []
+        budget = self.characters_per_value
+        if self.config.use_rare_characters:
+            ranked = sorted(distinct, key=lambda c: (self._frequency_of[c], c))
+        else:
+            seen: list[str] = []
+            for character in characters:
+                if character not in seen:
+                    seen.append(character)
+            ranked = seen
+        return ranked[:budget]
+
+    def character_location_bit(
+        self, character: str, characters: list[str]
+    ) -> int:
+        """Return the 0-based bit offset inside the character's segment.
+
+        Implements ``x = ceil(lambda * beta / l_v)`` from Section 5.3.3 where
+        ``lambda`` is the average (1-based) position of the character.  When
+        location encoding is disabled the first bit of the segment is used.
+        """
+        if not self.config.encode_location or self.beta == 1:
+            return 0
+        positions = [
+            index + 1 for index, c in enumerate(characters) if c == character
+        ]
+        if not positions:
+            raise HashingError(
+                f"character {character!r} not present in value {characters!r}"
+            )
+        average_location = mean(positions)
+        length = len(characters)
+        x = math.ceil(average_location * self.beta / length)
+        x = min(max(x, 1), self.beta)
+        return x - 1
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def hash_value(self, value: str) -> int:
+        """Hash a single cell value into a ``hash_size``-bit integer."""
+        if value == "":
+            return 0
+        characters = self.normalized_characters(value)
+        length = len(characters)
+
+        character_region = 0
+        for character in self.select_characters(characters):
+            segment = self._segment_of[character]
+            offset = self.character_location_bit(character, characters)
+            character_region |= 1 << (segment * self.beta + offset)
+
+        if self.config.rotation and character_region:
+            character_region = rotate_left(
+                character_region, length, self.char_region_bits
+            )
+
+        result = character_region
+        if self.config.encode_length and self.length_segment_bits > 0:
+            length_bit = length % self.length_segment_bits
+            result |= 1 << (self.char_region_bits + length_bit)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by tests and the row filter)
+    # ------------------------------------------------------------------
+    def length_segment(self, hashed: int) -> int:
+        """Extract the length-segment bits of a hash or super key."""
+        return hashed >> self.char_region_bits
+
+    def character_region(self, hashed: int) -> int:
+        """Extract the character-region bits of a hash or super key."""
+        return hashed & ((1 << self.char_region_bits) - 1)

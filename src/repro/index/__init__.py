@@ -1,0 +1,28 @@
+"""The extended single-attribute inverted index with per-row super keys."""
+
+from .builder import IndexBuildReport, IndexBuilder, build_index
+from .inverted import InvertedIndex
+from .maintenance import IndexMaintainer
+from .posting import FetchedItem, PostingListItem
+from .statistics import (
+    IndexStorageReport,
+    JOSIE_BYTES_PER_ENTRY,
+    SCR_BYTES_PER_ENTRY,
+    bits_to_bytes,
+    storage_report,
+)
+
+__all__ = [
+    "FetchedItem",
+    "IndexBuildReport",
+    "IndexBuilder",
+    "IndexMaintainer",
+    "IndexStorageReport",
+    "InvertedIndex",
+    "JOSIE_BYTES_PER_ENTRY",
+    "PostingListItem",
+    "SCR_BYTES_PER_ENTRY",
+    "bits_to_bytes",
+    "build_index",
+    "storage_report",
+]

@@ -1,0 +1,221 @@
+"""The extended single-attribute inverted index (Sections 3 and 5).
+
+:class:`InvertedIndex` stores two structures:
+
+* ``postings``: value -> list of :class:`PostingListItem` (the classic
+  single-attribute inverted index of Eq. 4), and
+* ``super_keys``: (table_id, row_index) -> int, the per-row super key that
+  turns the index into MATE's extended index.
+
+The index is deliberately storage-backend agnostic: it is an in-memory object
+that can be persisted/restored through :mod:`repro.storage`.  Its query
+surface is exactly what Algorithm 1 needs:
+
+* ``fetch`` — retrieve all PL items (with super keys) for a set of probe
+  values (line 4),
+* ``posting_list`` / ``super_key`` accessors,
+* mutation operations used by the maintenance layer (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from ..datamodel import MISSING
+from ..exceptions import IndexError_
+from .posting import FetchedItem, PostingListItem
+
+
+class InvertedIndex:
+    """Value -> posting-list mapping plus per-row super keys."""
+
+    def __init__(self, hash_function_name: str = "xash", hash_size: int = 128):
+        #: Name of the hash function the super keys were generated with.
+        self.hash_function_name = hash_function_name
+        #: Width of the stored super keys in bits.
+        self.hash_size = hash_size
+        self._postings: dict[str, list[PostingListItem]] = defaultdict(list)
+        self._super_keys: dict[tuple[int, int], int] = {}
+        self._table_rows: dict[int, set[int]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._postings)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._postings
+
+    def values(self) -> Iterator[str]:
+        """Iterate over the distinct indexed values."""
+        return iter(self._postings)
+
+    def num_posting_items(self) -> int:
+        """Total number of PL items across all values."""
+        return sum(len(items) for items in self._postings.values())
+
+    def num_rows(self) -> int:
+        """Number of rows that own a super key."""
+        return len(self._super_keys)
+
+    def indexed_tables(self) -> set[int]:
+        """Return the ids of all tables with at least one indexed row."""
+        return set(self._table_rows)
+
+    def posting_list(self, value: str) -> list[PostingListItem]:
+        """Return the posting list of ``value`` (empty when not indexed)."""
+        return list(self._postings.get(value, ()))
+
+    def posting_list_length(self, value: str) -> int:
+        """Return the number of PL items for ``value`` without copying."""
+        return len(self._postings.get(value, ()))
+
+    def super_key(self, table_id: int, row_index: int) -> int:
+        """Return the super key of a row."""
+        try:
+            return self._super_keys[(table_id, row_index)]
+        except KeyError as exc:
+            raise IndexError_(
+                f"no super key stored for table {table_id} row {row_index}"
+            ) from exc
+
+    def has_row(self, table_id: int, row_index: int) -> bool:
+        """Return whether a super key is stored for the row."""
+        return (table_id, row_index) in self._super_keys
+
+    def iter_super_keys(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate over ``(table_id, row_index, super_key)`` triples."""
+        for (table_id, row_index), super_key in self._super_keys.items():
+            yield table_id, row_index, super_key
+
+    # ------------------------------------------------------------------
+    # Mutation (used by IndexBuilder and the maintenance layer)
+    # ------------------------------------------------------------------
+    def add_posting(
+        self, value: str, table_id: int, column_index: int, row_index: int
+    ) -> None:
+        """Add a single PL item for ``value``.  Missing values are skipped."""
+        if value == MISSING:
+            return
+        self._postings[value].append(
+            PostingListItem(table_id=table_id, column_index=column_index,
+                            row_index=row_index)
+        )
+        self._table_rows[table_id].add(row_index)
+
+    def set_super_key(self, table_id: int, row_index: int, super_key: int) -> None:
+        """Store (or replace) the super key of a row."""
+        self._super_keys[(table_id, row_index)] = super_key
+        self._table_rows[table_id].add(row_index)
+
+    def or_into_super_key(self, table_id: int, row_index: int, value_hash: int) -> int:
+        """OR a new value hash into an existing row super key (column insert)."""
+        key = (table_id, row_index)
+        updated = self._super_keys.get(key, 0) | value_hash
+        self._super_keys[key] = updated
+        self._table_rows[table_id].add(row_index)
+        return updated
+
+    def remove_table(self, table_id: int) -> int:
+        """Remove every posting and super key of ``table_id``.
+
+        Returns the number of removed PL items.
+        """
+        removed = 0
+        empty_values = []
+        for value, items in self._postings.items():
+            kept = [item for item in items if item.table_id != table_id]
+            removed += len(items) - len(kept)
+            if kept:
+                self._postings[value] = kept
+            else:
+                empty_values.append(value)
+        for value in empty_values:
+            del self._postings[value]
+        for row_index in self._table_rows.pop(table_id, set()):
+            self._super_keys.pop((table_id, row_index), None)
+        return removed
+
+    def remove_row(self, table_id: int, row_index: int) -> int:
+        """Remove the postings and super key of a single row."""
+        removed = 0
+        empty_values = []
+        for value, items in self._postings.items():
+            kept = [
+                item
+                for item in items
+                if not (item.table_id == table_id and item.row_index == row_index)
+            ]
+            removed += len(items) - len(kept)
+            if kept:
+                self._postings[value] = kept
+            else:
+                empty_values.append(value)
+        for value in empty_values:
+            del self._postings[value]
+        self._super_keys.pop((table_id, row_index), None)
+        rows = self._table_rows.get(table_id)
+        if rows is not None:
+            rows.discard(row_index)
+            if not rows:
+                del self._table_rows[table_id]
+        return removed
+
+    def remove_column(self, table_id: int, column_index: int) -> int:
+        """Remove the postings of one column (super keys must be rebuilt by the caller)."""
+        removed = 0
+        empty_values = []
+        for value, items in self._postings.items():
+            kept = [
+                item
+                for item in items
+                if not (
+                    item.table_id == table_id and item.column_index == column_index
+                )
+            ]
+            removed += len(items) - len(kept)
+            if kept:
+                self._postings[value] = kept
+            else:
+                empty_values.append(value)
+        for value in empty_values:
+            del self._postings[value]
+        return removed
+
+    # ------------------------------------------------------------------
+    # Discovery-phase retrieval
+    # ------------------------------------------------------------------
+    def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
+        """Fetch the PL items (with super keys) for every value in ``values``.
+
+        This is ``fetch_PLs`` of Algorithm 1 (line 4).  Duplicate probe values
+        are fetched only once.
+        """
+        fetched: list[FetchedItem] = []
+        for value in dict.fromkeys(values):
+            if value == MISSING:
+                continue
+            for item in self._postings.get(value, ()):
+                super_key = self._super_keys.get((item.table_id, item.row_index), 0)
+                fetched.append(FetchedItem.from_posting(value, item, super_key))
+        return fetched
+
+    def fetch_grouped_by_table(
+        self, values: Iterable[str]
+    ) -> dict[int, list[FetchedItem]]:
+        """Fetch PL items and group them by table id (line 5 of Algorithm 1)."""
+        grouped: dict[int, list[FetchedItem]] = defaultdict(list)
+        for item in self.fetch(values):
+            grouped[item.table_id].append(item)
+        return dict(grouped)
+
+    def posting_count_for_values(self, values: Sequence[str]) -> int:
+        """Total number of PL items the given probe values would fetch."""
+        return sum(
+            self.posting_list_length(value)
+            for value in dict.fromkeys(values)
+            if value != MISSING
+        )

@@ -1,0 +1,56 @@
+"""Posting-list structures for the extended inverted index.
+
+The paper extends the classic value -> (table, column, row) inverted index
+(Eq. 4) with one extra element per entry: the *super key* of the row
+(Section 5.1).  Two light-weight record types model this:
+
+* :class:`PostingListItem` — what is stored in the index: the location of one
+  occurrence of a value.
+* :class:`FetchedItem` — what the discovery phase works with after fetching:
+  the location plus the value that was probed and the row super key
+  (line 4 of Algorithm 1 fetches "PL items including their generated super
+  key").
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class PostingListItem(NamedTuple):
+    """One occurrence of a value inside the corpus (a "PL item")."""
+
+    table_id: int
+    column_index: int
+    row_index: int
+
+    def location(self) -> tuple[int, int]:
+        """Return the (table, row) pair identifying the containing row."""
+        return self.table_id, self.row_index
+
+
+class FetchedItem(NamedTuple):
+    """A PL item enriched with the probed value and the row super key."""
+
+    value: str
+    table_id: int
+    column_index: int
+    row_index: int
+    super_key: int
+
+    def location(self) -> tuple[int, int]:
+        """Return the (table, row) pair identifying the containing row."""
+        return self.table_id, self.row_index
+
+    @classmethod
+    def from_posting(
+        cls, value: str, item: PostingListItem, super_key: int
+    ) -> "FetchedItem":
+        """Combine a stored posting with its value and row super key."""
+        return cls(
+            value=value,
+            table_id=item.table_id,
+            column_index=item.column_index,
+            row_index=item.row_index,
+            super_key=super_key,
+        )

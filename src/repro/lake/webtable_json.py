@@ -1,0 +1,180 @@
+"""Reader/writer for the Dresden-Web-Table-Corpus-style JSON format.
+
+The DWTC distribution stores web tables as JSON objects, one per line, whose
+``relation`` field holds the table content *column-major* (a list of columns,
+each a list of cells, with the header as the first cell when ``hasHeader`` is
+true).  The real corpus cannot be shipped with this reproduction, but the
+format can: these functions let a user who has (a slice of) the DWTC — or any
+corpus exported in the same shape — load it straight into a
+:class:`~repro.datamodel.TableCorpus`, and let the synthetic generators dump
+corpora in the same shape for interoperability with the authors' original
+tooling.
+
+Example line (formatted for readability)::
+
+    {"relation": [["f. name", "muhammad", "ansel"],
+                  ["l. name", "lee", "adams"]],
+     "pageTitle": "People",
+     "hasHeader": true,
+     "tableType": "RELATION"}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..datamodel import Row, Table, TableCorpus
+from ..exceptions import StorageError
+
+
+@dataclass(frozen=True)
+class WebTableRecord:
+    """One parsed web-table JSON record (before conversion to a Table)."""
+
+    columns: list[str]
+    rows: list[list[str]]
+    page_title: str = ""
+    table_type: str = "RELATION"
+
+    @property
+    def num_rows(self) -> int:
+        """Number of data rows (excluding the header)."""
+        return len(self.rows)
+
+
+def parse_webtable_record(payload: dict) -> WebTableRecord:
+    """Parse one DWTC-style JSON object into a :class:`WebTableRecord`.
+
+    Raises :class:`StorageError` for structurally invalid records (missing or
+    empty ``relation``, ragged columns).
+    """
+    relation = payload.get("relation")
+    if not isinstance(relation, list) or not relation:
+        raise StorageError("web table record has no 'relation' field")
+    if any(not isinstance(column, list) or not column for column in relation):
+        raise StorageError("web table 'relation' must be a list of non-empty lists")
+    lengths = {len(column) for column in relation}
+    if len(lengths) != 1:
+        raise StorageError(
+            f"web table 'relation' has ragged columns (lengths {sorted(lengths)})"
+        )
+    has_header = bool(payload.get("hasHeader", True))
+    if has_header:
+        columns = [str(column[0]) for column in relation]
+        data_columns = [column[1:] for column in relation]
+    else:
+        columns = [f"col_{index}" for index in range(len(relation))]
+        data_columns = relation
+    # Column-major -> row-major.
+    rows = [
+        [str(column[row_index]) for column in data_columns]
+        for row_index in range(len(data_columns[0]))
+    ] if data_columns and data_columns[0] else []
+    return WebTableRecord(
+        columns=columns,
+        rows=rows,
+        page_title=str(payload.get("pageTitle", "")),
+        table_type=str(payload.get("tableType", "RELATION")),
+    )
+
+
+def record_to_table(record: WebTableRecord, table_id: int, name: str | None = None) -> Table:
+    """Convert a parsed record into a corpus :class:`Table`.
+
+    Duplicate or empty header names are disambiguated with positional
+    suffixes, because corpus tables require unique column names.
+    """
+    seen: dict[str, int] = {}
+    columns: list[str] = []
+    for index, raw in enumerate(record.columns):
+        base = raw.strip().lower() or f"col_{index}"
+        count = seen.get(base, 0)
+        columns.append(base if count == 0 else f"{base}_{count + 1}")
+        seen[base] = count + 1
+    return Table(
+        table_id=table_id,
+        name=name or (record.page_title or f"webtable_{table_id}"),
+        columns=columns,
+        rows=[Row(row) for row in record.rows],
+    )
+
+
+def table_to_record(table: Table) -> dict:
+    """Convert a corpus table into a DWTC-style JSON-serialisable dict."""
+    relation = [
+        [column] + [row[column_index] for row in table.rows]
+        for column_index, column in enumerate(table.columns)
+    ]
+    return {
+        "relation": relation,
+        "pageTitle": table.name,
+        "hasHeader": True,
+        "tableType": "RELATION",
+    }
+
+
+def iter_webtable_json_lines(path: str | Path) -> Iterator[WebTableRecord]:
+    """Yield parsed records from a JSON-lines web-table file.
+
+    Blank lines are skipped; malformed lines raise :class:`StorageError` with
+    the offending line number.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"web table file does not exist: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as exc:
+                raise StorageError(
+                    f"{path}:{line_number}: invalid JSON ({exc})"
+                ) from exc
+            try:
+                yield parse_webtable_record(payload)
+            except StorageError as exc:
+                raise StorageError(f"{path}:{line_number}: {exc}") from exc
+
+
+def load_webtable_corpus(
+    path: str | Path,
+    name: str = "webtables",
+    max_tables: int | None = None,
+    min_rows: int = 1,
+    min_columns: int = 1,
+) -> TableCorpus:
+    """Load a JSON-lines web-table dump into a corpus.
+
+    ``max_tables`` bounds the number of tables loaded; ``min_rows`` and
+    ``min_columns`` drop degenerate tables (the DWTC contains many layout
+    artefacts with a single cell), mirroring the preprocessing every web-table
+    system applies.
+    """
+    corpus = TableCorpus(name=name)
+    loaded = 0
+    for record in iter_webtable_json_lines(path):
+        if max_tables is not None and loaded >= max_tables:
+            break
+        if record.num_rows < min_rows or len(record.columns) < min_columns:
+            continue
+        table = record_to_table(record, table_id=corpus.next_table_id())
+        corpus.add_table(table)
+        loaded += 1
+    return corpus
+
+
+def save_webtable_corpus(corpus: TableCorpus | Iterable[Table], path: str | Path) -> Path:
+    """Write tables to a JSON-lines file in the DWTC-style format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tables: Iterable[Table] = corpus if not isinstance(corpus, TableCorpus) else iter(corpus)
+    with path.open("w", encoding="utf-8") as handle:
+        for table in tables:
+            handle.write(json.dumps(table_to_record(table)) + "\n")
+    return path

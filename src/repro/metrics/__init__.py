@@ -1,0 +1,14 @@
+"""Instrumentation: counters, timing, and precision aggregation."""
+
+from .counters import DiscoveryCounters
+from .precision import PrecisionSummary, precision, summarize_precision
+from .timing import Stopwatch, timed
+
+__all__ = [
+    "DiscoveryCounters",
+    "PrecisionSummary",
+    "Stopwatch",
+    "precision",
+    "summarize_precision",
+    "timed",
+]

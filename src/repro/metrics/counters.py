@@ -1,0 +1,118 @@
+"""Instrumentation counters for the discovery phase.
+
+The paper's evaluation reasons about the number of false-positive rows, the
+number of value comparisons, the number of pruned tables, and the achieved
+precision — not only about wall-clock time.  Every discovery run (MATE or any
+baseline) therefore carries a :class:`DiscoveryCounters` object that the
+filters and the verification step update as they go.  The experiment harness
+reads these counters to produce Table 3, Figure 5, Figure 6(b) and the
+initial-column study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DiscoveryCounters:
+    """Mutable counters collected during one discovery run."""
+
+    #: Number of PL items fetched from the index in the initialization step.
+    pl_items_fetched: int = 0
+    #: Number of candidate tables produced by the initial fetch.
+    candidate_tables: int = 0
+    #: Tables skipped by table-filtering rule 1 (and everything after it).
+    tables_pruned_by_rule1: int = 0
+    #: Tables skipped mid-way by table-filtering rule 2.
+    tables_pruned_by_rule2: int = 0
+    #: Tables whose joinability was fully evaluated.
+    tables_evaluated: int = 0
+    #: PL items (candidate rows) inspected by the row filter.
+    rows_checked: int = 0
+    #: Super-key subsumption checks performed.
+    superkey_checks: int = 0
+    #: Row-filter checks resolved by the length-segment short circuit.
+    short_circuit_hits: int = 0
+    #: Candidate rows that survived the row filter (TP + FP).
+    rows_passed_filter: int = 0
+    #: Candidate rows verified to actually contain the composite key (TP).
+    true_positive_rows: int = 0
+    #: Candidate rows that survived the filter but failed verification (FP).
+    false_positive_rows: int = 0
+    #: Individual cell-value comparisons performed during verification.
+    value_comparisons: int = 0
+    #: Wall-clock duration of the run in seconds (set by the caller).
+    runtime_seconds: float = 0.0
+    #: Extra, system-specific counters (e.g. per-column PL counts).
+    extra: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def precision(self) -> float:
+        """Row-filter precision TP / (TP + FP) as defined in Section 7.4.
+
+        Returns 1.0 when no row passed the filter (nothing to be wrong about),
+        matching how the paper treats empty candidate sets.
+        """
+        passed = self.true_positive_rows + self.false_positive_rows
+        if passed == 0:
+            return 1.0
+        return self.true_positive_rows / passed
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of filtered rows that were false positives."""
+        return 1.0 - self.precision
+
+    @property
+    def filter_selectivity(self) -> float:
+        """Fraction of checked rows that the filter let through."""
+        if self.rows_checked == 0:
+            return 0.0
+        return self.rows_passed_filter / self.rows_checked
+
+    # ------------------------------------------------------------------
+    # Combination helpers (used when aggregating over query sets)
+    # ------------------------------------------------------------------
+    def merge(self, other: "DiscoveryCounters") -> None:
+        """Accumulate another run's counters into this one (in place)."""
+        self.pl_items_fetched += other.pl_items_fetched
+        self.candidate_tables += other.candidate_tables
+        self.tables_pruned_by_rule1 += other.tables_pruned_by_rule1
+        self.tables_pruned_by_rule2 += other.tables_pruned_by_rule2
+        self.tables_evaluated += other.tables_evaluated
+        self.rows_checked += other.rows_checked
+        self.superkey_checks += other.superkey_checks
+        self.short_circuit_hits += other.short_circuit_hits
+        self.rows_passed_filter += other.rows_passed_filter
+        self.true_positive_rows += other.true_positive_rows
+        self.false_positive_rows += other.false_positive_rows
+        self.value_comparisons += other.value_comparisons
+        self.runtime_seconds += other.runtime_seconds
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0.0) + value
+
+    def as_dict(self) -> dict[str, float]:
+        """Return all counters (plus derived metrics) as a dictionary."""
+        result = {
+            "pl_items_fetched": self.pl_items_fetched,
+            "candidate_tables": self.candidate_tables,
+            "tables_pruned_by_rule1": self.tables_pruned_by_rule1,
+            "tables_pruned_by_rule2": self.tables_pruned_by_rule2,
+            "tables_evaluated": self.tables_evaluated,
+            "rows_checked": self.rows_checked,
+            "superkey_checks": self.superkey_checks,
+            "short_circuit_hits": self.short_circuit_hits,
+            "rows_passed_filter": self.rows_passed_filter,
+            "true_positive_rows": self.true_positive_rows,
+            "false_positive_rows": self.false_positive_rows,
+            "value_comparisons": self.value_comparisons,
+            "runtime_seconds": self.runtime_seconds,
+            "precision": self.precision,
+            "false_positive_rate": self.false_positive_rate,
+        }
+        result.update(self.extra)
+        return result

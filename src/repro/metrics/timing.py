@@ -1,0 +1,47 @@
+"""Small timing helpers used by the discovery engines and experiments."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates wall-clock time across multiple start/stop cycles."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total elapsed time."""
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self.elapsed
+
+    @contextmanager
+    def measure(self) -> Iterator["Stopwatch"]:
+        """Context manager that times the enclosed block."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Time a block of code: ``with timed() as t: ...; t.elapsed``."""
+    stopwatch = Stopwatch()
+    stopwatch.start()
+    try:
+        yield stopwatch
+    finally:
+        stopwatch.stop()

@@ -1,0 +1,35 @@
+"""Persistence backends and plain-file (de)serialisation."""
+
+from .backend import StorageBackend
+from .memory import InMemoryBackend
+from .paged import (
+    FetchAccounting,
+    FetchCostModel,
+    PagedPostingStore,
+)
+from .serialization import (
+    corpus_from_json,
+    corpus_to_json,
+    load_corpus_from_csv_directory,
+    load_corpus_json,
+    save_corpus_json,
+    table_from_csv,
+    table_to_csv,
+)
+from .sqlite import SQLiteBackend
+
+__all__ = [
+    "FetchAccounting",
+    "FetchCostModel",
+    "InMemoryBackend",
+    "PagedPostingStore",
+    "SQLiteBackend",
+    "StorageBackend",
+    "corpus_from_json",
+    "corpus_to_json",
+    "load_corpus_from_csv_directory",
+    "load_corpus_json",
+    "save_corpus_json",
+    "table_from_csv",
+    "table_to_csv",
+]

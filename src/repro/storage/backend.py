@@ -1,0 +1,53 @@
+"""Storage-backend interface.
+
+The reference MATE implementation keeps its inverted index in a Vertica
+column store; this reproduction abstracts persistence behind a tiny backend
+interface so that the rest of the system never cares where corpora and
+indexes live.  Two implementations ship with the library:
+
+* :class:`~repro.storage.memory.InMemoryBackend` — no persistence, useful for
+  tests and as a cache layer,
+* :class:`~repro.storage.sqlite.SQLiteBackend` — a relational store with the
+  same logical schema the paper uses (tables / cells / postings / super keys).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..datamodel import TableCorpus
+from ..index import InvertedIndex
+
+
+class StorageBackend(ABC):
+    """Persists corpora and inverted indexes."""
+
+    @abstractmethod
+    def save_corpus(self, corpus: TableCorpus) -> None:
+        """Persist a corpus (replacing any corpus stored under the same name)."""
+
+    @abstractmethod
+    def load_corpus(self, name: str) -> TableCorpus:
+        """Load the corpus stored under ``name``."""
+
+    @abstractmethod
+    def list_corpora(self) -> list[str]:
+        """Return the names of all stored corpora."""
+
+    @abstractmethod
+    def save_index(self, name: str, index: InvertedIndex) -> None:
+        """Persist an inverted index under ``name``."""
+
+    @abstractmethod
+    def load_index(self, name: str) -> InvertedIndex:
+        """Load the inverted index stored under ``name``."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release any resources held by the backend."""
+
+    def __enter__(self) -> "StorageBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

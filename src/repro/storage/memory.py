@@ -1,0 +1,48 @@
+"""In-memory storage backend (no persistence)."""
+
+from __future__ import annotations
+
+import copy
+
+from ..datamodel import TableCorpus
+from ..exceptions import StorageError
+from ..index import InvertedIndex
+from .backend import StorageBackend
+
+
+class InMemoryBackend(StorageBackend):
+    """Keeps deep copies of corpora and indexes in process memory.
+
+    Mainly useful for tests and for decoupling callers from mutation: stored
+    objects are copied on save and on load, so later edits to either side do
+    not leak through.
+    """
+
+    def __init__(self) -> None:
+        self._corpora: dict[str, TableCorpus] = {}
+        self._indexes: dict[str, InvertedIndex] = {}
+
+    def save_corpus(self, corpus: TableCorpus) -> None:
+        self._corpora[corpus.name] = copy.deepcopy(corpus)
+
+    def load_corpus(self, name: str) -> TableCorpus:
+        try:
+            return copy.deepcopy(self._corpora[name])
+        except KeyError as exc:
+            raise StorageError(f"no corpus stored under name {name!r}") from exc
+
+    def list_corpora(self) -> list[str]:
+        return sorted(self._corpora)
+
+    def save_index(self, name: str, index: InvertedIndex) -> None:
+        self._indexes[name] = copy.deepcopy(index)
+
+    def load_index(self, name: str) -> InvertedIndex:
+        try:
+            return copy.deepcopy(self._indexes[name])
+        except KeyError as exc:
+            raise StorageError(f"no index stored under name {name!r}") from exc
+
+    def close(self) -> None:
+        self._corpora.clear()
+        self._indexes.clear()

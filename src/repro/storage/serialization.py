@@ -1,0 +1,109 @@
+"""Plain-file (JSON / CSV) import and export of table corpora.
+
+Real deployments would ingest web-table dumps; for the reproduction we mostly
+move synthetic corpora around, but the functions below give users a simple
+way to bring their own tables into the system (one CSV per table, or one JSON
+file per corpus) and to inspect generated corpora.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..datamodel import Row, Table, TableCorpus
+from ..exceptions import StorageError
+
+
+def corpus_to_json(corpus: TableCorpus) -> dict:
+    """Return a JSON-serialisable representation of ``corpus``."""
+    return {
+        "name": corpus.name,
+        "tables": [
+            {
+                "table_id": table.table_id,
+                "name": table.name,
+                "columns": table.columns,
+                "rows": [list(row) for row in table.rows],
+            }
+            for table in corpus
+        ],
+    }
+
+
+def corpus_from_json(payload: dict) -> TableCorpus:
+    """Rebuild a corpus from :func:`corpus_to_json` output."""
+    try:
+        corpus = TableCorpus(name=payload["name"])
+        for entry in payload["tables"]:
+            corpus.add_table(
+                Table(
+                    table_id=entry["table_id"],
+                    name=entry["name"],
+                    columns=list(entry["columns"]),
+                    rows=[Row(row) for row in entry["rows"]],
+                )
+            )
+    except (KeyError, TypeError) as exc:
+        raise StorageError(f"malformed corpus payload: {exc}") from exc
+    return corpus
+
+
+def save_corpus_json(corpus: TableCorpus, path: str | Path) -> Path:
+    """Write ``corpus`` to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(corpus_to_json(corpus), handle)
+    return path
+
+
+def load_corpus_json(path: str | Path) -> TableCorpus:
+    """Read a corpus from a JSON file written by :func:`save_corpus_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"corpus file does not exist: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return corpus_from_json(payload)
+
+
+def table_to_csv(table: Table, path: str | Path) -> Path:
+    """Write a single table to a CSV file (header row + data rows)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        for row in table.rows:
+            writer.writerow(list(row))
+    return path
+
+
+def table_from_csv(table_id: int, path: str | Path, name: str | None = None) -> Table:
+    """Load a single table from a CSV file (first row = column names)."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"CSV file does not exist: {path}")
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise StorageError(f"CSV file {path} is empty")
+    columns = rows[0]
+    data = [Row(row) for row in rows[1:]]
+    return Table(
+        table_id=table_id, name=name or path.stem, columns=columns, rows=data
+    )
+
+
+def load_corpus_from_csv_directory(directory: str | Path, name: str = "csv-corpus") -> TableCorpus:
+    """Build a corpus from every ``*.csv`` file in a directory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise StorageError(f"not a directory: {directory}")
+    corpus = TableCorpus(name=name)
+    for table_id, csv_path in enumerate(sorted(directory.glob("*.csv"))):
+        corpus.add_table(table_from_csv(table_id, csv_path))
+    return corpus

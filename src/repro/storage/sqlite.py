@@ -1,0 +1,207 @@
+"""SQLite storage backend.
+
+Stands in for the Vertica column store the paper uses (Section 7.1).  The
+logical schema mirrors the extended inverted index:
+
+* ``corpora(name)`` and ``tables(corpus, table_id, name, columns)`` hold the
+  corpus metadata,
+* ``cells(corpus, table_id, row_index, column_index, value)`` holds the table
+  contents,
+* ``postings(index_name, value, table_id, column_index, row_index)`` holds
+  the PL items,
+* ``super_keys(index_name, table_id, row_index, super_key)`` holds the
+  per-row super keys (stored as hex text because they can exceed 64 bits),
+* ``indexes(name, hash_function, hash_size)`` holds index metadata.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from ..datamodel import Row, Table, TableCorpus
+from ..exceptions import StorageError
+from ..index import InvertedIndex
+from .backend import StorageBackend
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS corpora (
+    name TEXT PRIMARY KEY
+);
+CREATE TABLE IF NOT EXISTS tables (
+    corpus TEXT NOT NULL,
+    table_id INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    columns TEXT NOT NULL,
+    PRIMARY KEY (corpus, table_id)
+);
+CREATE TABLE IF NOT EXISTS cells (
+    corpus TEXT NOT NULL,
+    table_id INTEGER NOT NULL,
+    row_index INTEGER NOT NULL,
+    column_index INTEGER NOT NULL,
+    value TEXT NOT NULL,
+    PRIMARY KEY (corpus, table_id, row_index, column_index)
+);
+CREATE TABLE IF NOT EXISTS indexes (
+    name TEXT PRIMARY KEY,
+    hash_function TEXT NOT NULL,
+    hash_size INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS postings (
+    index_name TEXT NOT NULL,
+    value TEXT NOT NULL,
+    table_id INTEGER NOT NULL,
+    column_index INTEGER NOT NULL,
+    row_index INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS postings_by_value ON postings (index_name, value);
+CREATE TABLE IF NOT EXISTS super_keys (
+    index_name TEXT NOT NULL,
+    table_id INTEGER NOT NULL,
+    row_index INTEGER NOT NULL,
+    super_key TEXT NOT NULL,
+    PRIMARY KEY (index_name, table_id, row_index)
+);
+"""
+
+
+class SQLiteBackend(StorageBackend):
+    """Relational persistence for corpora and inverted indexes."""
+
+    def __init__(self, path: str | Path = ":memory:"):
+        self.path = str(path)
+        try:
+            self._connection = sqlite3.connect(self.path)
+        except sqlite3.Error as exc:  # pragma: no cover - environment dependent
+            raise StorageError(f"cannot open SQLite database at {self.path}") from exc
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    # Corpora
+    # ------------------------------------------------------------------
+    def save_corpus(self, corpus: TableCorpus) -> None:
+        connection = self._connection
+        with connection:
+            connection.execute("DELETE FROM corpora WHERE name = ?", (corpus.name,))
+            connection.execute("DELETE FROM tables WHERE corpus = ?", (corpus.name,))
+            connection.execute("DELETE FROM cells WHERE corpus = ?", (corpus.name,))
+            connection.execute("INSERT INTO corpora (name) VALUES (?)", (corpus.name,))
+            for table in corpus:
+                connection.execute(
+                    "INSERT INTO tables (corpus, table_id, name, columns) "
+                    "VALUES (?, ?, ?, ?)",
+                    (corpus.name, table.table_id, table.name, json.dumps(table.columns)),
+                )
+                connection.executemany(
+                    "INSERT INTO cells "
+                    "(corpus, table_id, row_index, column_index, value) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        (corpus.name, table.table_id, row_index, column_index, value)
+                        for row_index, row in enumerate(table.rows)
+                        for column_index, value in enumerate(row)
+                    ),
+                )
+
+    def load_corpus(self, name: str) -> TableCorpus:
+        connection = self._connection
+        exists = connection.execute(
+            "SELECT 1 FROM corpora WHERE name = ?", (name,)
+        ).fetchone()
+        if exists is None:
+            raise StorageError(f"no corpus stored under name {name!r}")
+        corpus = TableCorpus(name=name)
+        table_rows = connection.execute(
+            "SELECT table_id, name, columns FROM tables WHERE corpus = ? "
+            "ORDER BY table_id",
+            (name,),
+        ).fetchall()
+        for table_id, table_name, columns_json in table_rows:
+            columns = json.loads(columns_json)
+            cells = connection.execute(
+                "SELECT row_index, column_index, value FROM cells "
+                "WHERE corpus = ? AND table_id = ? ORDER BY row_index, column_index",
+                (name, table_id),
+            ).fetchall()
+            num_rows = max((row_index for row_index, _, _ in cells), default=-1) + 1
+            grid = [[""] * len(columns) for _ in range(num_rows)]
+            for row_index, column_index, value in cells:
+                grid[row_index][column_index] = value
+            corpus.add_table(
+                Table(
+                    table_id=table_id,
+                    name=table_name,
+                    columns=columns,
+                    rows=[Row(row) for row in grid],
+                )
+            )
+        return corpus
+
+    def list_corpora(self) -> list[str]:
+        rows = self._connection.execute(
+            "SELECT name FROM corpora ORDER BY name"
+        ).fetchall()
+        return [name for (name,) in rows]
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def save_index(self, name: str, index: InvertedIndex) -> None:
+        connection = self._connection
+        with connection:
+            connection.execute("DELETE FROM indexes WHERE name = ?", (name,))
+            connection.execute("DELETE FROM postings WHERE index_name = ?", (name,))
+            connection.execute("DELETE FROM super_keys WHERE index_name = ?", (name,))
+            connection.execute(
+                "INSERT INTO indexes (name, hash_function, hash_size) VALUES (?, ?, ?)",
+                (name, index.hash_function_name, index.hash_size),
+            )
+            connection.executemany(
+                "INSERT INTO postings "
+                "(index_name, value, table_id, column_index, row_index) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    (name, value, item.table_id, item.column_index, item.row_index)
+                    for value in index.values()
+                    for item in index.posting_list(value)
+                ),
+            )
+            connection.executemany(
+                "INSERT INTO super_keys (index_name, table_id, row_index, super_key) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    (name, table_id, row_index, format(super_key, "x"))
+                    for table_id, row_index, super_key in index.iter_super_keys()
+                ),
+            )
+
+    def load_index(self, name: str) -> InvertedIndex:
+        connection = self._connection
+        meta = connection.execute(
+            "SELECT hash_function, hash_size FROM indexes WHERE name = ?", (name,)
+        ).fetchone()
+        if meta is None:
+            raise StorageError(f"no index stored under name {name!r}")
+        hash_function, hash_size = meta
+        index = InvertedIndex(hash_function_name=hash_function, hash_size=hash_size)
+        postings = connection.execute(
+            "SELECT value, table_id, column_index, row_index FROM postings "
+            "WHERE index_name = ?",
+            (name,),
+        ).fetchall()
+        for value, table_id, column_index, row_index in postings:
+            index.add_posting(value, table_id, column_index, row_index)
+        super_keys = connection.execute(
+            "SELECT table_id, row_index, super_key FROM super_keys "
+            "WHERE index_name = ?",
+            (name,),
+        ).fetchall()
+        for table_id, row_index, super_key_hex in super_keys:
+            index.set_super_key(table_id, row_index, int(super_key_hex, 16))
+        return index
+
+    def close(self) -> None:
+        self._connection.close()

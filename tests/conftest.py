@@ -1,0 +1,103 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures are deliberately small (a handful of tables, double-digit row
+counts) so the whole suite runs in seconds; the heavier, paper-scale runs
+live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import MateConfig, build_index
+from repro.datamodel import QueryTable, Table, TableCorpus
+from repro.datagen import build_workload
+
+
+@pytest.fixture(scope="session")
+def config() -> MateConfig:
+    """A 128-bit configuration with the paper's alpha=6 bit budget."""
+    return MateConfig(hash_size=128, k=5, expected_unique_values=700_000_000)
+
+
+@pytest.fixture()
+def small_config() -> MateConfig:
+    """A small-corpus configuration (alpha derived from 100k unique values)."""
+    return MateConfig(hash_size=128, k=3, expected_unique_values=100_000)
+
+
+@pytest.fixture()
+def running_example_tables() -> tuple[QueryTable, Table]:
+    """The paper's Figure 1 running example: query table d and candidate T1."""
+    d = Table(
+        table_id=0,
+        name="d",
+        columns=["f_name", "l_name", "country", "salary"],
+        rows=[
+            ["Muhammad", "Lee", "US", "60k"],
+            ["Ansel", "Adams", "UK", "50k"],
+            ["Ansel", "Adams", "US", "400k"],
+            ["Muhammad", "Lee", "Germany", "90k"],
+            ["Helmut", "Newton", "Germany", "300k"],
+        ],
+    )
+    t1 = Table(
+        table_id=1,
+        name="T1",
+        columns=["vorname", "nachname", "land", "besetzung"],
+        rows=[
+            ["Helmut", "Newton", "Germany", "Photographer"],
+            ["Muhammad", "Lee", "US", "Dancer"],
+            ["Ansel", "Adams", "UK", "Dancer"],
+            ["Ansel", "Adams", "US", "Photographer"],
+            ["Muhammad", "Ali", "US", "Boxer"],
+            ["Muhammad", "Lee", "Germany", "Birder"],
+            ["Gretchen", "Lee", "Germany", "Artist"],
+            ["Adam", "Sandler", "US", "Actor"],
+        ],
+    )
+    query = QueryTable(table=d, key_columns=["f_name", "l_name", "country"])
+    return query, t1
+
+
+@pytest.fixture()
+def running_example_corpus(running_example_tables) -> tuple[QueryTable, TableCorpus]:
+    """Figure 1 candidate table embedded in a corpus with unrelated tables."""
+    query, t1 = running_example_tables
+    corpus = TableCorpus(name="figure1")
+    corpus.add_table(t1)
+    corpus.create_table(
+        name="unrelated_cities",
+        columns=["city", "population"],
+        rows=[["berlin", "3600000"], ["hannover", "530000"], ["dresden", "550000"]],
+    )
+    corpus.create_table(
+        name="partial_only",
+        columns=["name", "country", "sport"],
+        rows=[
+            ["muhammad", "uk", "boxing"],
+            ["gretchen", "us", "golf"],
+            ["helmut", "france", "tennis"],
+        ],
+    )
+    return query, corpus
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A tiny WT-style workload shared (read-only) across tests."""
+    return build_workload("WT_10", seed=11, num_queries=2, corpus_scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def tiny_index(tiny_workload, config):
+    """An XASH index over the tiny workload's corpus."""
+    return build_index(tiny_workload.corpus, config=config)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic RNG for generator tests."""
+    return random.Random(1234)

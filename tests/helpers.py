@@ -1,0 +1,17 @@
+"""Small shared assertion helpers for the test-suite."""
+
+from __future__ import annotations
+
+
+def assert_topk_equivalent(result, truth) -> None:
+    """Result must match the brute-force top-k up to ties at the cut-off score.
+
+    Tables whose joinability strictly exceeds the k-th best score must match
+    exactly; at the cut-off score any tied table is an equally valid answer
+    (the paper's table-filtering rule 1 legitimately drops ties).
+    """
+    assert [j for _, j in result] == [j for _, j in truth]
+    if not truth:
+        return
+    cutoff = truth[-1][1]
+    assert {t for t, j in result if j > cutoff} == {t for t, j in truth if j > cutoff}

@@ -1,0 +1,91 @@
+"""Tests for the XASH ablation variants (Figure 5)."""
+
+import pytest
+
+from repro.hashing import FIGURE5_VARIANTS, create_hash_function, popcount
+from repro.hashing.ablation import (
+    CharacterLengthLocationXash,
+    CharacterLocationXash,
+    LengthOnlyXash,
+    RareCharactersXash,
+)
+
+
+class TestLengthOnly:
+    def test_exactly_one_bit(self, config):
+        variant = LengthOnlyXash(config)
+        for value in ("muhammad", "us", "photographer"):
+            assert popcount(variant.hash_value(value)) == 1
+
+    def test_bit_lives_in_length_segment(self, config):
+        variant = LengthOnlyXash(config)
+        hashed = variant.hash_value("dresden")
+        assert variant.character_region(hashed) == 0
+        assert variant.length_segment(hashed) != 0
+
+    def test_same_length_values_collide(self, config):
+        variant = LengthOnlyXash(config)
+        assert variant.hash_value("boxer") == variant.hash_value("racer")
+
+    def test_empty_value(self, config):
+        assert LengthOnlyXash(config).hash_value("") == 0
+
+
+class TestRareCharacters:
+    def test_no_length_bit(self, config):
+        variant = RareCharactersXash(config)
+        hashed = variant.hash_value("muhammad")
+        assert variant.length_segment(hashed) == 0
+        assert variant.character_region(hashed) != 0
+
+    def test_location_not_encoded(self, config):
+        variant = RareCharactersXash(config)
+        # Same character multiset, different order -> same hash without the
+        # location feature.
+        assert variant.hash_value("abcdef") == variant.hash_value("fedcba")
+
+
+class TestCharacterLocation:
+    def test_location_encoded(self, config):
+        variant = CharacterLocationXash(config)
+        assert variant.hash_value("abcdef") != variant.hash_value("fedcba")
+
+    def test_no_length_bit(self, config):
+        variant = CharacterLocationXash(config)
+        assert variant.length_segment(variant.hash_value("germany")) == 0
+
+
+class TestCharacterLengthLocation:
+    def test_differs_from_full_xash_by_rotation_only(self, config):
+        no_rotation = CharacterLengthLocationXash(config)
+        full = create_hash_function("xash", config)
+        value = "photographer"
+        assert no_rotation.config.rotation is False
+        assert full.config.rotation is True
+        assert popcount(no_rotation.hash_value(value)) == popcount(full.hash_value(value))
+
+    def test_has_length_bit(self, config):
+        variant = CharacterLengthLocationXash(config)
+        assert variant.length_segment(variant.hash_value("germany")) != 0
+
+
+class TestVariantOrdering:
+    """Feature-richer variants should be at least as discriminative."""
+
+    def test_distinct_hash_count_increases_with_features(self, config):
+        values = [
+            "muhammad", "gretchen", "helmut", "ansel", "adams", "newton",
+            "boxer", "birder", "dancer", "artist", "actor", "photographer",
+            "berlin", "dresden", "hamburg", "hannover", "munich", "cologne",
+        ]
+        distinct_counts = []
+        for name in FIGURE5_VARIANTS:
+            variant = create_hash_function(name, config)
+            distinct_counts.append(len({variant.hash_value(v) for v in values}))
+        # The list is ordered length-only -> ... -> full XASH; distinctness
+        # should not decrease along the way.
+        assert distinct_counts == sorted(distinct_counts)
+
+    def test_all_variants_registered(self, config):
+        for name in FIGURE5_VARIANTS:
+            assert create_hash_function(name, config) is not None

@@ -1,0 +1,112 @@
+"""Tests for the analytical collision / FP models (Section 6.4)."""
+
+import pytest
+
+from repro.config import MateConfig
+from repro.exceptions import HashingError
+from repro.hashing.analysis import (
+    break_even_row_width,
+    compare_filters_theoretically,
+    expected_false_positive_rate,
+    expected_ones_per_value,
+    lhbf_pairwise_collision_probability,
+    super_key_saturation,
+    theoretical_summary,
+    xash_pairwise_collision_probability,
+)
+
+
+@pytest.fixture()
+def paper_config() -> MateConfig:
+    return MateConfig(hash_size=128, expected_unique_values=700_000_000)
+
+
+class TestPairwiseCollisions:
+    def test_lhbf_formula(self):
+        assert lhbf_pairwise_collision_probability(128) == pytest.approx(
+            2 / (128 * 127)
+        )
+        with pytest.raises(HashingError):
+            lhbf_pairwise_collision_probability(1)
+
+    def test_xash_collision_is_tiny_and_smaller_than_lhbf(self, paper_config):
+        xash = xash_pairwise_collision_probability(paper_config)
+        lhbf = lhbf_pairwise_collision_probability(paper_config.hash_size)
+        assert 0 < xash < lhbf
+
+    def test_length_feature_reduces_collisions(self, paper_config):
+        with_length = xash_pairwise_collision_probability(paper_config, include_length=True)
+        without_length = xash_pairwise_collision_probability(paper_config, include_length=False)
+        assert with_length < without_length
+
+    def test_larger_hash_reduces_masking_fp_rate(self):
+        # Pairwise collisions are governed by Eq. 5's alpha (which *shrinks*
+        # for larger hashes), but the dominant effect in practice is the
+        # OR-aggregation masking, which a larger hash space always reduces.
+        small = expected_false_positive_rate(6, 10, 2, 128)
+        large = expected_false_positive_rate(6, 10, 2, 512)
+        assert large < small
+
+
+class TestExpectedOnes:
+    def test_xash_uses_alpha_bits(self, paper_config):
+        assert expected_ones_per_value("xash", paper_config) == paper_config.alpha
+
+    def test_uniform_hash_uses_half_the_bits(self, paper_config):
+        assert expected_ones_per_value("md5", paper_config) == paper_config.hash_size / 2
+
+    def test_hashtable_uses_one_bit(self, paper_config):
+        assert expected_ones_per_value("hashtable", paper_config) == 1.0
+
+    def test_bloom_uses_optimal_h(self, paper_config):
+        from repro.hashing import optimal_number_of_hashes
+
+        assert expected_ones_per_value("bloom", paper_config) == optimal_number_of_hashes(
+            paper_config.hash_size, 5.0
+        )
+
+
+class TestSaturationModel:
+    def test_saturation_bounds_and_monotonicity(self):
+        previous = 0.0
+        for width in (1, 5, 10, 30, 60):
+            saturation = super_key_saturation(6, width, 128)
+            assert 0.0 <= saturation <= 1.0
+            assert saturation >= previous
+            previous = saturation
+
+    def test_saturation_validations(self):
+        with pytest.raises(HashingError):
+            super_key_saturation(6, 5, 0)
+        with pytest.raises(HashingError):
+            super_key_saturation(-1, 5, 128)
+
+    def test_fp_rate_grows_with_row_width(self):
+        narrow = expected_false_positive_rate(6, 5, 2, 128)
+        wide = expected_false_positive_rate(6, 40, 2, 128)
+        assert narrow < wide
+
+    def test_fp_rate_falls_with_key_size(self):
+        two = expected_false_positive_rate(6, 20, 2, 128)
+        five = expected_false_positive_rate(6, 20, 5, 128)
+        assert five < two
+
+
+class TestComparisons:
+    def test_uniform_hashes_saturate_first(self, paper_config):
+        rates = compare_filters_theoretically(paper_config, values_per_row=6, key_size=2)
+        assert set(rates) == {"xash", "bloom", "lhbf", "hashtable", "md5"}
+        assert rates["md5"] > rates["xash"]
+
+    def test_xash_beats_bloom_on_wide_rows(self, paper_config):
+        wide = compare_filters_theoretically(paper_config, values_per_row=40, key_size=2)
+        assert wide["xash"] <= wide["bloom"]
+
+    def test_break_even_row_width_is_finite(self, paper_config):
+        assert 1 <= break_even_row_width(paper_config) <= 201
+
+    def test_theoretical_summary_fields(self, paper_config):
+        summary = theoretical_summary(paper_config)
+        assert summary["alpha"] == 6.0
+        assert summary["beta"] == 3.0
+        assert summary["xash_collision_probability"] < summary["lhbf_collision_probability"]

@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.storage import load_corpus_json, table_to_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestGenerateAndIndex:
+    def test_generate_writes_corpus_and_queries(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        queries_path = tmp_path / "queries.json"
+        exit_code = main([
+            "generate", "WT_10", "--seed", "3", "--queries", "1",
+            "--scale", "0.05", "--corpus-out", str(corpus_path),
+            "--queries-out", str(queries_path),
+        ])
+        assert exit_code == 0
+        assert corpus_path.exists() and queries_path.exists()
+        corpus = load_corpus_json(corpus_path)
+        assert len(corpus) > 0
+        output = capsys.readouterr().out
+        assert "wrote corpus" in output
+
+    def test_index_builds_sqlite(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        database_path = tmp_path / "index.db"
+        main([
+            "generate", "WT_10", "--queries", "1", "--scale", "0.05",
+            "--corpus-out", str(corpus_path),
+        ])
+        exit_code = main([
+            "index", str(corpus_path), "--database", str(database_path),
+            "--hash-size", "128",
+        ])
+        assert exit_code == 0
+        assert database_path.exists()
+        assert "indexed" in capsys.readouterr().out
+
+
+class TestDiscover:
+    def test_end_to_end_discovery(self, tmp_path, capsys, running_example_corpus):
+        query, corpus = running_example_corpus
+        from repro.storage import save_corpus_json
+
+        corpus_path = tmp_path / "corpus.json"
+        save_corpus_json(corpus, corpus_path)
+        query_csv = table_to_csv(query.table, tmp_path / "query.csv")
+
+        exit_code = main([
+            "discover", str(corpus_path), str(query_csv),
+            "--key", "f_name", "l_name", "country", "--k", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "joinability=    5" in output or "joinability=5" in output.replace(" ", "")
+
+    def test_discovery_with_prebuilt_index(self, tmp_path, capsys, running_example_corpus):
+        query, corpus = running_example_corpus
+        from repro.storage import save_corpus_json
+
+        corpus_path = tmp_path / "corpus.json"
+        database_path = tmp_path / "index.db"
+        save_corpus_json(corpus, corpus_path)
+        main(["index", str(corpus_path), "--database", str(database_path)])
+        query_csv = table_to_csv(query.table, tmp_path / "query.csv")
+        exit_code = main([
+            "discover", str(corpus_path), str(query_csv),
+            "--key", "f_name", "l_name", "country",
+            "--database", str(database_path), "--system", "scr",
+        ])
+        assert exit_code == 0
+        assert "top-10" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_runs_small_experiment(self, capsys):
+        exit_code = main([
+            "experiment", "init_column", "--queries", "1", "--scale", "0.05",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "heuristic" in output
+        assert "cardinality" in output
+
+    def test_extension_experiments_are_registered(self):
+        from repro.cli import EXPERIMENT_RUNNERS
+
+        for name in ("scaling", "fetch_cost", "frequency_source", "sharding"):
+            assert name in EXPERIMENT_RUNNERS
+
+    def test_runs_sharding_experiment(self, capsys):
+        exit_code = main([
+            "experiment", "sharding", "--queries", "1", "--scale", "0.05",
+        ])
+        assert exit_code == 0
+        assert "shards" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_directory(self, tmp_path, capsys, running_example_corpus):
+        _, corpus = running_example_corpus
+        for table in corpus:
+            table_to_csv(table, tmp_path / f"{table.name}.csv")
+        exit_code = main(["profile", str(tmp_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "profile of" in output
+        assert "recommended configuration" in output
+        assert "hash_size" in output
+
+    def test_profile_corpus_json(self, tmp_path, capsys, running_example_corpus):
+        from repro.storage import save_corpus_json
+
+        _, corpus = running_example_corpus
+        corpus_path = tmp_path / "corpus.json"
+        save_corpus_json(corpus, corpus_path)
+        exit_code = main(["profile", str(corpus_path)])
+        assert exit_code == 0
+        assert "unique_values" in capsys.readouterr().out
+
+
+class TestSuggestKeyCommand:
+    def test_suggest_key_for_csv(self, tmp_path, capsys, running_example_corpus):
+        query, _ = running_example_corpus
+        query_csv = table_to_csv(query.table, tmp_path / "query.csv")
+        exit_code = main(["suggest-key", str(query_csv), "--max-arity", "3"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "composite-key candidates" in output
+
+    def test_suggest_key_without_candidates(self, tmp_path, capsys):
+        csv_path = tmp_path / "floats.csv"
+        csv_path.write_text("m1,m2\n1.5,2.5\n3.5,4.5\n", encoding="utf-8")
+        exit_code = main(["suggest-key", str(csv_path)])
+        assert exit_code == 1
+        assert "no composite-key candidate" in capsys.readouterr().out

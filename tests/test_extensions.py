@@ -1,0 +1,144 @@
+"""Tests for the extensions: duplicate detection and union search."""
+
+import pytest
+
+from repro import MateConfig, build_index
+from repro.datamodel import QueryTable, Table, TableCorpus
+from repro.exceptions import DiscoveryError
+from repro.extensions import (
+    UnionSearch,
+    find_duplicate_rows,
+    find_duplicate_tables,
+)
+from repro.hashing import SuperKeyGenerator
+from repro.metrics import DiscoveryCounters
+
+
+@pytest.fixture()
+def generator(config) -> SuperKeyGenerator:
+    return SuperKeyGenerator.from_name("xash", config)
+
+
+class TestDuplicateRows:
+    def test_finds_exact_duplicates_regardless_of_column_order(self, generator):
+        first = Table(
+            table_id=0, name="a", columns=["x", "y"],
+            rows=[["ada", "london"], ["alan", "cambridge"]],
+        )
+        second = Table(
+            table_id=1, name="b", columns=["p", "q"],
+            rows=[["london", "ada"], ["grace", "new york"]],
+        )
+        pairs = find_duplicate_rows(first, second, generator)
+        assert len(pairs) == 1
+        assert pairs[0].first_row == 0 and pairs[0].second_row == 0
+        assert pairs[0].first_table == 0 and pairs[0].second_table == 1
+
+    def test_no_duplicates(self, generator):
+        first = Table(table_id=0, name="a", columns=["x"], rows=[["ada"]])
+        second = Table(table_id=1, name="b", columns=["x"], rows=[["grace"]])
+        assert find_duplicate_rows(first, second, generator) == []
+
+    def test_counters_track_prefilter_effectiveness(self, generator):
+        first = Table(table_id=0, name="a", columns=["x", "y"],
+                      rows=[["ada", "london"]])
+        second = Table(table_id=1, name="b", columns=["x", "y"],
+                       rows=[["ada", "london"], ["ada", "paris"], ["bob", "rome"]])
+        counters = DiscoveryCounters()
+        pairs = find_duplicate_rows(first, second, generator, counters)
+        assert len(pairs) == 1
+        # The super-key prefilter must have excluded at least the completely
+        # unrelated row, so fewer than all 3 candidates were compared.
+        assert counters.rows_checked < 3
+        assert counters.true_positive_rows == 1
+
+
+class TestDuplicateTables:
+    def test_ranks_by_overlap(self, config):
+        query = Table(
+            table_id=0, name="q", columns=["a", "b"],
+            rows=[["x", "1"], ["y", "2"], ["z", "3"], ["w", "4"]],
+        )
+        corpus = TableCorpus(name="dups")
+        corpus.add_table(query)
+        corpus.add_table(
+            Table(table_id=1, name="full-copy", columns=["a", "b"],
+                  rows=[["x", "1"], ["y", "2"], ["z", "3"], ["w", "4"]])
+        )
+        corpus.add_table(
+            Table(table_id=2, name="half-copy", columns=["b", "a"],
+                  rows=[["1", "x"], ["2", "y"], ["9", "q"], ["8", "r"]])
+        )
+        corpus.add_table(
+            Table(table_id=3, name="unrelated", columns=["a", "b"],
+                  rows=[["m", "7"], ["n", "8"]])
+        )
+        corpus.add_table(
+            Table(table_id=4, name="different-width", columns=["a", "b", "c"],
+                  rows=[["x", "1", "extra"]])
+        )
+        results = find_duplicate_tables(query, corpus, config=config, min_overlap_ratio=0.4)
+        assert [r.table_id for r in results] == [1, 2]
+        assert results[0].overlap_ratio == 1.0
+        assert results[1].overlap_ratio == pytest.approx(0.5)
+
+    def test_respects_k(self, config):
+        query = Table(table_id=0, name="q", columns=["a"], rows=[["x"], ["y"]])
+        corpus = TableCorpus(name="dups")
+        corpus.add_table(query)
+        for table_id in range(1, 5):
+            corpus.add_table(
+                Table(table_id=table_id, name=f"c{table_id}", columns=["a"],
+                      rows=[["x"], ["y"]])
+            )
+        assert len(find_duplicate_tables(query, corpus, config=config, k=2)) == 2
+
+
+class TestUnionSearch:
+    @pytest.fixture()
+    def corpus_and_index(self, config):
+        corpus = TableCorpus(name="union")
+        corpus.add_table(
+            Table(table_id=0, name="query-like", columns=["city", "country"],
+                  rows=[["berlin", "germany"], ["paris", "france"], ["rome", "italy"]])
+        )
+        corpus.add_table(
+            Table(table_id=1, name="more-cities", columns=["stadt", "land", "pop"],
+                  rows=[["berlin", "germany", "3.6m"], ["hamburg", "germany", "1.8m"],
+                        ["rome", "italy", "2.8m"]])
+        )
+        corpus.add_table(
+            Table(table_id=2, name="people", columns=["first", "last"],
+                  rows=[["ada", "lovelace"], ["alan", "turing"]])
+        )
+        index = build_index(corpus, config=config)
+        return corpus, index
+
+    def test_finds_unionable_table(self, corpus_and_index):
+        corpus, index = corpus_and_index
+        query = corpus.get_table(0)
+        results = UnionSearch(corpus, index).top_k_unionable(query, k=3)
+        assert results
+        assert results[0].table_id == 1
+        # city column aligns with "stadt" (0), country with "land" (1).
+        alignment = dict(results[0].alignment)
+        assert alignment[0] == 0
+        assert alignment[1] == 1
+        assert all(r.table_id != 0 for r in results)
+
+    def test_query_table_object_uses_key_columns(self, corpus_and_index):
+        corpus, index = corpus_and_index
+        query = QueryTable(table=corpus.get_table(0), key_columns=["city"])
+        results = UnionSearch(corpus, index).top_k_unionable(query, k=2)
+        assert results[0].table_id == 1
+
+    def test_unrelated_table_scores_zero(self, corpus_and_index):
+        corpus, index = corpus_and_index
+        query = corpus.get_table(2)
+        results = UnionSearch(corpus, index).top_k_unionable(query, k=3)
+        assert all(r.table_id != 1 or r.unionability <= 1.0 for r in results)
+
+    def test_rejects_bad_k(self, corpus_and_index):
+        corpus, index = corpus_and_index
+        with pytest.raises(DiscoveryError):
+            UnionSearch(corpus, index).top_k_unionable(corpus.get_table(0), k=0)

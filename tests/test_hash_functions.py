@@ -1,0 +1,164 @@
+"""Tests for the baseline hash functions: Murmur3, MD5, CityHash, SimHash,
+bloom filters, LHBF and the single-hash hash table."""
+
+import pytest
+
+from repro.config import MateConfig
+from repro.hashing import (
+    BloomFilterHashFunction,
+    CityHashFunction,
+    HashTableHashFunction,
+    LessHashingBloomFilter,
+    Md5HashFunction,
+    MurmurHashFunction,
+    SimHashFunction,
+    available_hash_functions,
+    create_hash_function,
+    false_positive_probability,
+    murmur3_32,
+    murmur3_string,
+    murmur3_x64_128,
+    optimal_number_of_hashes,
+    popcount,
+)
+from repro.exceptions import HashingError
+
+
+class TestMurmur3ReferenceVectors:
+    """Published MurmurHash3 test vectors."""
+
+    def test_x86_32_vectors(self):
+        assert murmur3_32(b"") == 0
+        assert murmur3_32(b"", seed=1) == 0x514E28B7
+        assert murmur3_32(b"", seed=0xFFFFFFFF) == 0x81F16F39
+        assert murmur3_32(b"hello") == 0x248BFA47
+        assert murmur3_32(b"hello, world") == 0x149BBB7F
+        assert murmur3_32(b"The quick brown fox jumps over the lazy dog", seed=0x9747B28C) == 0x2FA826CD
+
+    def test_x64_128_known_values(self):
+        # The two 64-bit halves match the canonical C++ implementation
+        # (h1 = 0xcbd8a7b341bd9b02, h2 = 0x5b1e906a48ae1d19 for "hello");
+        # this function composes the digest as (h2 << 64) | h1.
+        digest = murmur3_x64_128(b"hello", 0)
+        assert digest & 0xFFFFFFFFFFFFFFFF == 0xCBD8A7B341BD9B02
+        assert digest >> 64 == 0x5B1E906A48AE1D19
+        assert murmur3_x64_128(b"", 0) == 0
+
+    def test_string_helper_respects_bits(self):
+        for bits in (32, 64, 128, 256, 512):
+            assert murmur3_string("dresden", bits=bits) < (1 << bits)
+
+    def test_string_helper_deterministic(self):
+        assert murmur3_string("x", seed=3) == murmur3_string("x", seed=3)
+        assert murmur3_string("x", seed=3) != murmur3_string("x", seed=4)
+
+
+class TestBloomHelpers:
+    def test_optimal_number_of_hashes_paper_settings(self):
+        # V=5 (webtables) at 128 bits -> ~18 hash functions; V=26 (OD) -> ~3.
+        assert optimal_number_of_hashes(128, 5) == 18
+        assert optimal_number_of_hashes(128, 26) == 3
+
+    def test_optimal_number_of_hashes_is_at_least_one(self):
+        assert optimal_number_of_hashes(128, 1_000_000) == 1
+        assert optimal_number_of_hashes(128, 0) == 1
+
+    def test_optimal_number_of_hashes_validates(self):
+        with pytest.raises(HashingError):
+            optimal_number_of_hashes(0, 5)
+
+    def test_false_positive_probability_monotone_in_inserted(self):
+        low = false_positive_probability(128, 2, 8)
+        high = false_positive_probability(128, 30, 8)
+        assert 0.0 <= low < high <= 1.0
+
+    def test_false_positive_probability_edge_cases(self):
+        assert false_positive_probability(128, 0, 8) == 0.0
+        with pytest.raises(HashingError):
+            false_positive_probability(128, 5, 0)
+
+
+@pytest.fixture(params=["md5", "murmur", "cityhash", "simhash", "hashtable", "bloom", "lhbf"])
+def any_hash(request, config):
+    return create_hash_function(request.param, config)
+
+
+class TestCommonHashBehaviour:
+    def test_empty_value_is_zero(self, any_hash):
+        assert any_hash.hash_value("") == 0
+
+    def test_fits_hash_size(self, any_hash):
+        for value in ("muhammad", "us", "2020-01-01", "a" * 50):
+            assert 0 <= any_hash.hash_value(value) < (1 << any_hash.hash_size)
+
+    def test_deterministic(self, any_hash):
+        assert any_hash.hash_value("hannover") == any_hash.hash_value("hannover")
+
+    def test_different_values_usually_differ(self, any_hash):
+        values = ["alpha", "beta", "gamma", "delta", "epsilon"]
+        hashes = {any_hash.hash_value(v) for v in values}
+        assert len(hashes) >= 4
+
+    def test_hash_values_aggregation(self, any_hash):
+        aggregated = any_hash.hash_values(["a", "b", "c"])
+        assert aggregated == (
+            any_hash.hash_value("a") | any_hash.hash_value("b") | any_hash.hash_value("c")
+        )
+
+
+class TestUniformHashesAreDense:
+    """MD5 / Murmur / CityHash / SimHash set ~50% of the bits (Section 7.3)."""
+
+    @pytest.mark.parametrize("name", ["md5", "murmur", "cityhash", "simhash"])
+    def test_roughly_half_the_bits_set(self, name, config):
+        hash_function = create_hash_function(name, config)
+        values = [f"value_{i}" for i in range(50)]
+        average_ones = sum(popcount(hash_function.hash_value(v)) for v in values) / len(values)
+        assert 0.30 * config.hash_size < average_ones < 0.70 * config.hash_size
+
+
+class TestSparseHashesAreSparse:
+    def test_hashtable_sets_exactly_one_bit(self, config):
+        hash_table = HashTableHashFunction(config)
+        for value in ("a", "muhammad", "dresden", "2021-05-06"):
+            assert popcount(hash_table.hash_value(value)) == 1
+
+    def test_bloom_sets_at_most_h_bits(self, config):
+        bloom = BloomFilterHashFunction(config)
+        for value in ("a", "muhammad", "dresden"):
+            assert 1 <= popcount(bloom.hash_value(value)) <= bloom.num_hashes
+
+    def test_lhbf_uses_two_base_hashes(self, config):
+        lhbf = LessHashingBloomFilter(config)
+        assert popcount(lhbf.hash_value("photographer")) <= lhbf.num_hashes
+
+    def test_bloom_values_per_row_from_config(self):
+        config = MateConfig(bloom_values_per_row=26.0)
+        bloom = BloomFilterHashFunction(config)
+        assert bloom.values_per_row == 26.0
+        assert bloom.num_hashes == optimal_number_of_hashes(128, 26.0)
+
+    def test_bloom_explicit_values_per_row_overrides_config(self):
+        config = MateConfig(bloom_values_per_row=26.0)
+        bloom = BloomFilterHashFunction(config, values_per_row=5.0)
+        assert bloom.num_hashes == optimal_number_of_hashes(128, 5.0)
+
+
+class TestRegistry:
+    def test_all_expected_functions_registered(self):
+        names = available_hash_functions()
+        for expected in (
+            "xash", "bloom", "lhbf", "hashtable", "md5", "murmur", "cityhash",
+            "simhash", "xash_length", "xash_rare", "xash_char_loc", "xash_char_len_loc",
+        ):
+            assert expected in names
+
+    def test_unknown_name_raises(self, config):
+        with pytest.raises(HashingError):
+            create_hash_function("sha1", config)
+
+    def test_classes_report_names(self, config):
+        assert Md5HashFunction(config).name == "md5"
+        assert MurmurHashFunction(config).name == "murmur"
+        assert CityHashFunction(config).name == "cityhash"
+        assert SimHashFunction(config).name == "simhash"

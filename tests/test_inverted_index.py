@@ -1,0 +1,169 @@
+"""Tests for repro.index: posting lists, the inverted index, and the builder."""
+
+import pytest
+
+from repro import MateConfig, build_index
+from repro.datamodel import Table, TableCorpus
+from repro.exceptions import IndexError_
+from repro.hashing import SuperKeyGenerator
+from repro.index import (
+    FetchedItem,
+    IndexBuilder,
+    InvertedIndex,
+    PostingListItem,
+    storage_report,
+)
+
+
+def small_corpus() -> TableCorpus:
+    corpus = TableCorpus(name="idx-test")
+    corpus.add_table(
+        Table(
+            table_id=0,
+            name="people",
+            columns=["first", "last"],
+            rows=[["ada", "lovelace"], ["alan", "turing"], ["ada", "byron"]],
+        )
+    )
+    corpus.add_table(
+        Table(
+            table_id=1,
+            name="cities",
+            columns=["city", "country"],
+            rows=[["london", "uk"], ["turing", "fictional"]],
+        )
+    )
+    return corpus
+
+
+class TestPostingStructures:
+    def test_posting_list_item_location(self):
+        item = PostingListItem(table_id=3, column_index=1, row_index=7)
+        assert item.location() == (3, 7)
+
+    def test_fetched_item_from_posting(self):
+        item = PostingListItem(table_id=3, column_index=1, row_index=7)
+        fetched = FetchedItem.from_posting("ada", item, super_key=0b101)
+        assert fetched.value == "ada"
+        assert fetched.super_key == 0b101
+        assert fetched.location() == (3, 7)
+
+
+class TestInvertedIndex:
+    def test_add_and_lookup(self):
+        index = InvertedIndex()
+        index.add_posting("ada", 0, 0, 0)
+        index.add_posting("ada", 0, 0, 2)
+        index.set_super_key(0, 0, 0b1)
+        index.set_super_key(0, 2, 0b10)
+        assert len(index) == 1
+        assert index.num_posting_items() == 2
+        assert index.posting_list_length("ada") == 2
+        assert index.posting_list("missing") == []
+        assert index.super_key(0, 2) == 0b10
+        assert index.has_row(0, 0)
+        assert not index.has_row(0, 5)
+
+    def test_missing_values_not_indexed(self):
+        index = InvertedIndex()
+        index.add_posting("", 0, 0, 0)
+        assert len(index) == 0
+
+    def test_super_key_missing_raises(self):
+        with pytest.raises(IndexError_):
+            InvertedIndex().super_key(0, 0)
+
+    def test_or_into_super_key(self):
+        index = InvertedIndex()
+        index.set_super_key(0, 0, 0b0011)
+        assert index.or_into_super_key(0, 0, 0b0100) == 0b0111
+        assert index.or_into_super_key(1, 5, 0b1) == 0b1  # creates if absent
+
+    def test_fetch_returns_super_keys(self):
+        index = InvertedIndex()
+        index.add_posting("ada", 0, 0, 0)
+        index.set_super_key(0, 0, 0b11)
+        fetched = index.fetch(["ada", "ada", "missing", ""])
+        assert len(fetched) == 1
+        assert fetched[0].super_key == 0b11
+
+    def test_fetch_grouped_by_table(self):
+        index = InvertedIndex()
+        index.add_posting("x", 0, 0, 0)
+        index.add_posting("x", 1, 0, 0)
+        index.add_posting("y", 1, 1, 3)
+        grouped = index.fetch_grouped_by_table(["x", "y"])
+        assert set(grouped) == {0, 1}
+        assert len(grouped[1]) == 2
+
+    def test_posting_count_for_values_deduplicates(self):
+        index = InvertedIndex()
+        index.add_posting("x", 0, 0, 0)
+        index.add_posting("x", 0, 0, 1)
+        assert index.posting_count_for_values(["x", "x", "z"]) == 2
+
+    def test_remove_table_and_row_and_column(self):
+        index = InvertedIndex()
+        index.add_posting("x", 0, 0, 0)
+        index.add_posting("x", 1, 0, 0)
+        index.add_posting("y", 0, 1, 0)
+        index.set_super_key(0, 0, 1)
+        index.set_super_key(1, 0, 1)
+
+        assert index.remove_column(0, 1) == 1
+        assert "y" not in index
+
+        assert index.remove_row(1, 0) == 1
+        assert index.indexed_tables() == {0}
+
+        assert index.remove_table(0) == 1
+        assert index.num_posting_items() == 0
+        assert index.num_rows() == 0
+
+    def test_iter_super_keys(self):
+        index = InvertedIndex()
+        index.set_super_key(0, 0, 5)
+        index.set_super_key(2, 3, 9)
+        assert set(index.iter_super_keys()) == {(0, 0, 5), (2, 3, 9)}
+
+
+class TestIndexBuilder:
+    def test_build_indexes_every_non_missing_cell(self, config):
+        corpus = small_corpus()
+        builder = IndexBuilder(config=config)
+        index = builder.build(corpus)
+        total_cells = sum(t.num_rows * t.num_columns for t in corpus)
+        assert index.num_posting_items() == total_cells
+        assert index.num_rows() == sum(t.num_rows for t in corpus)
+        assert builder.last_report is not None
+        assert builder.last_report.num_tables == 2
+        assert builder.last_report.build_seconds >= 0.0
+        assert "rows" in builder.last_report.as_dict()
+
+    def test_super_keys_match_generator(self, config):
+        corpus = small_corpus()
+        index = build_index(corpus, config=config)
+        generator = SuperKeyGenerator.from_name("xash", config)
+        for table in corpus:
+            for row_index, row in enumerate(table.rows):
+                assert index.super_key(table.table_id, row_index) == generator.row_super_key(row)
+
+    def test_value_appearing_in_two_tables(self, config):
+        index = build_index(small_corpus(), config=config)
+        postings = index.posting_list("turing")
+        assert {item.table_id for item in postings} == {0, 1}
+
+    def test_build_with_other_hash_function(self):
+        config = MateConfig(hash_size=128)
+        index = build_index(small_corpus(), config=config, hash_function_name="bloom")
+        assert index.hash_function_name == "bloom"
+
+
+class TestStorageReport:
+    def test_report_consistency(self, config):
+        index = build_index(small_corpus(), config=config)
+        report = storage_report(index)
+        assert report.num_posting_items == index.num_posting_items()
+        assert report.super_key_bytes_per_row <= report.super_key_bytes_per_cell
+        assert report.total_bytes_per_row_layout <= report.total_bytes_per_cell_layout
+        assert report.as_dict()["hash_size"] == 128

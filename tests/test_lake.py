@@ -1,0 +1,245 @@
+"""Tests for data-lake ingestion (repro.lake.data_lake, repro.lake.webtable_json)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import MateConfig
+from repro.datamodel import QueryTable, Table, TableCorpus
+from repro.exceptions import CorpusError, StorageError
+from repro.lake import (
+    DataLake,
+    load_webtable_corpus,
+    parse_webtable_record,
+    record_to_table,
+    save_webtable_corpus,
+    table_to_record,
+)
+from repro.storage import table_to_csv
+
+
+# ----------------------------------------------------------------------
+# DWTC-style JSON format
+# ----------------------------------------------------------------------
+class TestWebTableJson:
+    def make_payload(self):
+        return {
+            "relation": [
+                ["f. name", "muhammad", "ansel"],
+                ["l. name", "lee", "adams"],
+                ["country", "us", "uk"],
+            ],
+            "pageTitle": "People",
+            "hasHeader": True,
+        }
+
+    def test_parse_record_column_major_to_rows(self):
+        record = parse_webtable_record(self.make_payload())
+        assert record.columns == ["f. name", "l. name", "country"]
+        assert record.rows == [["muhammad", "lee", "us"], ["ansel", "adams", "uk"]]
+        assert record.page_title == "People"
+
+    def test_parse_record_without_header(self):
+        payload = {"relation": [["a", "b"], ["c", "d"]], "hasHeader": False}
+        record = parse_webtable_record(payload)
+        assert record.columns == ["col_0", "col_1"]
+        assert record.rows == [["a", "c"], ["b", "d"]]
+
+    def test_parse_record_rejects_missing_relation(self):
+        with pytest.raises(StorageError):
+            parse_webtable_record({"pageTitle": "x"})
+
+    def test_parse_record_rejects_ragged_columns(self):
+        with pytest.raises(StorageError):
+            parse_webtable_record({"relation": [["a", "b"], ["c"]]})
+
+    def test_record_to_table_disambiguates_duplicate_headers(self):
+        payload = {
+            "relation": [["name", "x"], ["name", "y"], ["", "z"]],
+            "hasHeader": True,
+        }
+        table = record_to_table(parse_webtable_record(payload), table_id=4)
+        assert len(set(table.columns)) == 3
+        assert table.columns[0] == "name"
+        assert table.columns[1] == "name_2"
+
+    def test_table_record_round_trip(self):
+        table = Table(
+            table_id=7,
+            name="people",
+            columns=["first", "last"],
+            rows=[["muhammad", "lee"], ["ansel", "adams"]],
+        )
+        record = parse_webtable_record(table_to_record(table))
+        rebuilt = record_to_table(record, table_id=7, name="people")
+        assert rebuilt.columns == table.columns
+        assert [list(r) for r in rebuilt.rows] == [list(r) for r in table.rows]
+
+    def test_load_and_save_corpus_round_trip(self, tmp_path):
+        corpus = TableCorpus(name="lake")
+        corpus.create_table(
+            name="t0", columns=["a", "b"], rows=[["1", "x"], ["2", "y"]]
+        )
+        corpus.create_table(name="t1", columns=["c"], rows=[["z"]])
+        path = save_webtable_corpus(corpus, tmp_path / "dump.jsonl")
+        loaded = load_webtable_corpus(path, name="reloaded")
+        assert len(loaded) == 2
+        assert loaded.get_table(0).columns == ["a", "b"]
+
+    def test_load_corpus_filters_and_caps(self, tmp_path):
+        path = tmp_path / "tables.jsonl"
+        lines = [
+            json.dumps({"relation": [["only header"]], "hasHeader": True}),
+            json.dumps({"relation": [["a", "1"], ["b", "2"]], "hasHeader": True}),
+            json.dumps({"relation": [["c", "3"], ["d", "4"]], "hasHeader": True}),
+        ]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        loaded = load_webtable_corpus(path, min_rows=1, max_tables=1)
+        assert len(loaded) == 1
+
+    def test_load_corpus_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"relation": [["a", "1"]]}\nnot json\n', encoding="utf-8")
+        with pytest.raises(StorageError, match="broken.jsonl:2"):
+            list(load_webtable_corpus(path))
+
+    def test_load_corpus_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_webtable_corpus(tmp_path / "absent.jsonl")
+
+
+# ----------------------------------------------------------------------
+# DataLake facade
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def lake_directory(tmp_path):
+    """A directory with two CSV tables and one JSON-lines file (two tables)."""
+    people = Table(
+        table_id=0,
+        name="people",
+        columns=["first_name", "last_name", "country", "occupation"],
+        rows=[
+            ["muhammad", "lee", "us", "dancer"],
+            ["ansel", "adams", "uk", "photographer"],
+            ["helmut", "newton", "germany", "photographer"],
+            ["gretchen", "lee", "germany", "artist"],
+        ],
+    )
+    salaries = Table(
+        table_id=1,
+        name="salaries",
+        columns=["first_name", "last_name", "country", "salary"],
+        rows=[
+            ["muhammad", "lee", "us", "60000"],
+            ["ansel", "adams", "uk", "50000"],
+            ["ansel", "adams", "us", "400000"],
+        ],
+    )
+    table_to_csv(people, tmp_path / "people.csv")
+    table_to_csv(salaries, tmp_path / "salaries.csv")
+    web_tables = TableCorpus(name="web")
+    web_tables.create_table(
+        name="airports",
+        columns=["airline", "country", "airport"],
+        rows=[["luftair", "germany", "hannover"], ["skyjet", "us", "boston"]],
+    )
+    web_tables.create_table(
+        name="events",
+        columns=["city", "event"],
+        rows=[["berlin", "marathon"], ["hannover", "festival"]],
+    )
+    save_webtable_corpus(web_tables, tmp_path / "webtables.jsonl")
+    return tmp_path
+
+
+class TestDataLake:
+    def test_from_directory_ingests_csv_and_json(self, lake_directory):
+        lake = DataLake.from_directory(lake_directory)
+        assert len(lake) == 4
+        assert "people" in lake.sources
+        assert "salaries" in lake.sources
+        people = lake.table_by_source("people")
+        assert people.num_rows == 4
+
+    def test_from_directory_rejects_files(self, tmp_path):
+        with pytest.raises(StorageError):
+            DataLake.from_directory(tmp_path / "missing")
+
+    def test_max_tables_cap(self, lake_directory):
+        lake = DataLake.from_directory(lake_directory, max_tables=2)
+        assert len(lake) == 2
+
+    def test_unknown_source_raises(self, lake_directory):
+        lake = DataLake.from_directory(lake_directory)
+        with pytest.raises(CorpusError):
+            lake.table_by_source("nope")
+
+    def test_effective_config_derived_from_profile(self, lake_directory):
+        lake = DataLake.from_directory(lake_directory)
+        config = lake.effective_config()
+        assert config.expected_unique_values == lake.profile().num_unique_values
+
+    def test_explicit_config_is_respected(self, lake_directory):
+        config = MateConfig(hash_size=256, expected_unique_values=500)
+        lake = DataLake.from_directory(lake_directory, config=config)
+        assert lake.effective_config() is config
+        assert lake.index().hash_size == 256
+
+    def test_index_is_cached_and_rebuildable(self, lake_directory):
+        lake = DataLake.from_directory(lake_directory)
+        first = lake.index()
+        assert lake.index() is first
+        assert lake.index(rebuild=True) is not first
+
+    def test_add_table_invalidates_cache(self, lake_directory):
+        lake = DataLake.from_directory(lake_directory)
+        index = lake.index()
+        lake.add_table(
+            Table(table_id=999, name="extra", columns=["a"], rows=[["x"]]),
+            source="extra",
+        )
+        assert lake.table_by_source("extra").name == "extra"
+        assert lake.index() is not index
+
+    def test_discover_from_query_table(self, lake_directory):
+        lake = DataLake.from_directory(lake_directory)
+        query = QueryTable(
+            table=lake.table_by_source("people"),
+            key_columns=["first_name", "last_name", "country"],
+        )
+        result = lake.discover(query, k=3)
+        salaries_id = lake.sources["salaries"]
+        assert result.joinability_of(salaries_id) == 2
+
+    def test_discover_from_csv_path_with_explicit_key(self, lake_directory, tmp_path):
+        lake = DataLake.from_directory(lake_directory)
+        query_csv = tmp_path / "query.csv"
+        query_csv.write_text(
+            "first_name,last_name,country\nmuhammad,lee,us\nansel,adams,uk\n",
+            encoding="utf-8",
+        )
+        result = lake.discover(
+            query_csv, key=["first_name", "last_name", "country"], k=2
+        )
+        assert result.tables
+        assert result.tables[0].joinability >= 1
+
+    def test_query_from_csv_defaults_to_keyable_columns(self, lake_directory, tmp_path):
+        lake = DataLake.from_directory(lake_directory)
+        query_csv = tmp_path / "query.csv"
+        query_csv.write_text(
+            "name,amount\nmuhammad,1.5\nansel,2.5\n", encoding="utf-8"
+        )
+        query = lake.query_from_csv(query_csv)
+        assert query.key_columns == ["name"]  # float column excluded
+
+    def test_from_tables_constructor(self):
+        tables = [
+            Table(table_id=0, name="a", columns=["x"], rows=[["1"]]),
+            Table(table_id=1, name="b", columns=["y"], rows=[["2"]]),
+        ]
+        lake = DataLake.from_tables(tables, name="inline")
+        assert len(lake) == 2
+        assert lake.corpus.name == "inline"

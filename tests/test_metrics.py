@@ -1,0 +1,92 @@
+"""Tests for repro.metrics: counters, precision aggregation, timing."""
+
+import time
+
+import pytest
+
+from repro.metrics import (
+    DiscoveryCounters,
+    PrecisionSummary,
+    Stopwatch,
+    precision,
+    summarize_precision,
+    timed,
+)
+
+
+class TestDiscoveryCounters:
+    def test_precision_empty_is_one(self):
+        assert DiscoveryCounters().precision == 1.0
+
+    def test_precision_and_fp_rate(self):
+        counters = DiscoveryCounters(true_positive_rows=3, false_positive_rows=1)
+        assert counters.precision == pytest.approx(0.75)
+        assert counters.false_positive_rate == pytest.approx(0.25)
+
+    def test_filter_selectivity(self):
+        counters = DiscoveryCounters(rows_checked=10, rows_passed_filter=4)
+        assert counters.filter_selectivity == pytest.approx(0.4)
+        assert DiscoveryCounters().filter_selectivity == 0.0
+
+    def test_merge_accumulates_everything(self):
+        a = DiscoveryCounters(
+            pl_items_fetched=5, rows_checked=10, true_positive_rows=2,
+            false_positive_rows=1, runtime_seconds=0.5, extra={"x": 1.0},
+        )
+        b = DiscoveryCounters(
+            pl_items_fetched=7, rows_checked=3, true_positive_rows=4,
+            false_positive_rows=0, runtime_seconds=0.25, extra={"x": 2.0, "y": 5.0},
+        )
+        a.merge(b)
+        assert a.pl_items_fetched == 12
+        assert a.rows_checked == 13
+        assert a.true_positive_rows == 6
+        assert a.runtime_seconds == pytest.approx(0.75)
+        assert a.extra == {"x": 3.0, "y": 5.0}
+
+    def test_as_dict_contains_derived_metrics(self):
+        counters = DiscoveryCounters(true_positive_rows=1, false_positive_rows=1)
+        payload = counters.as_dict()
+        assert payload["precision"] == pytest.approx(0.5)
+        assert payload["false_positive_rate"] == pytest.approx(0.5)
+        assert "rows_checked" in payload
+
+
+class TestPrecisionHelpers:
+    def test_precision_function(self):
+        assert precision(0, 0) == 1.0
+        assert precision(3, 1) == pytest.approx(0.75)
+
+    def test_summarize_precision(self):
+        summary = summarize_precision([1.0, 0.5, 0.0])
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.std == pytest.approx(0.408248, rel=1e-4)
+        assert summary.count == 3
+        assert str(summary) == "0.50±0.41"
+        assert summary.as_dict()["count"] == 3
+
+    def test_summarize_precision_empty(self):
+        assert summarize_precision([]) == PrecisionSummary(0.0, 0.0, 0)
+
+    def test_summarize_precision_accepts_generators(self):
+        assert summarize_precision(v for v in (0.2, 0.4)).mean == pytest.approx(0.3)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        stopwatch = Stopwatch()
+        with stopwatch.measure():
+            time.sleep(0.01)
+        first = stopwatch.elapsed
+        with stopwatch.measure():
+            time.sleep(0.01)
+        assert stopwatch.elapsed > first
+
+    def test_stop_without_start_is_safe(self):
+        stopwatch = Stopwatch()
+        assert stopwatch.stop() == 0.0
+
+    def test_timed_context_manager(self):
+        with timed() as stopwatch:
+            time.sleep(0.005)
+        assert stopwatch.elapsed >= 0.004

@@ -1,0 +1,167 @@
+"""Property-based tests for joinability, the top-k heap, and end-to-end
+agreement between MATE and the brute-force oracle on random corpora."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import MateConfig, MateDiscovery, build_index
+from repro.core import (
+    TopKHeap,
+    exact_joinability,
+    joinability_from_matches,
+    row_contains_key,
+    row_mappings,
+    top_k_by_exact_joinability,
+)
+from repro.datamodel import QueryTable, Table, TableCorpus
+
+#: Small vocabulary so that overlaps actually happen.
+VOCABULARY = ["ada", "alan", "grace", "berlin", "paris", "rome", "us", "uk", "de"]
+
+values = st.sampled_from(VOCABULARY)
+
+
+def small_tables(draw, num_tables: int, num_columns: int) -> list[Table]:
+    tables = []
+    for table_id in range(num_tables):
+        rows = draw(
+            st.lists(
+                st.lists(values, min_size=num_columns, max_size=num_columns),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        tables.append(
+            Table(
+                table_id=table_id,
+                name=f"t{table_id}",
+                columns=[f"c{i}" for i in range(num_columns)],
+                rows=rows,
+            )
+        )
+    return tables
+
+
+class TestJoinabilityProperties:
+    @given(
+        row=st.lists(values, min_size=1, max_size=5),
+        key=st.lists(values, min_size=1, max_size=3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_row_mappings_are_valid_assignments(self, row, key):
+        for mapping in row_mappings(row, tuple(key)):
+            assert len(set(mapping)) == len(mapping)
+            for position, column in enumerate(mapping):
+                assert row[column] == key[position]
+
+    @given(
+        row=st.lists(values, min_size=1, max_size=5),
+        key=st.lists(values, min_size=1, max_size=3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_contains_iff_mappings_exist(self, row, key):
+        assert row_contains_key(row, tuple(key)) == bool(row_mappings(row, tuple(key)))
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_joinability_bounds(self, data):
+        query_rows = data.draw(
+            st.lists(st.lists(values, min_size=2, max_size=2), min_size=1, max_size=6)
+        )
+        query_table = Table(
+            table_id=100, name="q", columns=["a", "b"], rows=query_rows
+        )
+        query = QueryTable(table=query_table, key_columns=["a", "b"])
+        candidate = small_tables(data.draw, 1, 3)[0]
+        score, mapping = exact_joinability(query, candidate)
+        assert 0 <= score <= len(query.key_tuples())
+        if score > 0:
+            assert mapping is not None
+            projected = {
+                tuple(row[c] for c in mapping) for row in candidate.rows
+            }
+            assert score == len(projected & query.key_tuples())
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_based_score_never_exceeds_exact(self, data):
+        query_rows = data.draw(
+            st.lists(st.lists(values, min_size=2, max_size=2), min_size=1, max_size=5)
+        )
+        query_table = Table(table_id=100, name="q", columns=["a", "b"], rows=query_rows)
+        query = QueryTable(table=query_table, key_columns=["a", "b"])
+        candidate = small_tables(data.draw, 1, 3)[0]
+        matches = [
+            (tuple(row), key)
+            for row in candidate.rows
+            for key in query.key_tuples()
+            if row_contains_key(row, key)
+        ]
+        matches_score, _ = joinability_from_matches(matches)
+        exact_score, _ = exact_joinability(query, candidate)
+        assert matches_score == exact_score
+
+
+class TestTopKProperties:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 30)), max_size=40
+        ),
+        k=st.integers(1, 8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_heap_matches_sorted_reference(self, entries, k):
+        heap = TopKHeap(k)
+        best_per_table: dict[int, int] = {}
+        for table_id, joinability in entries:
+            heap.update(table_id, joinability)
+            if joinability > 0:
+                best_per_table[table_id] = max(
+                    best_per_table.get(table_id, 0), joinability
+                )
+        # Note: the heap treats repeated updates for the same table as
+        # independent offers, so compare only the joinability values.
+        reference = sorted(
+            (j for j in (joinability for _, joinability in entries) if j > 0),
+            reverse=True,
+        )
+        heap_scores = [entry.joinability for entry in heap.results()]
+        assert heap_scores == sorted(heap_scores, reverse=True)
+        assert len(heap_scores) <= k
+        if reference:
+            assert heap_scores[0] == reference[0]
+
+
+class TestDiscoveryAgainstBruteForce:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_mate_equals_brute_force_on_random_corpora(self, seed):
+        rng = random.Random(seed)
+        corpus = TableCorpus(name=f"random-{seed}")
+        for table_id in range(6):
+            num_columns = rng.randint(2, 4)
+            rows = [
+                [rng.choice(VOCABULARY) for _ in range(num_columns)]
+                for _ in range(rng.randint(1, 8))
+            ]
+            corpus.add_table(
+                Table(
+                    table_id=table_id,
+                    name=f"t{table_id}",
+                    columns=[f"c{i}" for i in range(num_columns)],
+                    rows=rows,
+                )
+            )
+        query_rows = [
+            [rng.choice(VOCABULARY), rng.choice(VOCABULARY)] for _ in range(4)
+        ]
+        query = QueryTable(
+            table=Table(table_id=99, name="q", columns=["a", "b"], rows=query_rows),
+            key_columns=["a", "b"],
+        )
+        config = MateConfig(hash_size=128, k=3, expected_unique_values=700_000_000)
+        index = build_index(corpus, config=config)
+        result = MateDiscovery(corpus, index, config=config).discover(query, k=3)
+        truth = top_k_by_exact_joinability(query, corpus, k=3)
+        assert [j for _, j in result.result_tuples()] == [j for _, j in truth]

@@ -1,0 +1,88 @@
+"""Tests for experiment-result export (repro.experiments.reporting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import (
+    ExperimentResult,
+    result_to_csv,
+    result_to_json,
+    save_result,
+)
+
+
+@pytest.fixture()
+def result():
+    return ExperimentResult(
+        name="Demo table",
+        headers=["system", "runtime (s)", "precision"],
+        rows=[["mate", 0.1234, 0.95], ["scr", 1.5, 0.5]],
+        notes=["shape: mate wins"],
+    )
+
+
+class TestCsvExport:
+    def test_round_trips_through_csv_reader(self, result):
+        parsed = list(csv.reader(io.StringIO(result_to_csv(result))))
+        assert parsed[0] == result.headers
+        assert parsed[1][0] == "mate"
+        assert float(parsed[1][1]) == pytest.approx(0.123, abs=1e-3)
+        assert len(parsed) == 3
+
+    def test_empty_rows(self):
+        empty = ExperimentResult(name="empty", headers=["a"], rows=[])
+        parsed = list(csv.reader(io.StringIO(result_to_csv(empty))))
+        assert parsed == [["a"]]
+
+
+class TestJsonExport:
+    def test_document_structure(self, result):
+        payload = json.loads(result_to_json(result))
+        assert payload["name"] == "Demo table"
+        assert payload["headers"] == result.headers
+        assert payload["rows"][0]["system"] == "mate"
+        assert payload["notes"] == ["shape: mate wins"]
+
+    def test_non_serialisable_cells_are_stringified(self):
+        weird = ExperimentResult(
+            name="weird", headers=["value"], rows=[[{1, 2}]]
+        )
+        payload = json.loads(result_to_json(weird))
+        assert isinstance(payload["rows"][0]["value"], str)
+
+
+class TestSaveResult:
+    def test_format_from_suffix(self, result, tmp_path):
+        text_path = save_result(result, tmp_path / "out.txt")
+        csv_path = save_result(result, tmp_path / "out.csv")
+        json_path = save_result(result, tmp_path / "out.json")
+        assert "Demo table" in text_path.read_text(encoding="utf-8")
+        assert csv_path.read_text(encoding="utf-8").startswith("system,")
+        assert json.loads(json_path.read_text(encoding="utf-8"))["name"] == "Demo table"
+
+    def test_explicit_format_overrides_suffix(self, result, tmp_path):
+        path = save_result(result, tmp_path / "out.data", format="json")
+        assert json.loads(path.read_text(encoding="utf-8"))["headers"] == result.headers
+
+    def test_creates_parent_directories(self, result, tmp_path):
+        path = save_result(result, tmp_path / "nested" / "deep" / "out.csv")
+        assert path.exists()
+
+
+class TestCliOut:
+    def test_experiment_command_saves_result(self, tmp_path, capsys):
+        out = tmp_path / "init_column.json"
+        exit_code = main([
+            "experiment", "init_column", "--queries", "1", "--scale", "0.05",
+            "--out", str(out),
+        ])
+        assert exit_code == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert any("cardinality" in str(row.values()) for row in payload["rows"])
+        assert "saved to" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""Tests for the short-value XASH variant (repro.hashing.short_values)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MateConfig
+from repro.hashing import (
+    ShortValueXashHashFunction,
+    XashHashFunction,
+    available_hash_functions,
+    bigram_bucket,
+    create_hash_function,
+    popcount,
+)
+
+#: Web-scale budget: alpha = 6 (5 character bits + 1 length bit) at 128 bits,
+#: so values with fewer than 5 distinct characters are "short".
+CONFIG = MateConfig(hash_size=128, expected_unique_values=700_000_000)
+
+
+@pytest.fixture()
+def xash():
+    return XashHashFunction(CONFIG)
+
+
+@pytest.fixture()
+def xash_short():
+    return ShortValueXashHashFunction(CONFIG)
+
+
+class TestBigramBucket:
+    def test_bucket_is_in_alphabet(self):
+        assert bigram_bucket("ab", CONFIG.alphabet) in CONFIG.alphabet
+
+    def test_order_matters(self):
+        assert bigram_bucket("ab", CONFIG.alphabet) != bigram_bucket("ba", CONFIG.alphabet)
+
+    def test_deterministic(self):
+        assert bigram_bucket("us", CONFIG.alphabet) == bigram_bucket("us", CONFIG.alphabet)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            bigram_bucket("abc", CONFIG.alphabet)
+
+
+class TestShortValueHash:
+    def test_registered_in_the_registry(self):
+        assert "xash_short" in available_hash_functions()
+        function = create_hash_function("xash_short", CONFIG)
+        assert isinstance(function, ShortValueXashHashFunction)
+
+    def test_empty_value_hashes_to_zero(self, xash_short):
+        assert xash_short.hash_value("") == 0
+
+    def test_long_values_match_plain_xash(self, xash, xash_short):
+        # A value with >= budget distinct characters leaves no unused budget,
+        # so the variant must be bit-identical to plain XASH.
+        for value in ("muhammad", "photographer", "hannover", "table1234"):
+            assert not xash_short.is_short_value(value)
+            assert xash_short.hash_value(value) == xash.hash_value(value)
+
+    def test_short_values_gain_extra_bits(self, xash, xash_short):
+        for value in ("us", "uk", "de", "a1", "ab"):
+            assert xash_short.is_short_value(value)
+            plain = xash.hash_value(value)
+            extended = xash_short.hash_value(value)
+            assert popcount(extended) >= popcount(plain)
+        assert any(
+            popcount(xash_short.hash_value(v)) > popcount(xash.hash_value(v))
+            for v in ("us", "uk", "de", "ab")
+        )
+
+    def test_budget_is_respected(self, xash_short):
+        budget = CONFIG.alpha  # character budget + 1 length bit
+        for value in ("u", "us", "usa", "ab12", "xyz"):
+            assert popcount(xash_short.hash_value(value)) <= budget
+
+    def test_short_hash_covers_plain_character_bits(self, xash, xash_short):
+        """The variant only adds bits, it never moves the plain XASH bits."""
+        for value in ("us", "de", "a1"):
+            plain = xash.hash_value(value)
+            extended = xash_short.hash_value(value)
+            assert plain & extended == plain
+
+    def test_never_merges_values_plain_xash_distinguishes(self, xash, xash_short):
+        """Adding bigram bits never makes two distinct hashes collide."""
+        codes = ["us", "su", "ab", "ba", "de", "ed", "a1", "1a"]
+        for first in codes:
+            for second in codes:
+                if first == second:
+                    continue
+                if xash.hash_value(first) != xash.hash_value(second):
+                    assert (
+                        xash_short.hash_value(first) != xash_short.hash_value(second)
+                    )
+
+    def test_reduces_masking_false_positives(self, xash, xash_short):
+        """Short keys are masked by unrelated row values less often with bigrams.
+
+        This is the actual §9 failure mode: a short key combination sets so
+        few bits that the OR-aggregated super key of an unrelated row covers
+        it by accident.  With a fixed seed, the bigram-extended variant must
+        produce no more such accidental coverings than plain XASH.
+        """
+        import random
+
+        from repro.hashing import SuperKeyGenerator, subsumes
+
+        rng = random.Random(13)
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        codes = ["".join(rng.choice(alphabet) for _ in range(2)) for _ in range(120)]
+        words = [
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(6, 12)))
+            for _ in range(8)
+        ]
+
+        def masking_count(function_name: str) -> int:
+            generator = SuperKeyGenerator.from_name(function_name, CONFIG)
+            row_super_key = generator.row_super_key(words)
+            return sum(
+                1
+                for first, second in zip(codes[::2], codes[1::2])
+                if subsumes(row_super_key, generator.key_super_key((first, second)))
+            )
+
+        assert masking_count("xash_short") <= masking_count("xash")
+
+    def test_deterministic(self, xash_short):
+        assert xash_short.hash_value("us") == xash_short.hash_value("us")
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789 ", min_size=1, max_size=12))
+    @settings(max_examples=80, deadline=None)
+    def test_property_fits_hash_size_and_budget(self, value):
+        function = ShortValueXashHashFunction(CONFIG)
+        hashed = function.hash_value(value)
+        assert 0 <= hashed < (1 << CONFIG.hash_size)
+        assert popcount(hashed) <= CONFIG.alpha
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=5, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_property_long_values_identical_to_xash(self, value):
+        plain = XashHashFunction(CONFIG)
+        extended = ShortValueXashHashFunction(CONFIG)
+        if not extended.is_short_value(value):
+            assert extended.hash_value(value) == plain.hash_value(value)
+
+
+class TestShortValueNoFalseNegatives:
+    """The super-key no-false-negative guarantee holds for the variant too."""
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=4),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_row_super_key_always_covers_member_values(self, row):
+        from repro.hashing import SuperKeyGenerator, subsumes
+
+        generator = SuperKeyGenerator.from_name("xash_short", CONFIG)
+        row_super_key = generator.row_super_key(row)
+        for value in row:
+            assert subsumes(row_super_key, generator.value_hash(value))
+        key_super_key = generator.key_super_key(row[:2])
+        assert subsumes(row_super_key, key_super_key)
+
+
+class TestShortValueExperiment:
+    def test_plumbing(self):
+        from repro.experiments import ExperimentSettings, run_short_values
+
+        settings = ExperimentSettings(seed=5, num_queries=1, corpus_scale=0.1, k=3)
+        result = run_short_values(settings, cardinality=20, hashes=("xash", "xash_short"))
+        assert [row[0] for row in result.rows] == ["xash", "xash_short"]
+        for row in result.row_dicts():
+            assert 0.0 <= row["precision"] <= 1.0
+
+    def test_scenario_keys_are_short(self):
+        from repro.experiments import ExperimentSettings, build_short_value_scenario
+
+        settings = ExperimentSettings(seed=5, num_queries=1, corpus_scale=0.1, k=3)
+        _, queries = build_short_value_scenario(settings, cardinality=15)
+        for query in queries:
+            for key_tuple in query.key_tuples():
+                assert all(len(value) <= 3 for value in key_tuple)

@@ -1,0 +1,201 @@
+"""Tests for similarity-join discovery (repro.extensions.similarity)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MateConfig
+from repro.datamodel import QueryTable, TableCorpus
+from repro.exceptions import DiscoveryError
+from repro.extensions import (
+    SimilarityJoinDiscovery,
+    levenshtein_distance,
+    xash_similarity,
+)
+from repro.hashing import SuperKeyGenerator
+from repro.index import build_index
+
+CONFIG = MateConfig(expected_unique_values=10_000)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_distance("", "") == 0
+
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("lee", "leo") == 1
+        assert levenshtein_distance("cambridge", "bay ridge") == 3
+
+    def test_upper_bound_early_exit(self):
+        assert levenshtein_distance("aaaaaaaa", "bbbbbbbb", upper_bound=2) > 2
+        assert levenshtein_distance("abcdef", "abcxef", upper_bound=2) == 1
+
+    def test_length_difference_short_circuit(self):
+        assert levenshtein_distance("a", "abcdef", upper_bound=2) > 2
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_property_symmetry_and_bounds(self, first, second):
+        distance = levenshtein_distance(first, second)
+        assert distance == levenshtein_distance(second, first)
+        assert distance <= max(len(first), len(second))
+        assert (distance == 0) == (first == second)
+
+    @given(st.text(min_size=1, max_size=10), st.integers(min_value=0, max_value=9))
+    @settings(max_examples=40, deadline=None)
+    def test_property_single_substitution_costs_one(self, text, position):
+        position %= len(text)
+        mutated = text[:position] + ("#" if text[position] != "#" else "@") + text[position + 1:]
+        assert levenshtein_distance(text, mutated) == 1
+
+
+class TestXashSimilarity:
+    def test_identical_values_score_one(self):
+        generator = SuperKeyGenerator.from_name("xash", CONFIG)
+        assert xash_similarity("brooklyn", "brooklyn", generator) == 1.0
+
+    def test_similar_values_score_higher_than_dissimilar(self):
+        # Same length + shared rare characters (the XASH collision profile)
+        # must score above a value sharing neither length nor characters.
+        generator = SuperKeyGenerator.from_name("xash", CONFIG)
+        similar = xash_similarity("lee", "leo", generator)
+        dissimilar = xash_similarity("lee", "42", generator)
+        assert similar > dissimilar
+
+    def test_score_range(self):
+        generator = SuperKeyGenerator.from_name("xash", CONFIG)
+        for first, second in [("abc", "xyz"), ("", "x"), ("", "")]:
+            score = xash_similarity(first, second, generator)
+            assert 0.0 <= score <= 1.0
+
+
+@pytest.fixture()
+def corpus_and_query():
+    """A small corpus with exact, misspelled and unrelated candidate tables."""
+    corpus = TableCorpus(name="similarity")
+    # Table 0: exact matches for both keys.
+    corpus.create_table(
+        name="exact",
+        columns=["first", "last", "country", "info"],
+        rows=[
+            ["muhammad", "lee", "us", "dancer"],
+            ["ansel", "adams", "uk", "photographer"],
+            ["helmut", "newton", "germany", "photographer"],
+        ],
+    )
+    # Table 1: one value misspelled per row (edit distance 1).
+    corpus.create_table(
+        name="typos",
+        columns=["vorname", "nachname", "land"],
+        rows=[
+            ["muhammad", "leo", "us"],
+            ["ansel", "adama", "uk"],
+        ],
+    )
+    # Table 2: shares first names only (should not be similarity-joinable).
+    corpus.create_table(
+        name="unrelated",
+        columns=["name", "animal"],
+        rows=[["muhammad", "owl"], ["ansel", "fox"]],
+    )
+    query_table = corpus.create_table(
+        name="query",
+        columns=["first", "last"],
+        rows=[["muhammad", "lee"], ["ansel", "adams"]],
+    )
+    corpus.remove_table(query_table.table_id)
+    query = QueryTable(table=query_table, key_columns=["first", "last"])
+    index = build_index(corpus, config=CONFIG)
+    return corpus, index, query
+
+
+class TestSimilarityJoinDiscovery:
+    def test_exact_matches_rank_first(self, corpus_and_query):
+        corpus, index, query = corpus_and_query
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=1)
+        results = discovery.discover(query, k=5)
+        assert results
+        assert results[0].table_id == 0
+        assert results[0].similarity_joinability == 2
+        assert results[0].exact_joinability == 2
+
+    def test_typo_table_found_with_distance_budget(self, corpus_and_query):
+        corpus, index, query = corpus_and_query
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=1)
+        results = {r.table_id: r for r in discovery.discover(query, k=5)}
+        assert 1 in results
+        assert results[1].similarity_joinability == 2
+        assert results[1].exact_joinability == 0
+
+    def test_zero_distance_budget_degenerates_to_exact_join(self, corpus_and_query):
+        corpus, index, query = corpus_and_query
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=0)
+        results = {r.table_id: r for r in discovery.discover(query, k=5)}
+        assert 0 in results
+        assert 1 not in results
+
+    def test_unrelated_table_is_not_reported(self, corpus_and_query):
+        corpus, index, query = corpus_and_query
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=1)
+        assert all(r.table_id != 2 for r in discovery.discover(query, k=5))
+
+    def test_match_metadata(self, corpus_and_query):
+        corpus, index, query = corpus_and_query
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=1)
+        results = {r.table_id: r for r in discovery.discover(query, k=5)}
+        typo_match = next(
+            m for m in results[1].matches if m.key_tuple == ("muhammad", "lee")
+        )
+        assert typo_match.matched_values == ("muhammad", "leo")
+        assert typo_match.total_distance == 1
+
+    def test_k_limits_results(self, corpus_and_query):
+        corpus, index, query = corpus_and_query
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=1)
+        assert len(discovery.discover(query, k=1)) == 1
+
+    def test_invalid_parameters(self, corpus_and_query):
+        corpus, index, query = corpus_and_query
+        with pytest.raises(DiscoveryError):
+            SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=-1)
+        with pytest.raises(DiscoveryError):
+            SimilarityJoinDiscovery(corpus, index, config=CONFIG, min_bit_overlap=0.0)
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG)
+        with pytest.raises(DiscoveryError):
+            discovery.discover(query, k=0)
+
+    def test_empty_query_returns_nothing(self, corpus_and_query):
+        corpus, index, _ = corpus_and_query
+        empty_query_table = corpus.get_table(0)
+        query = QueryTable(table=empty_query_table, key_columns=["first", "info"])
+        # Overwrite with rows that are all missing in the key columns.
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG)
+        results = discovery.discover(
+            QueryTable(
+                table=TableCorpus(name="tmp").create_table(
+                    name="empty", columns=["a", "b"], rows=[["", ""]]
+                ),
+                key_columns=["a", "b"],
+            ),
+            k=3,
+        )
+        assert results == []
+
+    def test_exact_results_agree_with_mate_on_shared_tables(self, corpus_and_query):
+        """Similarity discovery with distance 0 never exceeds MATE's joinability."""
+        from repro.core import MateDiscovery
+
+        corpus, index, query = corpus_and_query
+        mate = MateDiscovery(corpus, index, config=CONFIG)
+        exact = {r.table_id: r.joinability for r in mate.discover(query, k=5).tables}
+        discovery = SimilarityJoinDiscovery(corpus, index, config=CONFIG, max_distance=0)
+        for result in discovery.discover(query, k=5):
+            assert result.similarity_joinability == exact.get(result.table_id, 0)

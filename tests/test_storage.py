@@ -1,0 +1,150 @@
+"""Tests for the storage backends and plain-file serialisation."""
+
+import pytest
+
+from repro import build_index
+from repro.datamodel import Table, TableCorpus
+from repro.exceptions import StorageError
+from repro.storage import (
+    InMemoryBackend,
+    SQLiteBackend,
+    corpus_from_json,
+    corpus_to_json,
+    load_corpus_from_csv_directory,
+    load_corpus_json,
+    save_corpus_json,
+    table_from_csv,
+    table_to_csv,
+)
+
+
+@pytest.fixture()
+def corpus() -> TableCorpus:
+    corpus = TableCorpus(name="persisted")
+    corpus.add_table(
+        Table(
+            table_id=0,
+            name="people",
+            columns=["first", "last"],
+            rows=[["ada", "lovelace"], ["alan", "turing"]],
+        )
+    )
+    corpus.add_table(
+        Table(table_id=2, name="gap-in-ids", columns=["x"], rows=[["1"]])
+    )
+    return corpus
+
+
+def assert_corpora_equal(left: TableCorpus, right: TableCorpus) -> None:
+    assert left.name == right.name
+    assert left.table_ids() == right.table_ids()
+    for table_id in left.table_ids():
+        original = left.get_table(table_id)
+        restored = right.get_table(table_id)
+        assert original.columns == restored.columns
+        assert original.rows == restored.rows
+        assert original.name == restored.name
+
+
+@pytest.fixture(params=["memory", "sqlite_memory", "sqlite_file"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        backend = InMemoryBackend()
+    elif request.param == "sqlite_memory":
+        backend = SQLiteBackend()
+    else:
+        backend = SQLiteBackend(tmp_path / "mate.db")
+    yield backend
+    backend.close()
+
+
+class TestBackends:
+    def test_corpus_roundtrip(self, backend, corpus):
+        backend.save_corpus(corpus)
+        restored = backend.load_corpus("persisted")
+        assert_corpora_equal(corpus, restored)
+        assert backend.list_corpora() == ["persisted"]
+
+    def test_missing_corpus_raises(self, backend):
+        with pytest.raises(StorageError):
+            backend.load_corpus("does-not-exist")
+
+    def test_index_roundtrip(self, backend, corpus, config):
+        index = build_index(corpus, config=config)
+        backend.save_index("main", index)
+        restored = backend.load_index("main")
+        assert restored.hash_function_name == index.hash_function_name
+        assert restored.hash_size == index.hash_size
+        assert restored.num_posting_items() == index.num_posting_items()
+        assert len(restored) == len(index)
+        for table_id, row_index, super_key in index.iter_super_keys():
+            assert restored.super_key(table_id, row_index) == super_key
+
+    def test_missing_index_raises(self, backend):
+        with pytest.raises(StorageError):
+            backend.load_index("nope")
+
+    def test_save_overwrites(self, backend, corpus):
+        backend.save_corpus(corpus)
+        smaller = TableCorpus(name="persisted")
+        smaller.create_table("only", ["a"], [["1"]])
+        backend.save_corpus(smaller)
+        assert len(backend.load_corpus("persisted")) == 1
+
+    def test_context_manager(self, corpus, tmp_path):
+        with SQLiteBackend(tmp_path / "ctx.db") as backend:
+            backend.save_corpus(corpus)
+            assert backend.list_corpora() == ["persisted"]
+
+
+class TestMemoryBackendIsolation:
+    def test_mutations_do_not_leak(self, corpus):
+        backend = InMemoryBackend()
+        backend.save_corpus(corpus)
+        corpus.get_table(0).append_row(["grace", "hopper"])
+        restored = backend.load_corpus("persisted")
+        assert restored.get_table(0).num_rows == 2
+
+
+class TestJsonSerialization:
+    def test_json_roundtrip(self, corpus, tmp_path):
+        path = save_corpus_json(corpus, tmp_path / "corpus.json")
+        restored = load_corpus_json(path)
+        assert_corpora_equal(corpus, restored)
+
+    def test_in_memory_payload_roundtrip(self, corpus):
+        assert_corpora_equal(corpus, corpus_from_json(corpus_to_json(corpus)))
+
+    def test_malformed_payload(self):
+        with pytest.raises(StorageError):
+            corpus_from_json({"tables": []})
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_corpus_json(tmp_path / "missing.json")
+
+
+class TestCsvSerialization:
+    def test_csv_roundtrip(self, corpus, tmp_path):
+        table = corpus.get_table(0)
+        path = table_to_csv(table, tmp_path / "people.csv")
+        restored = table_from_csv(7, path)
+        assert restored.columns == table.columns
+        assert restored.rows == table.rows
+        assert restored.table_id == 7
+
+    def test_load_directory(self, corpus, tmp_path):
+        for table in corpus:
+            table_to_csv(table, tmp_path / f"{table.name}.csv")
+        loaded = load_corpus_from_csv_directory(tmp_path, name="csvs")
+        assert len(loaded) == len(corpus)
+
+    def test_errors(self, tmp_path):
+        with pytest.raises(StorageError):
+            table_from_csv(0, tmp_path / "missing.csv")
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(StorageError):
+            table_from_csv(0, empty)
+        with pytest.raises(StorageError):
+            load_corpus_from_csv_directory(tmp_path / "not-a-dir")

@@ -1,0 +1,132 @@
+"""Tests for the top-k heap, the table-filtering rules, and the row filter."""
+
+import pytest
+
+from repro.core import (
+    RowFilter,
+    TopKHeap,
+    should_abandon_table,
+    should_prune_table,
+)
+from repro.exceptions import DiscoveryError
+from repro.hashing import SuperKeyGenerator
+from repro.metrics import DiscoveryCounters
+
+
+class TestTopKHeap:
+    def test_requires_positive_k(self):
+        with pytest.raises(DiscoveryError):
+            TopKHeap(0)
+
+    def test_not_full_min_joinability_is_zero(self):
+        heap = TopKHeap(3)
+        heap.update(1, 10)
+        assert not heap.is_full
+        assert heap.min_joinability() == 0
+
+    def test_keeps_best_k(self):
+        heap = TopKHeap(2)
+        heap.update(1, 5)
+        heap.update(2, 9)
+        heap.update(3, 7)
+        assert heap.result_tuples() == [(2, 9), (3, 7)]
+        assert heap.min_joinability() == 7
+
+    def test_rejects_zero_joinability(self):
+        heap = TopKHeap(2)
+        assert heap.update(1, 0) is False
+        assert len(heap) == 0
+
+    def test_ties_prefer_smaller_table_id(self):
+        heap = TopKHeap(2)
+        heap.update(10, 5)
+        heap.update(3, 5)
+        heap.update(7, 5)
+        assert heap.result_tuples() == [(3, 5), (7, 5)]
+
+    def test_update_returns_whether_kept(self):
+        heap = TopKHeap(1)
+        assert heap.update(1, 5) is True
+        assert heap.update(2, 4) is False
+        assert heap.update(3, 6) is True
+
+    def test_results_sorted_best_first(self):
+        heap = TopKHeap(3)
+        for table_id, joinability in ((1, 2), (2, 8), (3, 5)):
+            heap.update(table_id, joinability)
+        assert [r.joinability for r in heap.results()] == [8, 5, 2]
+        assert heap.results()[0].as_tuple() == (2, 8)
+
+
+class TestTableFilterRules:
+    def test_rule1_inactive_until_full(self):
+        heap = TopKHeap(2)
+        heap.update(1, 100)
+        assert not should_prune_table(1, heap)
+
+    def test_rule1_prunes_small_tables(self):
+        heap = TopKHeap(1)
+        heap.update(1, 5)
+        assert should_prune_table(5, heap)       # L_t == j_k -> prune
+        assert should_prune_table(4, heap)
+        assert not should_prune_table(6, heap)
+
+    def test_rule2_optimistic_bound(self):
+        heap = TopKHeap(1)
+        heap.update(1, 5)
+        # 10 PL items, 7 checked, only 1 matched: best case 10 - 7 + 1 = 4 <= 5.
+        assert should_abandon_table(10, 7, 1, heap)
+        # 10 PL items, 4 checked, 1 matched: best case 7 > 5 -> keep going.
+        assert not should_abandon_table(10, 4, 1, heap)
+
+    def test_rule2_inactive_until_full(self):
+        heap = TopKHeap(2)
+        heap.update(1, 5)
+        assert not should_abandon_table(10, 9, 0, heap)
+
+
+class TestRowFilter:
+    def make_filter(self, config, mode: str) -> RowFilter:
+        return RowFilter(SuperKeyGenerator.from_name("xash", config), mode=mode)
+
+    def test_invalid_mode(self, config):
+        with pytest.raises(DiscoveryError):
+            self.make_filter(config, "bogus")
+
+    def test_none_mode_passes_everything(self, config):
+        row_filter = self.make_filter(config, "none")
+        counters = DiscoveryCounters()
+        assert row_filter.passes(0, 0xFFFF, ("a",), ("b",), counters)
+        assert counters.superkey_checks == 0
+
+    def test_oracle_mode_has_no_false_positives(self, config):
+        row_filter = self.make_filter(config, "oracle")
+        counters = DiscoveryCounters()
+        assert row_filter.passes(0, 0, ("lee", "us"), ("lee", "us"), counters)
+        assert not row_filter.passes(0, 0, ("lee", "uk"), ("lee", "us"), counters)
+
+    def test_superkey_mode_counts_checks(self, config):
+        generator = SuperKeyGenerator.from_name("xash", config)
+        row_filter = RowFilter(generator, mode="superkey")
+        counters = DiscoveryCounters()
+        row = ("muhammad", "lee", "us")
+        row_super_key = generator.row_super_key(row)
+        key = ("lee", "us")
+        key_super_key = generator.key_super_key(key)
+        assert row_filter.passes(row_super_key, key_super_key, row, key, counters)
+        assert counters.superkey_checks == 1
+
+    def test_superkey_mode_short_circuit_counter(self, config):
+        generator = SuperKeyGenerator.from_name("xash", config)
+        row_filter = RowFilter(generator, mode="superkey")
+        counters = DiscoveryCounters()
+        row = ("abc", "defg")
+        key = ("photographer",)  # length not present in the row
+        assert not row_filter.passes(
+            generator.row_super_key(row),
+            generator.key_super_key(key),
+            row,
+            key,
+            counters,
+        )
+        assert counters.short_circuit_hits == 1

@@ -1,0 +1,139 @@
+"""Tests for column type inference (repro.lake.type_inference)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datamodel import Table
+from repro.lake import (
+    ColumnType,
+    classify_value,
+    infer_column_type,
+    infer_table_types,
+    keyable_columns,
+)
+
+
+class TestClassifyValue:
+    def test_integer(self):
+        assert classify_value("42") is ColumnType.INTEGER
+        assert classify_value("-7") is ColumnType.INTEGER
+        assert classify_value("+13") is ColumnType.INTEGER
+
+    def test_float(self):
+        assert classify_value("3.14") is ColumnType.FLOAT
+        assert classify_value("-0.5") is ColumnType.FLOAT
+        assert classify_value("1e9") is ColumnType.FLOAT
+        assert classify_value(".25") is ColumnType.FLOAT
+
+    def test_boolean(self):
+        assert classify_value("true") is ColumnType.BOOLEAN
+        assert classify_value("no") is ColumnType.BOOLEAN
+
+    def test_numeric_zero_one_are_integers_not_booleans(self):
+        assert classify_value("0") is ColumnType.INTEGER
+        assert classify_value("1") is ColumnType.INTEGER
+
+    def test_date(self):
+        assert classify_value("2021-04-25") is ColumnType.DATE
+        assert classify_value("25.04.2021") is ColumnType.DATE
+        assert classify_value("4/25/21") is ColumnType.DATE
+
+    def test_timestamp(self):
+        assert classify_value("2021-04-25 13:45") is ColumnType.TIMESTAMP
+        assert classify_value("13:45:10") is ColumnType.TIMESTAMP
+
+    def test_code(self):
+        assert classify_value("de-ni-h1") is ColumnType.CODE
+        assert classify_value("ab1234") is ColumnType.CODE
+
+    def test_text(self):
+        assert classify_value("muhammad") is ColumnType.TEXT
+        assert classify_value("bay ridge") is ColumnType.TEXT
+
+    def test_empty(self):
+        assert classify_value("") is ColumnType.EMPTY
+
+
+class TestInferColumnType:
+    def test_empty_column(self):
+        assert infer_column_type([]) is ColumnType.EMPTY
+        assert infer_column_type(["", "", ""]) is ColumnType.EMPTY
+
+    def test_homogeneous_columns(self):
+        assert infer_column_type(["1", "2", "3"]) is ColumnType.INTEGER
+        assert infer_column_type(["a", "b", "c"]) is ColumnType.TEXT
+
+    def test_dominant_type_wins_at_threshold(self):
+        values = ["1"] * 9 + ["x"]
+        assert infer_column_type(values) is ColumnType.INTEGER
+
+    def test_integer_float_mix_widens_to_float(self):
+        values = ["1", "2.5", "3", "4.5"]
+        assert infer_column_type(values) is ColumnType.FLOAT
+
+    def test_date_timestamp_mix_widens_to_timestamp(self):
+        values = ["2021-04-25", "2021-04-25 13:45"] * 2
+        assert infer_column_type(values) is ColumnType.TIMESTAMP
+
+    def test_text_heavy_mix_is_text(self):
+        values = ["alpha", "beta", "42", "delta", "3.5", "epsilon"]
+        assert infer_column_type(values) is ColumnType.TEXT
+
+    def test_incompatible_mix_is_mixed(self):
+        values = ["2021-04-25", "true", "bay ridge", "2021-04-26", "false",
+                  "cambridge"]
+        assert infer_column_type(values) is ColumnType.MIXED
+
+    def test_missing_values_are_ignored(self):
+        assert infer_column_type(["", "7", "", "9"]) is ColumnType.INTEGER
+
+    @given(st.lists(st.integers(min_value=-10**9, max_value=10**9), min_size=1))
+    def test_property_integer_lists_always_integer(self, numbers):
+        values = [str(n) for n in numbers]
+        assert infer_column_type(values) is ColumnType.INTEGER
+
+
+class TestTableLevelInference:
+    @pytest.fixture()
+    def table(self):
+        return Table(
+            table_id=1,
+            name="people",
+            columns=["name", "age", "salary", "joined", "active", "constant"],
+            rows=[
+                ["Muhammad", "34", "60000.5", "2020-01-02", "true", "x"],
+                ["Ansel", "41", "50000.0", "2019-06-30", "false", "x"],
+                ["Helmut", "58", "300000.25", "2018-11-11", "true", "x"],
+            ],
+        )
+
+    def test_infer_table_types(self, table):
+        reports = {r.column: r for r in infer_table_types(table)}
+        assert reports["name"].column_type is ColumnType.TEXT
+        assert reports["age"].column_type is ColumnType.INTEGER
+        assert reports["salary"].column_type is ColumnType.FLOAT
+        assert reports["joined"].column_type is ColumnType.DATE
+        assert reports["active"].column_type is ColumnType.BOOLEAN
+        assert reports["name"].distinct_values == 3
+        assert 0.0 <= reports["name"].type_support <= 1.0
+
+    def test_report_as_dict_round_trip(self, table):
+        report = infer_table_types(table)[0]
+        payload = report.as_dict()
+        assert payload["column"] == "name"
+        assert payload["type"] == "text"
+
+    def test_keyable_columns_exclude_floats_and_constants(self, table):
+        keyable = keyable_columns(table)
+        assert "salary" not in keyable          # float measure column
+        assert "constant" not in keyable        # single distinct value
+        assert "name" in keyable
+        assert "joined" in keyable
+
+    def test_keyable_columns_custom_exclusions(self, table):
+        keyable = keyable_columns(table, exclude_types=(ColumnType.TEXT,))
+        assert "name" not in keyable
+        assert "salary" in keyable

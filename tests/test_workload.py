@@ -1,0 +1,108 @@
+"""Tests for the Table 1 workload builder."""
+
+import pytest
+
+from repro.core import exact_joinability_score
+from repro.datagen import (
+    FIGURE4_WORKLOADS,
+    TABLE1_SPECS,
+    TABLE2_WORKLOADS,
+    build_all_table1_workloads,
+    build_workload,
+)
+
+
+class TestSpecs:
+    def test_all_eight_query_sets_defined(self):
+        assert set(TABLE1_SPECS) == {
+            "WT_10", "WT_100", "WT_1000", "OD_100", "OD_1000", "OD_10000",
+            "Kaggle", "School",
+        }
+
+    def test_figure4_subset(self):
+        assert set(FIGURE4_WORKLOADS) <= set(TABLE1_SPECS)
+        assert len(FIGURE4_WORKLOADS) == 6
+
+    def test_table2_covers_all(self):
+        assert set(TABLE2_WORKLOADS) == set(TABLE1_SPECS)
+
+    def test_spec_scaling(self):
+        spec = TABLE1_SPECS["WT_100"].scaled(0.5)
+        assert spec.num_queries == max(1, TABLE1_SPECS["WT_100"].num_queries // 2)
+
+    def test_paper_numbers_recorded(self):
+        for spec in TABLE1_SPECS.values():
+            assert spec.paper_cardinality > 0
+            assert spec.paper_joinability > 0
+
+
+class TestBuildWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        return build_workload("WT_100", seed=5, num_queries=2, corpus_scale=0.15)
+
+    def test_number_of_queries(self, workload):
+        assert len(workload.queries) == 2
+
+    def test_cardinality_close_to_spec(self, workload):
+        spec = TABLE1_SPECS["WT_100"]
+        for query in workload.queries:
+            assert len(query.key_tuples()) == spec.cardinality
+
+    def test_key_size_matches_spec(self, workload):
+        spec = TABLE1_SPECS["WT_100"]
+        for query in workload.queries:
+            assert query.key_size == spec.key_size
+
+    def test_planted_tables_exist_in_corpus(self, workload):
+        for index in range(len(workload.queries)):
+            records = workload.planted_for(index)
+            assert records
+            for record in records:
+                assert record.table_id in workload.corpus
+
+    def test_planted_joinability_matches_ground_truth(self, workload):
+        for index, query in enumerate(workload.queries):
+            for record in workload.planted_for(index):
+                if record.is_distractor:
+                    continue
+                table = workload.corpus.get_table(record.table_id)
+                actual = exact_joinability_score(query, table)
+                # The planted count is a guaranteed lower bound; wide planted
+                # tables can pick up a couple of extra accidental matches
+                # through their unrelated extra columns.
+                assert record.planted_joinability <= actual
+                assert actual <= record.planted_joinability + 2
+
+    def test_summary_statistics(self, workload):
+        assert workload.average_cardinality() > 0
+        assert workload.average_planted_joinability() > 0
+        assert workload.planted_for(99) == []
+
+    def test_deterministic_given_seed(self):
+        first = build_workload("WT_10", seed=3, num_queries=1, corpus_scale=0.1)
+        second = build_workload("WT_10", seed=3, num_queries=1, corpus_scale=0.1)
+        assert first.queries[0].table.rows == second.queries[0].table.rows
+        assert [t.rows for t in first.corpus] == [t.rows for t in second.corpus]
+
+    def test_kaggle_and_school_kinds(self):
+        kaggle = build_workload("Kaggle", seed=1, num_queries=2, corpus_scale=0.05)
+        assert kaggle.queries[0].key_columns == ["director name", "movie title"]
+        assert kaggle.queries[1].key_columns == ["airline name", "country"]
+        school = build_workload("School", seed=1, num_queries=1, corpus_scale=0.05)
+        assert school.queries[0].key_columns == ["program type", "school name"]
+
+    def test_build_by_spec_object(self):
+        workload = build_workload(
+            TABLE1_SPECS["OD_100"], seed=2, num_queries=1, corpus_scale=0.1
+        )
+        assert workload.name == "OD_100"
+
+
+class TestBuildAll:
+    def test_selected_subset(self):
+        workloads = build_all_table1_workloads(
+            seed=1, num_queries=1, corpus_scale=0.05, names=("WT_10", "OD_100")
+        )
+        assert set(workloads) == {"WT_10", "OD_100"}
+        assert all(len(w.queries) == 1 for w in workloads.values())
