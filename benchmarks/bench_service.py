@@ -1,0 +1,32 @@
+"""Benchmark: batch-discovery service study (extension).
+
+Validates that the service layer (sharded index + LRU posting-list cache +
+batch scheduling) answers every query exactly as a cold sequential
+``MateDiscovery`` run would, and reports the serving metrics a deployment
+would watch: batch throughput and cache hit rate per shard count, cold
+versus warm.
+"""
+
+from repro.experiments import run_batch_service
+
+from .common import bench_settings, publish
+
+
+def test_batch_service(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(
+        run_batch_service, settings, workload_name="WT_100", shard_counts=(1, 2, 4)
+    )
+    publish(result, "batch_service")
+
+    rows = result.row_dicts()
+    assert len(rows) >= 2  # throughput + hit rate reported for >= 2 shard counts
+    for row in rows:
+        # Serving correctness: cold and warm batches reproduce the cold
+        # sequential engine's top-k for every query and shard count.
+        matched, total = str(row["top-k identical"]).split("/")
+        assert matched == total
+        # The warm pass is served entirely from the posting-list cache.
+        assert row["warm hit rate"] == 1.0
+        assert row["cold batch q/s"] > 0
+        assert row["warm batch q/s"] > 0

@@ -6,9 +6,12 @@ self-contained Python library:
 
 * :mod:`repro.hashing` — XASH and every baseline hash function, plus the
   super-key machinery;
-* :mod:`repro.index` — the extended single-attribute inverted index;
+* :mod:`repro.index` — the extended single-attribute inverted index, plus
+  its value-sharded variant for scale-out deployments;
 * :mod:`repro.core` — Algorithm 1: initialization, table/row filtering,
   joinability calculation, and sharded scale-out discovery;
+* :mod:`repro.service` — the serving layer: batch discovery with probe-value
+  deduplication, an LRU posting-list cache, and worker-pool scheduling;
 * :mod:`repro.baselines` — SCR, MCR, the JOSIE-based adaptations, and the
   prefix-tree related-work baseline;
 * :mod:`repro.lake` — data-lake ingestion (CSV / DWTC-style JSON), corpus
@@ -33,7 +36,12 @@ Quickstart::
         print(table.table_id, table.joinability)
 """
 
-from .config import DEFAULT_CONFIG, MateConfig, required_number_of_ones
+from .config import (
+    DEFAULT_CONFIG,
+    MateConfig,
+    ServiceConfig,
+    required_number_of_ones,
+)
 from .core import (
     DiscoveryResult,
     MateDiscovery,
@@ -60,14 +68,25 @@ from .hashing import (
     available_hash_functions,
     create_hash_function,
 )
-from .index import IndexBuilder, IndexMaintainer, InvertedIndex, build_index
+from .index import (
+    IndexBuilder,
+    IndexMaintainer,
+    InvertedIndex,
+    ShardedInvertedIndex,
+    build_index,
+    build_sharded_index,
+)
+from .service import BatchDiscoveryResult, BatchStats, DiscoveryService
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchDiscoveryResult",
+    "BatchStats",
     "ConfigurationError",
     "CorpusError",
     "DEFAULT_CONFIG",
+    "DiscoveryService",
     "DataLake",
     "DataModelError",
     "DiscoveryError",
@@ -81,6 +100,8 @@ __all__ = [
     "MateError",
     "QueryTable",
     "Row",
+    "ServiceConfig",
+    "ShardedInvertedIndex",
     "ShardedMateDiscovery",
     "StorageError",
     "SuperKeyGenerator",
@@ -90,6 +111,7 @@ __all__ = [
     "XashHashFunction",
     "available_hash_functions",
     "build_index",
+    "build_sharded_index",
     "create_hash_function",
     "exact_joinability",
     "exact_joinability_score",

@@ -15,8 +15,12 @@ Four sub-commands cover the typical workflow:
     Run one of the paper's experiments (table1, table2, table3, figure4,
     figure5, figure6, topk, init_column, index_generation) or one of the
     extension studies (scaling, fetch_cost, frequency_source, sharding,
-    related_work, short_values); print the resulting table and optionally
-    save it as text/CSV/JSON via ``--out``.
+    related_work, short_values, batch_service); print the resulting table
+    and optionally save it as text/CSV/JSON via ``--out``.
+``serve-batch``
+    Answer a batch of query tables through the :mod:`repro.service` layer:
+    a value-sharded index, an LRU posting-list cache, and a worker pool.
+    Prints the per-query top-k plus batch throughput and cache statistics.
 ``profile``
     Profile a data lake (a directory of CSV / JSON-lines tables or a corpus
     JSON file): table/row/value counts, column type mix, posting-list-length
@@ -38,12 +42,13 @@ from pathlib import Path
 
 from . import __version__
 from .baselines import McrDiscovery, ScrDiscovery
-from .config import MateConfig
+from .config import MateConfig, ServiceConfig
 from .core import MateDiscovery
 from .datagen import TABLE1_SPECS, build_workload
 from .datamodel import QueryTable
 from .experiments import (
     ExperimentSettings,
+    run_batch_service,
     run_fetch_cost,
     run_figure4,
     run_figure5,
@@ -61,12 +66,22 @@ from .experiments import (
     run_topk,
 )
 from .extensions import discover_key_candidates
-from .index import build_index
+from .index import build_index, build_sharded_index
 from .lake import DataLake, profile_corpus
-from .storage import SQLiteBackend, load_corpus_json, save_corpus_json, table_from_csv
+from .service import DiscoveryService
+from .storage import (
+    SQLiteBackend,
+    list_sharded_indexes,
+    load_corpus_json,
+    load_sharded_index,
+    save_corpus_json,
+    save_sharded_index,
+    table_from_csv,
+)
 
 #: Experiment name -> runner, for the ``experiment`` sub-command.
 EXPERIMENT_RUNNERS = {
+    "batch_service": run_batch_service,
     "table1": run_table1,
     "table2": run_table2,
     "table3": run_table3,
@@ -130,6 +145,36 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--out", type=Path, default=None,
         help="also save the result (format from the suffix: .txt/.csv/.json)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve-batch", help="answer a batch of queries through the service layer"
+    )
+    serve.add_argument("corpus", type=Path, help="corpus JSON file")
+    serve.add_argument(
+        "queries", type=Path,
+        help="corpus JSON file of query tables (e.g. from generate --queries-out)",
+    )
+    serve.add_argument("--key", nargs="+", default=None,
+                       help="composite key columns (shared by every query table); "
+                       "omit to use each query table's first --key-size columns")
+    serve.add_argument("--key-size", type=int, default=2,
+                       help="key arity when --key is omitted (generated query "
+                       "tables store their key columns first)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="number of index shards (default 4)")
+    serve.add_argument("--cache-capacity", type=int, default=4096,
+                       help="LRU posting-list cache capacity (0 disables)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="batch scheduling worker threads")
+    serve.add_argument("--fetch-workers", type=int, default=1,
+                       help="per-fetch shard fan-out worker threads")
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--hash-size", type=int, default=128)
+    serve.add_argument(
+        "--database", type=Path, default=None,
+        help="SQLite database to load the sharded index from (built and "
+        "saved there on first use)",
     )
 
     profile = subparsers.add_parser("profile", help="profile a data lake")
@@ -219,6 +264,84 @@ def _command_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    corpus = load_corpus_json(args.corpus)
+    config = MateConfig(hash_size=args.hash_size, k=args.k)
+    service_config = ServiceConfig(
+        num_shards=args.shards,
+        cache_capacity=args.cache_capacity,
+        max_workers=args.workers,
+        fetch_workers=args.fetch_workers,
+    )
+
+    if args.database is not None:
+        with SQLiteBackend(args.database) as backend:
+            if "main" in list_sharded_indexes(backend):
+                index = load_sharded_index(
+                    backend, "main", max_workers=args.fetch_workers
+                )
+                # The stored layout is authoritative: the engine's hash size
+                # must match the persisted super keys, and the shard count is
+                # whatever the index was saved with.
+                if (
+                    index.hash_size != args.hash_size
+                    or index.num_shards != args.shards
+                ):
+                    print(
+                        f"using stored index layout from {args.database}: "
+                        f"{index.num_shards} shards, "
+                        f"{index.hash_size}-bit {index.hash_function_name} "
+                        f"(ignoring --shards/--hash-size)"
+                    )
+                    config = MateConfig(hash_size=index.hash_size, k=args.k)
+            else:
+                index = build_sharded_index(
+                    corpus, num_shards=args.shards, config=config,
+                    max_workers=args.fetch_workers,
+                )
+                save_sharded_index(backend, "main", index)
+    else:
+        index = build_sharded_index(
+            corpus, num_shards=args.shards, config=config,
+            max_workers=args.fetch_workers,
+        )
+
+    shared_key = [c.lower() for c in args.key] if args.key else None
+    query_corpus = load_corpus_json(args.queries)
+    queries = [
+        QueryTable(
+            table=table,
+            key_columns=shared_key or table.columns[: args.key_size],
+        )
+        for table in query_corpus
+    ]
+
+    service = DiscoveryService(
+        corpus, index, config=config, service_config=service_config
+    )
+    batch = service.discover_batch(queries, k=args.k)
+
+    print(f"served {len(batch)} queries over {index.num_shards} shards:")
+    for query, result in zip(queries, batch):
+        ranked = ", ".join(
+            f"{entry.table_id}:{entry.joinability}" for entry in result.tables
+        )
+        print(f"  {query.table.name} (key={query.key_columns}): "
+              f"top-{args.k} [{ranked}]")
+    stats = batch.stats
+    print(
+        f"batch: {stats.batch_seconds:.3f}s, "
+        f"{stats.queries_per_second:.1f} queries/s, "
+        f"{stats.distinct_probe_values} distinct probe values "
+        f"({stats.duplicate_probe_values} deduplicated)"
+    )
+    print(
+        f"cache: {stats.cache.hits} hits / {stats.cache.misses} misses "
+        f"(hit rate {stats.cache.hit_rate:.2f}), shard sizes {index.shard_sizes()}"
+    )
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     source = Path(args.source)
     if source.is_dir():
@@ -260,6 +383,7 @@ def main(argv: list[str] | None = None) -> int:
         "index": _command_index,
         "discover": _command_discover,
         "experiment": _command_experiment,
+        "serve-batch": _command_serve_batch,
         "profile": _command_profile,
         "suggest-key": _command_suggest_key,
     }

@@ -17,15 +17,17 @@ Every function takes an :class:`ExperimentSettings` controlling the scale
 :class:`ExperimentResult` whose ``to_text()`` renders the same rows/series the
 paper reports.
 
-Beyond the paper's own artefacts, six extension studies use the same
+Beyond the paper's own artefacts, seven extension studies use the same
 harness: corpus-size scaling (:func:`run_scaling`), the simulated disk
 fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_frequency_source`), sharded scale-out discovery
 (:func:`run_sharding`), the prefix-tree related-work comparison
-(:func:`run_related_work`), and the short-key-value study
-(:func:`run_short_values`).
+(:func:`run_related_work`), the short-key-value study
+(:func:`run_short_values`), and the batch-discovery serving layer
+(:func:`run_batch_service`).
 """
 
+from .batch_service import DEFAULT_SERVICE_SHARD_COUNTS, run_batch_service
 from .fetch_cost import DEFAULT_FETCH_WORKLOADS, run_fetch_cost
 from .figure4 import FIGURE4_SYSTEMS, run_figure4
 from .figure5 import FIGURE5_BARS, run_figure5
@@ -68,6 +70,7 @@ __all__ = [
     "DEFAULT_FETCH_WORKLOADS",
     "DEFAULT_RELATED_WORK_WORKLOADS",
     "DEFAULT_SCALE_FACTORS",
+    "DEFAULT_SERVICE_SHARD_COUNTS",
     "DEFAULT_SHARD_COUNTS",
     "DEFAULT_TABLE2_WORKLOADS",
     "DEFAULT_TABLE3_WORKLOADS",
@@ -89,6 +92,7 @@ __all__ = [
     "build_short_value_scenario",
     "format_ratio",
     "format_table",
+    "run_batch_service",
     "run_fetch_cost",
     "run_figure4",
     "run_figure5",

@@ -4,6 +4,7 @@ from .builder import IndexBuildReport, IndexBuilder, build_index
 from .inverted import InvertedIndex
 from .maintenance import IndexMaintainer
 from .posting import FetchedItem, PostingListItem
+from .sharded import ShardedInvertedIndex, build_sharded_index, shard_of_value
 from .statistics import (
     IndexStorageReport,
     JOSIE_BYTES_PER_ENTRY,
@@ -22,7 +23,10 @@ __all__ = [
     "JOSIE_BYTES_PER_ENTRY",
     "PostingListItem",
     "SCR_BYTES_PER_ENTRY",
+    "ShardedInvertedIndex",
     "bits_to_bytes",
     "build_index",
+    "build_sharded_index",
+    "shard_of_value",
     "storage_report",
 ]

@@ -1,0 +1,332 @@
+"""Value-partitioned (scale-out) extended inverted index.
+
+:class:`~repro.core.parallel.ShardedMateDiscovery` shards the *corpus* and
+runs one full engine per shard.  This module shards the *index* instead —
+the architecture a serving deployment of the paper's system would use: one
+logical index whose posting lists are partitioned across workers by
+``hash(value) % num_shards``, queried by a single engine.
+
+:class:`ShardedInvertedIndex` satisfies the exact query surface
+:class:`~repro.core.discovery.MateDiscovery` consumes (``fetch``,
+``fetch_grouped_by_table``, ``posting_count_for_values``, the posting-list
+and super-key accessors, and the mutation operations of the maintenance
+layer), so the engine runs unchanged on top of it:
+
+* **postings** live in one :class:`~repro.index.inverted.InvertedIndex` per
+  shard; a value's shard is chosen by :func:`shard_of_value`, which is a
+  stable CRC-32 based hash so that shard assignment survives persistence
+  and process restarts (Python's builtin ``hash`` is salted per process);
+* **super keys** are keyed by row, not by value, and are therefore kept in
+  one central map shared by all shards — ``fetch`` routes each probe value
+  to its shard and attaches the super key centrally, exactly as line 4 of
+  Algorithm 1 requires;
+* ``fetch`` optionally fans out across shards on a thread pool
+  (``max_workers``), the same worker-pool idiom
+  :class:`~repro.core.parallel.ShardedMateDiscovery` uses for per-shard
+  engines.
+
+Sharded fetch is *bit-identical* to monolithic fetch on the same corpus:
+values are deduplicated in first-seen order and each value's posting list
+keeps its insertion order, so ``ShardedInvertedIndex.fetch(values) ==
+InvertedIndex.fetch(values)`` — the property ``tests/test_service.py``
+asserts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import defaultdict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Iterator, Sequence
+
+from ..config import MateConfig
+from ..datamodel import MISSING, TableCorpus
+from ..exceptions import IndexError_
+from .builder import IndexBuilder
+from .inverted import InvertedIndex
+from .posting import FetchedItem, PostingListItem
+
+
+def shard_of_value(value: str, num_shards: int) -> int:
+    """Return the shard owning ``value``'s posting list.
+
+    Uses CRC-32 rather than Python's builtin ``hash`` so the assignment is
+    deterministic across processes — a sharded index written through a
+    :class:`~repro.storage.backend.StorageBackend` must route the same value
+    to the same shard after it is reloaded elsewhere.
+    """
+    if num_shards == 1:
+        return 0
+    return zlib.crc32(value.encode("utf-8")) % num_shards
+
+
+class ShardedInvertedIndex:
+    """An extended inverted index partitioned by value hash.
+
+    Drop-in compatible with :class:`~repro.index.inverted.InvertedIndex` for
+    every consumer in the repository (discovery engine, column selectors,
+    maintenance layer); see the module docstring for the partitioning rules.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        hash_function_name: str = "xash",
+        hash_size: int = 128,
+        max_workers: int | None = None,
+    ):
+        if num_shards <= 0:
+            raise IndexError_(f"num_shards must be positive, got {num_shards}")
+        #: Name of the hash function the super keys were generated with.
+        self.hash_function_name = hash_function_name
+        #: Width of the stored super keys in bits.
+        self.hash_size = hash_size
+        #: Number of worker threads used to fan ``fetch`` out across shards
+        #: (``None`` or 1 fetches serially).
+        self.max_workers = max_workers
+        self._shards: list[InvertedIndex] = [
+            InvertedIndex(hash_function_name=hash_function_name, hash_size=hash_size)
+            for _ in range(num_shards)
+        ]
+        self._super_keys: dict[tuple[int, int], int] = {}
+        self._table_rows: dict[int, set[int]] = defaultdict(set)
+
+    # ------------------------------------------------------------------
+    # Shard topology
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of posting-list partitions."""
+        return len(self._shards)
+
+    def shard_of(self, value: str) -> int:
+        """Return the shard index owning ``value``."""
+        return shard_of_value(value, self.num_shards)
+
+    def shard(self, shard_index: int) -> InvertedIndex:
+        """Return one posting-list partition (for persistence and tests)."""
+        return self._shards[shard_index]
+
+    def shard_sizes(self) -> list[int]:
+        """Number of PL items per shard (the balance a deployment watches)."""
+        return [shard.num_posting_items() for shard in self._shards]
+
+    # ------------------------------------------------------------------
+    # Introspection (mirrors InvertedIndex)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct indexed values (shards are disjoint)."""
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._shards[self.shard_of(value)]
+
+    def values(self) -> Iterator[str]:
+        """Iterate over the distinct indexed values, shard by shard."""
+        for shard in self._shards:
+            yield from shard.values()
+
+    def num_posting_items(self) -> int:
+        """Total number of PL items across all shards."""
+        return sum(self.shard_sizes())
+
+    def num_rows(self) -> int:
+        """Number of rows that own a super key."""
+        return len(self._super_keys)
+
+    def indexed_tables(self) -> set[int]:
+        """Return the ids of all tables with at least one indexed row."""
+        return set(self._table_rows)
+
+    def posting_list(self, value: str) -> list[PostingListItem]:
+        """Return the posting list of ``value`` (empty when not indexed)."""
+        return self._shards[self.shard_of(value)].posting_list(value)
+
+    def posting_list_length(self, value: str) -> int:
+        """Return the number of PL items for ``value`` without copying."""
+        return self._shards[self.shard_of(value)].posting_list_length(value)
+
+    def super_key(self, table_id: int, row_index: int) -> int:
+        """Return the super key of a row."""
+        try:
+            return self._super_keys[(table_id, row_index)]
+        except KeyError as exc:
+            raise IndexError_(
+                f"no super key stored for table {table_id} row {row_index}"
+            ) from exc
+
+    def has_row(self, table_id: int, row_index: int) -> bool:
+        """Return whether a super key is stored for the row."""
+        return (table_id, row_index) in self._super_keys
+
+    def iter_super_keys(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate over ``(table_id, row_index, super_key)`` triples."""
+        for (table_id, row_index), super_key in self._super_keys.items():
+            yield table_id, row_index, super_key
+
+    # ------------------------------------------------------------------
+    # Mutation (used by IndexBuilder and the maintenance layer)
+    # ------------------------------------------------------------------
+    def add_posting(
+        self, value: str, table_id: int, column_index: int, row_index: int
+    ) -> None:
+        """Add a single PL item to the shard owning ``value``."""
+        if value == MISSING:
+            return
+        self._shards[self.shard_of(value)].add_posting(
+            value, table_id, column_index, row_index
+        )
+        self._table_rows[table_id].add(row_index)
+
+    def set_super_key(self, table_id: int, row_index: int, super_key: int) -> None:
+        """Store (or replace) the super key of a row."""
+        self._super_keys[(table_id, row_index)] = super_key
+        self._table_rows[table_id].add(row_index)
+
+    def or_into_super_key(self, table_id: int, row_index: int, value_hash: int) -> int:
+        """OR a new value hash into an existing row super key (column insert)."""
+        key = (table_id, row_index)
+        updated = self._super_keys.get(key, 0) | value_hash
+        self._super_keys[key] = updated
+        self._table_rows[table_id].add(row_index)
+        return updated
+
+    def remove_table(self, table_id: int) -> int:
+        """Remove every posting and super key of ``table_id`` from all shards."""
+        removed = sum(shard.remove_table(table_id) for shard in self._shards)
+        for row_index in self._table_rows.pop(table_id, set()):
+            self._super_keys.pop((table_id, row_index), None)
+        return removed
+
+    def remove_row(self, table_id: int, row_index: int) -> int:
+        """Remove the postings and super key of a single row."""
+        removed = sum(
+            shard.remove_row(table_id, row_index) for shard in self._shards
+        )
+        self._super_keys.pop((table_id, row_index), None)
+        rows = self._table_rows.get(table_id)
+        if rows is not None:
+            rows.discard(row_index)
+            if not rows:
+                del self._table_rows[table_id]
+        return removed
+
+    def remove_column(self, table_id: int, column_index: int) -> int:
+        """Remove the postings of one column (super keys must be rebuilt by the caller)."""
+        return sum(
+            shard.remove_column(table_id, column_index) for shard in self._shards
+        )
+
+    # ------------------------------------------------------------------
+    # Discovery-phase retrieval
+    # ------------------------------------------------------------------
+    def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
+        """Fetch the PL items (with super keys) for every value in ``values``.
+
+        The fan-out is by shard: probe values are routed to their owning
+        shard, each shard returns its posting lists (concurrently when
+        ``max_workers`` > 1), and the results are reassembled in the original
+        first-seen value order with the centrally stored super keys attached.
+        The output is therefore identical to
+        :meth:`InvertedIndex.fetch <repro.index.inverted.InvertedIndex.fetch>`
+        on the same corpus.
+        """
+        ordered = [v for v in dict.fromkeys(values) if v != MISSING]
+        by_shard: dict[int, list[str]] = defaultdict(list)
+        for value in ordered:
+            by_shard[self.shard_of(value)].append(value)
+
+        postings: dict[str, list[PostingListItem]] = {}
+        if self.max_workers and self.max_workers > 1 and len(by_shard) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                for shard_postings in pool.map(
+                    self._fetch_shard_postings, by_shard.items()
+                ):
+                    postings.update(shard_postings)
+        else:
+            for entry in by_shard.items():
+                postings.update(self._fetch_shard_postings(entry))
+
+        fetched: list[FetchedItem] = []
+        for value in ordered:
+            for item in postings.get(value, ()):
+                super_key = self._super_keys.get((item.table_id, item.row_index), 0)
+                fetched.append(FetchedItem.from_posting(value, item, super_key))
+        return fetched
+
+    def _fetch_shard_postings(
+        self, entry: tuple[int, list[str]]
+    ) -> dict[str, list[PostingListItem]]:
+        """Fetch the posting lists of one shard's probe values (pool worker)."""
+        shard_index, shard_values = entry
+        shard = self._shards[shard_index]
+        return {value: shard.posting_list(value) for value in shard_values}
+
+    def fetch_grouped_by_table(
+        self, values: Iterable[str]
+    ) -> dict[int, list[FetchedItem]]:
+        """Fetch PL items and group them by table id (line 5 of Algorithm 1)."""
+        grouped: dict[int, list[FetchedItem]] = defaultdict(list)
+        for item in self.fetch(values):
+            grouped[item.table_id].append(item)
+        return dict(grouped)
+
+    def posting_count_for_values(self, values: Sequence[str]) -> int:
+        """Total number of PL items the given probe values would fetch."""
+        return sum(
+            self.posting_list_length(value)
+            for value in dict.fromkeys(values)
+            if value != MISSING
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(
+        cls,
+        index: InvertedIndex,
+        num_shards: int,
+        max_workers: int | None = None,
+    ) -> "ShardedInvertedIndex":
+        """Partition an existing monolithic index into ``num_shards`` shards."""
+        sharded = cls(
+            num_shards=num_shards,
+            hash_function_name=index.hash_function_name,
+            hash_size=index.hash_size,
+            max_workers=max_workers,
+        )
+        for value in index.values():
+            for item in index.posting_list(value):
+                sharded.add_posting(
+                    value, item.table_id, item.column_index, item.row_index
+                )
+        for table_id, row_index, super_key in index.iter_super_keys():
+            sharded.set_super_key(table_id, row_index, super_key)
+        return sharded
+
+
+def build_sharded_index(
+    corpus: TableCorpus,
+    num_shards: int = 4,
+    config: MateConfig | None = None,
+    hash_function_name: str = "xash",
+    max_workers: int | None = None,
+) -> ShardedInvertedIndex:
+    """Build a :class:`ShardedInvertedIndex` for ``corpus`` in one call.
+
+    The offline walk is the standard
+    :class:`~repro.index.builder.IndexBuilder` pass; only the destination
+    differs (postings land in their value shard instead of one dictionary).
+    """
+    config = config or MateConfig()
+    builder = IndexBuilder(config=config, hash_function_name=hash_function_name)
+    index = ShardedInvertedIndex(
+        num_shards=num_shards,
+        hash_function_name=hash_function_name,
+        hash_size=config.hash_size,
+        max_workers=max_workers,
+    )
+    for table in corpus:
+        builder.add_table(index, table)
+    return index

@@ -1,10 +1,11 @@
 """Instrumentation: counters, timing, and precision aggregation."""
 
-from .counters import DiscoveryCounters
+from .counters import CacheCounters, DiscoveryCounters
 from .precision import PrecisionSummary, precision, summarize_precision
 from .timing import Stopwatch, timed
 
 __all__ = [
+    "CacheCounters",
     "DiscoveryCounters",
     "PrecisionSummary",
     "Stopwatch",

@@ -15,6 +15,66 @@ from dataclasses import dataclass, field
 
 
 @dataclass
+class CacheCounters:
+    """Hit/miss accounting for the service layer's posting-list cache.
+
+    The batch-discovery service (:mod:`repro.service`) puts an LRU cache in
+    front of the index; its effectiveness is an accuracy-free, pure-runtime
+    metric, so it gets its own counter object rather than extending
+    :class:`DiscoveryCounters` (cache behaviour is a property of the serving
+    deployment, not of one discovery run).
+    """
+
+    #: Probe values answered from the cache.
+    hits: int = 0
+    #: Probe values that had to be fetched from the underlying index.
+    misses: int = 0
+    #: Cached posting lists dropped to respect the capacity bound.
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def merge(self, other: "CacheCounters") -> None:
+        """Accumulate another cache's counters into this one (in place)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+
+    def snapshot(self) -> "CacheCounters":
+        """Return an independent copy of the current counts."""
+        return CacheCounters(
+            hits=self.hits, misses=self.misses, evictions=self.evictions
+        )
+
+    def delta_since(self, earlier: "CacheCounters") -> "CacheCounters":
+        """Return the counts accumulated since an earlier :meth:`snapshot`."""
+        return CacheCounters(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the counters (plus derived metrics) as a dictionary."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
 class DiscoveryCounters:
     """Mutable counters collected during one discovery run."""
 

@@ -1,0 +1,52 @@
+"""The batch discovery service layer (serving-scale MATE).
+
+This package turns the single-query :class:`~repro.core.discovery.MateDiscovery`
+engine into a serving component, per the ROADMAP's production-scale north
+star.  Three pieces compose, each usable on its own:
+
+* :class:`~repro.index.sharded.ShardedInvertedIndex` (in :mod:`repro.index`)
+  — the extended inverted index partitioned by value hash, fanning ``fetch``
+  out across shards;
+* :class:`~repro.service.cache.PostingListCache` /
+  :class:`~repro.service.cache.CachingIndex` — a thread-safe LRU
+  posting-list cache sitting transparently between the engine and any index,
+  instrumented through :class:`~repro.metrics.counters.CacheCounters`;
+* :class:`~repro.service.service.DiscoveryService` — batch admission:
+  deduplicate the probe values shared across a batch of queries, warm the
+  cache with one bulk fetch, schedule the queries over a worker pool, and
+  return per-query :class:`~repro.core.results.DiscoveryResult` objects plus
+  aggregate :class:`~repro.service.service.BatchStats`.
+
+The serving knobs live in :class:`~repro.config.ServiceConfig`.  Usage::
+
+    from repro import MateConfig, ServiceConfig
+    from repro.index import build_sharded_index
+    from repro.service import DiscoveryService
+
+    config = MateConfig(k=10, expected_unique_values=100_000)
+    index = build_sharded_index(corpus, num_shards=4, config=config)
+    service = DiscoveryService(
+        corpus, index, config=config,
+        service_config=ServiceConfig(cache_capacity=8192, max_workers=4),
+    )
+    batch = service.discover_batch(queries)
+    for result in batch:
+        print(result.table_ids())
+    print(batch.stats.queries_per_second, batch.stats.cache.hit_rate)
+
+Batch results are guaranteed identical to sequential cold
+:class:`~repro.core.discovery.MateDiscovery` runs — the cache is
+read-through and the shard fan-out is order-preserving
+(``tests/test_service.py`` asserts both).
+"""
+
+from .cache import CachingIndex, PostingListCache
+from .service import BatchDiscoveryResult, BatchStats, DiscoveryService
+
+__all__ = [
+    "BatchDiscoveryResult",
+    "BatchStats",
+    "CachingIndex",
+    "DiscoveryService",
+    "PostingListCache",
+]

@@ -1,0 +1,226 @@
+"""LRU posting-list cache and the transparent caching index wrapper.
+
+Algorithm 1 spends its initialization step fetching posting lists for the
+query's probe values (line 4).  In a serving deployment the same hot values
+recur across queries — the Zipfian value distribution the paper's corpora
+exhibit means a small cache absorbs a large share of the fetch traffic.  Two
+classes implement the hot path:
+
+* :class:`PostingListCache` — a thread-safe LRU mapping one probe value to
+  its fetched PL items (with super keys), instrumented with the
+  :class:`~repro.metrics.counters.CacheCounters` hit/miss/eviction counters
+  from :mod:`repro.metrics`;
+* :class:`CachingIndex` — a read-through wrapper that sits between the
+  discovery engine and *any* index (monolithic
+  :class:`~repro.index.inverted.InvertedIndex` or
+  :class:`~repro.index.sharded.ShardedInvertedIndex`), caching per-value
+  fetch results while delegating the rest of the query surface unchanged.
+
+Caching is transparent by construction: ``CachingIndex.fetch`` returns
+exactly what the wrapped index would return (same items, same order), so a
+:class:`~repro.core.discovery.MateDiscovery` engine produces identical
+results with or without the cache.  Mutations invalidate conservatively —
+``add_posting`` drops the touched value, super-key updates and removals
+clear the whole cache (cached :class:`~repro.index.posting.FetchedItem`
+tuples embed super keys, so any super-key change can stale any entry).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, defaultdict
+from typing import Iterable
+
+from ..datamodel import MISSING
+from ..exceptions import ConfigurationError
+from ..index import FetchedItem
+from ..metrics import CacheCounters
+
+
+class PostingListCache:
+    """Thread-safe LRU cache of per-value fetch results.
+
+    Entries map one probe value to the tuple of :class:`FetchedItem` records
+    its fetch produced (possibly empty — negative results are cached too,
+    since a value absent from the index stays absent until a mutation).
+    """
+
+    def __init__(self, capacity: int = 4096, counters: CacheCounters | None = None):
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"cache capacity must be positive, got {capacity}"
+            )
+        #: Maximum number of cached values.
+        self.capacity = capacity
+        #: Hit/miss/eviction accounting (shared with the service layer).
+        self.counters = counters or CacheCounters()
+        self._entries: OrderedDict[str, tuple[FetchedItem, ...]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, value: str) -> bool:
+        """Membership check without touching recency or the counters."""
+        return value in self._entries
+
+    def get(self, value: str) -> tuple[FetchedItem, ...] | None:
+        """Return the cached items for ``value`` (``None`` on a miss).
+
+        A hit refreshes the entry's recency; both outcomes are counted.
+        """
+        with self._lock:
+            try:
+                items = self._entries[value]
+            except KeyError:
+                self.counters.misses += 1
+                return None
+            self._entries.move_to_end(value)
+            self.counters.hits += 1
+            return items
+
+    def put(self, value: str, items: Iterable[FetchedItem]) -> None:
+        """Cache the fetch result of ``value``, evicting LRU entries if full."""
+        with self._lock:
+            self._entries[value] = tuple(items)
+            self._entries.move_to_end(value)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.counters.evictions += 1
+
+    def invalidate(self, value: str) -> None:
+        """Drop the cached entry of one value (no-op when absent)."""
+        with self._lock:
+            self._entries.pop(value, None)
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+
+class CachingIndex:
+    """Read-through posting-list cache in front of any index.
+
+    Wraps an :class:`~repro.index.inverted.InvertedIndex` or
+    :class:`~repro.index.sharded.ShardedInvertedIndex` and serves ``fetch``
+    per value from the LRU cache, falling back to one batched fetch of all
+    missing values (so a sharded index still fans out once per request, not
+    once per value).  Everything else — posting-list accessors, super keys,
+    mutation, shard topology — is delegated to the wrapped index.
+    """
+
+    def __init__(
+        self,
+        index,
+        capacity: int = 4096,
+        cache: PostingListCache | None = None,
+    ):
+        self._index = index
+        #: The underlying LRU cache (exposes the hit/miss counters).
+        self.cache = cache or PostingListCache(capacity)
+
+    @property
+    def counters(self) -> CacheCounters:
+        """The cache's hit/miss/eviction counters."""
+        return self.cache.counters
+
+    @property
+    def wrapped(self):
+        """The index this wrapper caches for."""
+        return self._index
+
+    # ------------------------------------------------------------------
+    # Cached retrieval
+    # ------------------------------------------------------------------
+    def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
+        """Fetch PL items for ``values``, serving cached values from the LRU.
+
+        Identical output to the wrapped index's ``fetch``: duplicate probe
+        values collapse, missing values are skipped, and per-value item
+        order is preserved.
+        """
+        ordered = [v for v in dict.fromkeys(values) if v != MISSING]
+        resolved: dict[str, tuple[FetchedItem, ...]] = {}
+        missing: list[str] = []
+        for value in ordered:
+            items = self.cache.get(value)
+            if items is None:
+                missing.append(value)
+            else:
+                resolved[value] = items
+
+        if missing:
+            grouped: dict[str, list[FetchedItem]] = defaultdict(list)
+            for item in self._index.fetch(missing):
+                grouped[item.value].append(item)
+            for value in missing:
+                items = tuple(grouped.get(value, ()))
+                self.cache.put(value, items)
+                resolved[value] = items
+
+        fetched: list[FetchedItem] = []
+        for value in ordered:
+            fetched.extend(resolved[value])
+        return fetched
+
+    def fetch_grouped_by_table(
+        self, values: Iterable[str]
+    ) -> dict[int, list[FetchedItem]]:
+        """Fetch PL items and group them by table id (line 5 of Algorithm 1)."""
+        grouped: dict[int, list[FetchedItem]] = defaultdict(list)
+        for item in self.fetch(values):
+            grouped[item.table_id].append(item)
+        return dict(grouped)
+
+    # ------------------------------------------------------------------
+    # Mutation (delegates, with conservative invalidation)
+    # ------------------------------------------------------------------
+    def add_posting(
+        self, value: str, table_id: int, column_index: int, row_index: int
+    ) -> None:
+        """Add a PL item to the wrapped index and invalidate its value."""
+        self._index.add_posting(value, table_id, column_index, row_index)
+        self.cache.invalidate(value)
+
+    def set_super_key(self, table_id: int, row_index: int, super_key: int) -> None:
+        """Store a super key; clears the cache (cached items embed super keys)."""
+        self._index.set_super_key(table_id, row_index, super_key)
+        self.cache.clear()
+
+    def or_into_super_key(self, table_id: int, row_index: int, value_hash: int) -> int:
+        """Update a super key; clears the cache (cached items embed super keys)."""
+        updated = self._index.or_into_super_key(table_id, row_index, value_hash)
+        self.cache.clear()
+        return updated
+
+    def remove_table(self, table_id: int) -> int:
+        """Remove a table from the wrapped index; clears the cache."""
+        removed = self._index.remove_table(table_id)
+        self.cache.clear()
+        return removed
+
+    def remove_row(self, table_id: int, row_index: int) -> int:
+        """Remove a row from the wrapped index; clears the cache."""
+        removed = self._index.remove_row(table_id, row_index)
+        self.cache.clear()
+        return removed
+
+    def remove_column(self, table_id: int, column_index: int) -> int:
+        """Remove a column from the wrapped index; clears the cache."""
+        removed = self._index.remove_column(table_id, column_index)
+        self.cache.clear()
+        return removed
+
+    # ------------------------------------------------------------------
+    # Delegated query surface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._index
+
+    def __getattr__(self, name: str):
+        """Delegate everything else (accessors, shard topology) to the index."""
+        return getattr(self._index, name)

@@ -1,0 +1,241 @@
+"""The batch discovery service: deduplicated, cached, scheduled Algorithm 1.
+
+:class:`DiscoveryService` is the serving layer the ROADMAP's "heavy traffic"
+north star asks for.  It accepts a *batch* of
+:class:`~repro.datamodel.table.QueryTable` requests and answers each one with
+the exact result a cold, sequential
+:class:`~repro.core.discovery.MateDiscovery` run would produce, while doing
+strictly less index work:
+
+1. **Probe-value deduplication** — the initialization step of every query is
+   known up front (initial column choice + its probe values), so the service
+   unions the probe values of the whole batch, drops duplicates shared
+   between queries, and warms the posting-list cache with one bulk ``fetch``
+   (one fan-out across the shards of a
+   :class:`~repro.index.sharded.ShardedInvertedIndex` instead of one per
+   query).
+2. **Posting-list caching** — queries then run against a
+   :class:`~repro.service.cache.CachingIndex`, so each shared probe value
+   hits the index exactly once per batch (and stays cached across batches up
+   to the LRU capacity).
+3. **Scheduling** — queries are dispatched serially or across a
+   ``ThreadPoolExecutor`` (``ServiceConfig.max_workers``), the same
+   worker-pool idiom :mod:`repro.core.parallel` uses for per-shard engines.
+
+Per-query results keep their individual instrumentation counters; the batch
+returns an aggregate :class:`BatchStats` with wall-clock throughput and the
+cache hit/miss delta attributable to the batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..config import MateConfig, ServiceConfig
+from ..core import MateDiscovery
+from ..core.results import DiscoveryResult
+from ..datamodel import QueryTable, TableCorpus
+from ..exceptions import DiscoveryError
+from ..index import ShardedInvertedIndex
+from ..metrics import CacheCounters
+from .cache import CachingIndex
+
+
+@dataclass
+class BatchStats:
+    """Aggregate accounting of one :meth:`DiscoveryService.discover_batch`."""
+
+    #: Number of queries answered in the batch.
+    num_queries: int = 0
+    #: ``k`` used for every query of the batch.
+    k: int = 0
+    #: Wall-clock duration of the whole batch in seconds.
+    batch_seconds: float = 0.0
+    #: Distinct probe values across the batch (what the index actually saw).
+    distinct_probe_values: int = 0
+    #: Probe values shared between queries and therefore fetched only once.
+    duplicate_probe_values: int = 0
+    #: Cache activity attributable to this batch (delta over the batch).
+    cache: CacheCounters = field(default_factory=CacheCounters)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Batch throughput (0.0 before any timed work)."""
+        if self.batch_seconds <= 0.0:
+            return 0.0
+        return self.num_queries / self.batch_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the statistics (plus derived metrics) as a dictionary."""
+        result = {
+            "num_queries": self.num_queries,
+            "k": self.k,
+            "batch_seconds": self.batch_seconds,
+            "queries_per_second": self.queries_per_second,
+            "distinct_probe_values": self.distinct_probe_values,
+            "duplicate_probe_values": self.duplicate_probe_values,
+        }
+        result.update(self.cache.as_dict())
+        return result
+
+
+@dataclass
+class BatchDiscoveryResult:
+    """Per-query results plus aggregate statistics of one batch."""
+
+    #: One :class:`DiscoveryResult` per submitted query, in submission order.
+    results: list[DiscoveryResult]
+    #: Aggregate timing / deduplication / cache statistics.
+    stats: BatchStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, position: int) -> DiscoveryResult:
+        return self.results[position]
+
+
+class DiscoveryService:
+    """Answers batches of discovery queries over one (optionally sharded) index.
+
+    Parameters
+    ----------
+    corpus:
+        The table corpus the index was built from.
+    index:
+        Any index satisfying the engine's query surface — a monolithic
+        :class:`~repro.index.inverted.InvertedIndex` or a
+        :class:`~repro.index.sharded.ShardedInvertedIndex`.  A monolithic
+        index is partitioned per ``service_config.num_shards`` (> 1); an
+        already-sharded index is used as-is.  Unless caching is disabled it
+        is then wrapped in a :class:`~repro.service.cache.CachingIndex`.
+    config:
+        The :class:`~repro.config.MateConfig` shared with the engine.
+    service_config:
+        The serving knobs (shard count, cache capacity, batch and fetch
+        workers); see :class:`~repro.config.ServiceConfig`.
+    engine_kwargs:
+        Extra keyword arguments forwarded to
+        :class:`~repro.core.discovery.MateDiscovery` (column selector,
+        row-filter mode, ...).
+    """
+
+    system_name = "mate-service"
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        index,
+        config: MateConfig | None = None,
+        service_config: ServiceConfig | None = None,
+        **engine_kwargs,
+    ):
+        self.corpus = corpus
+        self.config = config or MateConfig()
+        self.service_config = service_config or ServiceConfig()
+        if self.service_config.num_shards > 1 and not isinstance(
+            index, ShardedInvertedIndex
+        ):
+            index = ShardedInvertedIndex.from_index(
+                index, self.service_config.num_shards
+            )
+        if (
+            isinstance(index, ShardedInvertedIndex)
+            and self.service_config.fetch_workers > 1
+        ):
+            index.max_workers = self.service_config.fetch_workers
+        if self.service_config.cache_capacity > 0:
+            self.index = CachingIndex(
+                index, capacity=self.service_config.cache_capacity
+            )
+        else:
+            self.index = index
+        # One shared engine: its per-run state (heap, counters) is local to
+        # each discover() call, so concurrent batch workers can reuse it and
+        # share the memoised value hashes.
+        self.engine = MateDiscovery(
+            corpus, self.index, config=self.config, **engine_kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_counters(self) -> CacheCounters:
+        """Lifetime cache counters (zeros when caching is disabled)."""
+        if isinstance(self.index, CachingIndex):
+            return self.index.counters
+        return CacheCounters()
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def discover(self, query: QueryTable, k: int | None = None) -> DiscoveryResult:
+        """Answer a single query (through the cache, no batching)."""
+        return self.engine.discover(query, k=k)
+
+    def discover_batch(
+        self, queries: list[QueryTable], k: int | None = None
+    ) -> BatchDiscoveryResult:
+        """Answer every query of ``queries`` and return results plus stats.
+
+        Results are returned in submission order and are identical to what
+        sequential :meth:`MateDiscovery.discover
+        <repro.core.discovery.MateDiscovery.discover>` runs would produce on
+        the same corpus and index.
+        """
+        if k is None:
+            k = self.config.k
+        if k <= 0:
+            raise DiscoveryError(f"k must be positive, got {k}")
+        before = self.cache_counters.snapshot()
+        started = time.perf_counter()
+
+        distinct, duplicates = self._warm_cache(queries)
+
+        workers = self.service_config.max_workers
+        if workers > 1 and len(queries) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(lambda query: self.engine.discover(query, k=k), queries)
+                )
+        else:
+            results = [self.engine.discover(query, k=k) for query in queries]
+
+        stats = BatchStats(
+            num_queries=len(queries),
+            k=k,
+            batch_seconds=time.perf_counter() - started,
+            distinct_probe_values=distinct,
+            duplicate_probe_values=duplicates,
+            cache=self.cache_counters.delta_since(before),
+        )
+        return BatchDiscoveryResult(results=results, stats=stats)
+
+    # ------------------------------------------------------------------
+    # Batch deduplication
+    # ------------------------------------------------------------------
+    def _warm_cache(self, queries: list[QueryTable]) -> tuple[int, int]:
+        """Bulk-fetch the batch's deduplicated probe values into the cache.
+
+        Returns ``(distinct, duplicates)``: the number of distinct probe
+        values across the batch and how many per-query values collapsed onto
+        an already-seen one.  Without a cache the bulk fetch would be wasted
+        work, so the warm-up is skipped entirely.
+        """
+        if not isinstance(self.index, CachingIndex):
+            return 0, 0
+        total = 0
+        merged: dict[str, None] = {}
+        for query in queries:
+            values = self.engine.probe_values(query)
+            total += len(values)
+            merged.update(dict.fromkeys(values))
+        if merged:
+            self.index.fetch(merged)
+        return len(merged), total - len(merged)

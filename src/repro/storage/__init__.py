@@ -7,6 +7,12 @@ from .paged import (
     FetchCostModel,
     PagedPostingStore,
 )
+from .sharded import (
+    list_sharded_indexes,
+    load_sharded_index,
+    save_sharded_index,
+    shard_index_name,
+)
 from .serialization import (
     corpus_from_json,
     corpus_to_json,
@@ -27,9 +33,13 @@ __all__ = [
     "StorageBackend",
     "corpus_from_json",
     "corpus_to_json",
+    "list_sharded_indexes",
     "load_corpus_from_csv_directory",
     "load_corpus_json",
+    "load_sharded_index",
     "save_corpus_json",
+    "save_sharded_index",
+    "shard_index_name",
     "table_from_csv",
     "table_to_csv",
 ]

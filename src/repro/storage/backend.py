@@ -43,6 +43,14 @@ class StorageBackend(ABC):
         """Load the inverted index stored under ``name``."""
 
     @abstractmethod
+    def list_indexes(self) -> list[str]:
+        """Return the names of all stored indexes (sorted)."""
+
+    @abstractmethod
+    def delete_index(self, name: str) -> None:
+        """Remove the index stored under ``name`` (no-op when absent)."""
+
+    @abstractmethod
     def close(self) -> None:
         """Release any resources held by the backend."""
 

@@ -43,6 +43,12 @@ class InMemoryBackend(StorageBackend):
         except KeyError as exc:
             raise StorageError(f"no index stored under name {name!r}") from exc
 
+    def list_indexes(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def delete_index(self, name: str) -> None:
+        self._indexes.pop(name, None)
+
     def close(self) -> None:
         self._corpora.clear()
         self._indexes.clear()

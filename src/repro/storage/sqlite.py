@@ -203,5 +203,18 @@ class SQLiteBackend(StorageBackend):
             index.set_super_key(table_id, row_index, int(super_key_hex, 16))
         return index
 
+    def list_indexes(self) -> list[str]:
+        rows = self._connection.execute(
+            "SELECT name FROM indexes ORDER BY name"
+        ).fetchall()
+        return [name for (name,) in rows]
+
+    def delete_index(self, name: str) -> None:
+        connection = self._connection
+        with connection:
+            connection.execute("DELETE FROM indexes WHERE name = ?", (name,))
+            connection.execute("DELETE FROM postings WHERE index_name = ?", (name,))
+            connection.execute("DELETE FROM super_keys WHERE index_name = ?", (name,))
+
     def close(self) -> None:
         self._connection.close()

@@ -112,6 +112,93 @@ class TestExperimentCommand:
         assert "shards" in capsys.readouterr().out
 
 
+class TestServeBatchCommand:
+    def test_serve_batch_with_explicit_key(
+        self, tmp_path, capsys, running_example_corpus
+    ):
+        from repro.datamodel import TableCorpus
+        from repro.storage import save_corpus_json
+
+        query, corpus = running_example_corpus
+        corpus_path = tmp_path / "corpus.json"
+        queries_path = tmp_path / "queries.json"
+        save_corpus_json(corpus, corpus_path)
+        query_corpus = TableCorpus(name="queries")
+        query_corpus.add_table(query.table)
+        save_corpus_json(query_corpus, queries_path)
+
+        exit_code = main([
+            "serve-batch", str(corpus_path), str(queries_path),
+            "--key", "f_name", "l_name", "country",
+            "--shards", "2", "--workers", "2", "--k", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "served 1 queries over 2 shards" in output
+        assert "1:5" in output  # table T1 with joinability 5 (Figure 1)
+        assert "cache:" in output
+
+    def test_serve_batch_persists_and_reloads_sharded_index(
+        self, tmp_path, capsys
+    ):
+        corpus_path = tmp_path / "corpus.json"
+        queries_path = tmp_path / "queries.json"
+        database_path = tmp_path / "service.db"
+        main([
+            "generate", "WT_10", "--queries", "2", "--scale", "0.05",
+            "--corpus-out", str(corpus_path), "--queries-out", str(queries_path),
+        ])
+        first = main([
+            "serve-batch", str(corpus_path), str(queries_path),
+            "--shards", "3", "--database", str(database_path), "--k", "3",
+        ])
+        assert first == 0
+        first_output = capsys.readouterr().out
+        # Second invocation loads the sharded index back from SQLite and must
+        # serve the same results.
+        second = main([
+            "serve-batch", str(corpus_path), str(queries_path),
+            "--shards", "3", "--database", str(database_path), "--k", "3",
+        ])
+        assert second == 0
+        second_output = capsys.readouterr().out
+        first_ranked = [l for l in first_output.splitlines() if "top-3" in l]
+        second_ranked = [l for l in second_output.splitlines() if "top-3" in l]
+        assert first_ranked == second_ranked
+        from repro.storage import SQLiteBackend, list_sharded_indexes
+
+        with SQLiteBackend(database_path) as backend:
+            assert list_sharded_indexes(backend) == {"main": 3}
+
+    def test_serve_batch_stored_layout_overrides_flags(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        queries_path = tmp_path / "queries.json"
+        database_path = tmp_path / "service.db"
+        main([
+            "generate", "WT_10", "--queries", "1", "--scale", "0.05",
+            "--corpus-out", str(corpus_path), "--queries-out", str(queries_path),
+        ])
+        main([
+            "serve-batch", str(corpus_path), str(queries_path),
+            "--shards", "2", "--hash-size", "64",
+            "--database", str(database_path), "--k", "2",
+        ])
+        capsys.readouterr()
+        # Conflicting flags on reload: the stored 2-shard/64-bit layout wins
+        # (a 128-bit engine over 64-bit stored super keys would silently
+        # filter out real matches).
+        exit_code = main([
+            "serve-batch", str(corpus_path), str(queries_path),
+            "--shards", "4", "--hash-size", "128",
+            "--database", str(database_path), "--k", "2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "using stored index layout" in output
+        assert "2 shards, 64-bit xash" in output
+        assert "served 1 queries over 2 shards" in output
+
+
 class TestProfileCommand:
     def test_profile_directory(self, tmp_path, capsys, running_example_corpus):
         _, corpus = running_example_corpus

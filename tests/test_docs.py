@@ -1,0 +1,24 @@
+"""The documentation completeness check (same gate CI runs)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_readme_and_architecture_cover_every_subpackage():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "docs OK" in result.stdout
+
+
+def test_readme_states_tier1_command():
+    text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "PYTHONPATH=src python -m pytest -x -q" in text

@@ -47,6 +47,7 @@ def test_all_examples_are_covered():
         "csv_data_lake.py",
         "similarity_join.py",
         "composite_key_discovery.py",
+        "batch_discovery_service.py",
     }
     assert scripts == covered
 
@@ -89,6 +90,13 @@ def test_similarity_join_finds_typo_table():
     assert "scraped_directory" in output
     assert "similarity joinability=3" in output
     assert "exact: 0" in output
+
+
+def test_batch_discovery_service_dedupes_and_matches_sequential():
+    output = run_example("batch_discovery_service.py")
+    assert "2 deduplicated across the batch" in output
+    assert "warm cache hit rate: 1.00" in output
+    assert "identical to sequential discovery: True" in output
 
 
 def test_composite_key_discovery_selects_timestamp_location():
