@@ -1,0 +1,32 @@
+"""Benchmark: columnar vs. legacy posting-list layout (extension).
+
+Shows the fetch/filter speedup of the packed struct-of-arrays layout
+(`repro.index.columnar`) over the per-item NamedTuple layout on identical
+top-k discovery results — the smoke benchmark the CI bench job tracks via
+``scripts/export_bench_json.py``.
+"""
+
+from repro.experiments import run_columnar
+
+from .common import bench_settings, publish
+
+
+def test_columnar_layout(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(run_columnar, settings)
+    publish(result, "columnar")
+
+    by_layout = {row["layout"]: row for row in result.row_dicts()}
+    legacy = by_layout["legacy"]
+    columnar = by_layout["columnar"]
+
+    # Correctness first: the layouts fetch the same PL items and produce
+    # identical top-k results on every query.
+    assert columnar["PL items / pass"] == legacy["PL items / pass"]
+    matched, total = str(columnar["top-k identical"]).split("/")
+    assert matched == total
+
+    # The packed layout must not lose to the NamedTuple path on the repeated
+    # initialization-step fetch (in practice it wins by several x; the lenient
+    # bound keeps the smoke job robust on noisy CI runners).
+    assert columnar["fetch s"] <= legacy["fetch s"]

@@ -291,7 +291,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
                         f"using stored index layout from {args.database}: "
                         f"{index.num_shards} shards, "
                         f"{index.hash_size}-bit {index.hash_function_name} "
-                        f"(ignoring --shards/--hash-size)"
+                        "(ignoring --shards/--hash-size)"
                     )
                     config = MateConfig(hash_size=index.hash_size, k=args.k)
             else:

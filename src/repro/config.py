@@ -29,6 +29,10 @@ DEFAULT_ALPHABET: str = "0123456789abcdefghijklmnopqrstuvwxyz "
 #: Hash sizes evaluated in the paper (Tables 2 and 3).
 SUPPORTED_HASH_SIZES: tuple[int, ...] = (64, 128, 256, 512, 1024)
 
+#: Posting-list storage layouts of the inverted index (re-exported as
+#: :data:`repro.index.LAYOUTS`): packed struct-of-arrays vs per-item records.
+INDEX_LAYOUTS: tuple[str, ...] = ("columnar", "legacy")
+
 #: English letter/digit frequencies used to pick the *least frequent*
 #: characters of a value (Section 5.3.2).  The exact numbers only matter
 #: relatively; they follow standard English corpus frequencies, with digits and
@@ -116,6 +120,10 @@ class MateConfig:
 
     hash_size: int = 128
     k: int = 10
+    #: Posting-list storage layout of newly built indexes: ``"columnar"``
+    #: (packed struct-of-arrays, the fast default) or ``"legacy"`` (one
+    #: NamedTuple per PL item; kept for comparison benchmarks).
+    index_layout: str = "columnar"
     number_of_ones: int | None = None
     expected_unique_values: int = 700_000_000
     alphabet: str = DEFAULT_ALPHABET
@@ -138,6 +146,11 @@ class MateConfig:
             )
         if self.k <= 0:
             raise ConfigurationError(f"k must be positive, got {self.k}")
+        if self.index_layout not in INDEX_LAYOUTS:
+            raise ConfigurationError(
+                f"index_layout must be one of {INDEX_LAYOUTS}, "
+                f"got {self.index_layout!r}"
+            )
         if len(set(self.alphabet)) != len(self.alphabet):
             raise ConfigurationError("alphabet must not contain duplicates")
         if len(self.alphabet) < 2:

@@ -17,7 +17,7 @@ four alternatives, all implemented here:
 
 from __future__ import annotations
 
-from typing import Callable, Protocol
+from typing import Protocol
 
 from ..datamodel import MISSING, QueryTable
 from ..exceptions import DiscoveryError

@@ -22,13 +22,12 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
-from typing import Sequence
 
 from ..config import MateConfig
 from ..datamodel import MISSING, QueryTable, TableCorpus
 from ..exceptions import DiscoveryError
 from ..hashing import SuperKeyGenerator
-from ..index import FetchedItem, InvertedIndex
+from ..index import InvertedIndex, TableBlock, fetch_table_blocks
 from ..metrics import DiscoveryCounters
 from .column_selection import ColumnSelector, get_column_selector
 from .filters import RowFilter, should_abandon_table, should_prune_table
@@ -100,8 +99,10 @@ class MateDiscovery:
         key_map = self._build_key_super_key_map(query, initial_column)
         probe_values = list(key_map)
 
-        grouped = self.index.fetch_grouped_by_table(probe_values)
-        counters.pl_items_fetched = sum(len(items) for items in grouped.values())
+        # Columnar fetch: struct-of-arrays blocks per candidate table instead
+        # of per-item FetchedItem tuples (the packed hot path of this repo).
+        grouped = fetch_table_blocks(self.index, probe_values)
+        counters.pl_items_fetched = sum(len(block) for block in grouped.values())
         counters.candidate_tables = len(grouped)
         counters.extra["initial_column_cardinality"] = float(len(probe_values))
 
@@ -114,12 +115,12 @@ class MateDiscovery:
         mappings: dict[int, tuple[int, ...] | None] = {}
 
         # ---------------- Candidate-table loop (lines 7-22) ----------------
-        for position, (table_id, items) in enumerate(candidates):
-            if self.use_table_filters and should_prune_table(len(items), topk):
+        for position, (table_id, block) in enumerate(candidates):
+            if self.use_table_filters and should_prune_table(len(block), topk):
                 counters.tables_pruned_by_rule1 += len(candidates) - position
                 break
             joinability, mapping = self._evaluate_table(
-                table_id, items, key_map, topk, counters
+                table_id, block, key_map, topk, counters
             )
             counters.tables_evaluated += 1
             if topk.update(table_id, joinability):
@@ -199,51 +200,62 @@ class MateDiscovery:
     def _evaluate_table(
         self,
         table_id: int,
-        items: Sequence[FetchedItem],
+        block: TableBlock,
         key_map: dict[str, list[tuple[tuple[str, ...], int]]],
         topk: TopKHeap,
         counters: DiscoveryCounters,
     ) -> tuple[int, tuple[int, ...] | None]:
-        """Evaluate one candidate table and return (joinability, mapping)."""
-        posting_count = len(items)
+        """Evaluate one candidate table and return (joinability, mapping).
+
+        Iterates the table block's parallel columns directly (Algorithm 1
+        lines 4-9): no per-item record is ever constructed on this path.
+        """
+        posting_count = len(block)
         rows_checked = 0
         rows_matched = 0
-        surviving: list[tuple[FetchedItem, tuple[str, ...]]] = []
+        surviving: list[tuple[int, tuple[str, ...]]] = []
 
-        for item in items:
-            if self.use_table_filters and should_abandon_table(
+        use_table_filters = self.use_table_filters
+        key_map_get = key_map.get
+        get_row = self.corpus.get_row
+        passes = self.row_filter.passes
+        for value, row_index, super_key in zip(
+            block.values, block.row_indexes, block.super_keys
+        ):
+            if use_table_filters and should_abandon_table(
                 posting_count, rows_checked, rows_matched, topk
             ):
                 counters.tables_pruned_by_rule2 += 1
                 break
             rows_checked += 1
             counters.rows_checked += 1
-            row = self.corpus.get_row(item.table_id, item.row_index)
+            row = get_row(table_id, row_index)
             row_survived = False
-            for key_tuple, key_super_key in key_map.get(item.value, ()):
-                if self.row_filter.passes(
-                    item.super_key, key_super_key, row, key_tuple, counters
-                ):
-                    surviving.append((item, key_tuple))
+            for key_tuple, key_super_key in key_map_get(value, ()):
+                if passes(super_key, key_super_key, row, key_tuple, counters):
+                    surviving.append((row_index, key_tuple))
                     row_survived = True
             if row_survived:
                 rows_matched += 1
 
-        joinability, mapping = self._calculate_joinability(surviving, counters)
+        joinability, mapping = self._calculate_joinability(
+            table_id, surviving, counters
+        )
         return joinability, mapping
 
     def _calculate_joinability(
         self,
-        surviving: list[tuple[FetchedItem, tuple[str, ...]]],
+        table_id: int,
+        surviving: list[tuple[int, tuple[str, ...]]],
         counters: DiscoveryCounters,
     ) -> tuple[int, tuple[int, ...] | None]:
         """Exact verification of surviving rows and Eq. 2 scoring (line 21)."""
         verified: list[tuple[tuple[str, ...], tuple[str, ...]]] = []
         row_outcome: dict[tuple[int, int], bool] = {}
-        for item, key_tuple in surviving:
-            row = self.corpus.get_row(item.table_id, item.row_index)
+        for row_index, key_tuple in surviving:
+            row = self.corpus.get_row(table_id, row_index)
             counters.value_comparisons += len(row) * len(key_tuple)
-            location = item.location()
+            location = (table_id, row_index)
             if row_contains_key(row, key_tuple):
                 verified.append((row, key_tuple))
                 row_outcome[location] = True

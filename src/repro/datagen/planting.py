@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..datamodel import QueryTable, Table, TableCorpus
+from ..datamodel import QueryTable, TableCorpus
 from . import vocab
 from .corpora import COLUMN_FACTORIES
 

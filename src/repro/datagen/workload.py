@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
-from typing import Callable
 
 from ..datamodel import QueryTable, TableCorpus
 from .corpora import (

@@ -17,17 +17,23 @@ Every function takes an :class:`ExperimentSettings` controlling the scale
 :class:`ExperimentResult` whose ``to_text()`` renders the same rows/series the
 paper reports.
 
-Beyond the paper's own artefacts, seven extension studies use the same
+Beyond the paper's own artefacts, eight extension studies use the same
 harness: corpus-size scaling (:func:`run_scaling`), the simulated disk
 fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_frequency_source`), sharded scale-out discovery
 (:func:`run_sharding`), the prefix-tree related-work comparison
 (:func:`run_related_work`), the short-key-value study
-(:func:`run_short_values`), and the batch-discovery serving layer
-(:func:`run_batch_service`).
+(:func:`run_short_values`), the batch-discovery serving layer
+(:func:`run_batch_service`), and the columnar posting-layout comparison
+(:func:`run_columnar`).
 """
 
 from .batch_service import DEFAULT_SERVICE_SHARD_COUNTS, run_batch_service
+from .columnar import (
+    COLUMNAR_LAYOUTS,
+    DEFAULT_COLUMNAR_WORKLOAD,
+    run_columnar,
+)
 from .fetch_cost import DEFAULT_FETCH_WORKLOADS, run_fetch_cost
 from .figure4 import FIGURE4_SYSTEMS, run_figure4
 from .figure5 import FIGURE5_BARS, run_figure5
@@ -67,6 +73,8 @@ from .topk import TOPK_HASHES, run_topk
 
 __all__ = [
     "AggregatedRun",
+    "COLUMNAR_LAYOUTS",
+    "DEFAULT_COLUMNAR_WORKLOAD",
     "DEFAULT_FETCH_WORKLOADS",
     "DEFAULT_RELATED_WORK_WORKLOADS",
     "DEFAULT_SCALE_FACTORS",
@@ -93,6 +101,7 @@ __all__ = [
     "format_ratio",
     "format_table",
     "run_batch_service",
+    "run_columnar",
     "run_fetch_cost",
     "run_figure4",
     "run_figure5",

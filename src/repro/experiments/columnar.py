@@ -1,0 +1,114 @@
+"""Columnar vs. legacy posting-layout study (extension).
+
+Quantifies what the packed struct-of-arrays layout of
+:mod:`repro.index.columnar` buys on the discovery hot path: the same corpus
+is indexed once per layout, the initialization-step fetch (Algorithm 1 lines
+4-5, via :func:`repro.index.fetch_table_blocks`) is timed over repeated
+passes, and the full engine runs every query on both layouts.  Correctness is
+part of the experiment: the two layouts must produce identical top-k results
+for every query, which the benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core import MateDiscovery
+from ..index import build_index, fetch_table_blocks
+from .runner import ExperimentResult, ExperimentSettings, build_context
+
+#: Workload the layout comparison runs on by default.
+DEFAULT_COLUMNAR_WORKLOAD = "WT_100"
+
+#: Layouts under comparison (legacy first: it is the baseline).
+COLUMNAR_LAYOUTS: tuple[str, ...] = ("legacy", "columnar")
+
+
+def run_columnar(
+    settings: ExperimentSettings,
+    workload_name: str = DEFAULT_COLUMNAR_WORKLOAD,
+    fetch_repeats: int = 10,
+) -> ExperimentResult:
+    """Compare the legacy and columnar posting layouts on one workload.
+
+    Per layout: index build time, total time of ``fetch_repeats`` repeated
+    initialization-step fetches over every query's probe values (the serving
+    pattern — hot values recur, so warm fetches dominate), total discovery
+    time across all queries, and whether the top-k results match the legacy
+    baseline query for query.
+    """
+    context = build_context(workload_name, settings)
+    corpus = context.workload.corpus
+    config = context.config(settings.hash_sizes[0] if settings.hash_sizes else 128)
+
+    rows: list[list[object]] = []
+    baseline_topk: list[object] | None = None
+    baseline_fetch = 0.0
+    baseline_discover = 0.0
+    notes: list[str] = []
+    for layout in COLUMNAR_LAYOUTS:
+        started = time.perf_counter()
+        index = build_index(corpus, config=config, layout=layout)
+        build_seconds = time.perf_counter() - started
+
+        engine = MateDiscovery(corpus, index, config=config)
+        probe_sets = [engine.probe_values(query) for query in context.queries]
+
+        items_fetched = 0
+        started = time.perf_counter()
+        for _ in range(fetch_repeats):
+            items_fetched = 0
+            for values in probe_sets:
+                blocks = fetch_table_blocks(index, values)
+                items_fetched += sum(len(block) for block in blocks.values())
+        fetch_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        results = [engine.discover(query) for query in context.queries]
+        discover_seconds = time.perf_counter() - started
+
+        topk = [result.result_tuples() for result in results]
+        if baseline_topk is None:
+            baseline_topk = topk
+            baseline_fetch = fetch_seconds
+            baseline_discover = discover_seconds
+        matched = sum(1 for a, b in zip(baseline_topk, topk) if a == b)
+        rows.append(
+            [
+                layout,
+                round(build_seconds, 4),
+                round(fetch_seconds, 4),
+                items_fetched,
+                round(discover_seconds, 4),
+                f"{matched}/{len(topk)}",
+            ]
+        )
+        if layout != COLUMNAR_LAYOUTS[0]:
+            if fetch_seconds > 0:
+                notes.append(
+                    f"{layout} fetch speedup over legacy: "
+                    f"{baseline_fetch / fetch_seconds:.2f}x"
+                )
+            if discover_seconds > 0:
+                notes.append(
+                    f"{layout} discovery speedup over legacy: "
+                    f"{baseline_discover / discover_seconds:.2f}x"
+                )
+
+    notes.append(
+        f"fetch column: {fetch_repeats} repeated initialization-step fetches "
+        f"over {len(context.queries)} queries of {workload_name}"
+    )
+    return ExperimentResult(
+        name=f"Columnar posting layout — {workload_name}",
+        headers=[
+            "layout",
+            "build s",
+            "fetch s",
+            "PL items / pass",
+            "discover s",
+            "top-k identical",
+        ],
+        rows=rows,
+        notes=notes,
+    )

@@ -28,7 +28,6 @@ Suggestions are ranked to prefer small keys built from join-friendly columns
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import combinations
 from typing import Sequence
 
 from ..datamodel import MISSING, QueryTable, Table

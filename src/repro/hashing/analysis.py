@@ -18,7 +18,6 @@ these functions to sanity-check the measured trends against theory.
 
 from __future__ import annotations
 
-import math
 
 from ..config import MateConfig
 from ..exceptions import HashingError

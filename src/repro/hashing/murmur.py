@@ -10,7 +10,6 @@ vectors checked in the test-suite.
 
 from __future__ import annotations
 
-from ..config import MateConfig
 from .base import HashFunction, register_hash_function
 from .bitvector import fold
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import hashlib
 
-from ..config import MateConfig
 from .base import HashFunction, register_hash_function
 from .bitvector import fold
 

@@ -1,6 +1,17 @@
 """The extended single-attribute inverted index with per-row super keys."""
 
 from .builder import IndexBuildReport, IndexBuilder, build_index
+from .columnar import (
+    LAYOUTS,
+    ColumnarPostingList,
+    DictSuperKeys,
+    FetchBlock,
+    PackedSuperKeys,
+    TableBlock,
+    compute_table_runs,
+    fetch_table_blocks,
+    group_into_table_blocks,
+)
 from .inverted import InvertedIndex
 from .maintenance import IndexMaintainer
 from .posting import FetchedItem, PostingListItem
@@ -14,8 +25,17 @@ from .statistics import (
 )
 
 __all__ = [
+    "ColumnarPostingList",
+    "DictSuperKeys",
+    "FetchBlock",
     "FetchedItem",
     "IndexBuildReport",
+    "LAYOUTS",
+    "PackedSuperKeys",
+    "TableBlock",
+    "compute_table_runs",
+    "fetch_table_blocks",
+    "group_into_table_blocks",
     "IndexBuilder",
     "IndexMaintainer",
     "IndexStorageReport",

@@ -49,9 +49,14 @@ class IndexBuilder:
         config: MateConfig | None = None,
         hash_function_name: str = "xash",
         super_key_generator: SuperKeyGenerator | None = None,
+        layout: str | None = None,
     ):
         self.config = config or MateConfig()
         self.hash_function_name = hash_function_name
+        #: Posting layout of built indexes; defaults to the configured one
+        #: (``"columnar"`` unless overridden), so postings land directly in
+        #: the packed arrays.
+        self.layout = layout or self.config.index_layout
         self.super_key_generator = super_key_generator or SuperKeyGenerator.from_name(
             hash_function_name, self.config
         )
@@ -66,6 +71,7 @@ class IndexBuilder:
         index = InvertedIndex(
             hash_function_name=self.hash_function_name,
             hash_size=self.config.hash_size,
+            layout=self.layout,
         )
         num_rows = 0
         for table in corpus:
@@ -83,15 +89,21 @@ class IndexBuilder:
         return index
 
     def add_table(self, index: InvertedIndex, table: Table) -> int:
-        """Index a single table; returns the number of indexed rows."""
+        """Index a single table; returns the number of indexed rows.
+
+        On the columnar layout each ``add_posting`` appends straight into the
+        value's packed arrays — the build materialises no per-item records.
+        """
         generator = self.super_key_generator
+        table_id = table.table_id
+        set_super_key = index.set_super_key
+        add_posting = index.add_posting
         for row_index, row in enumerate(table.rows):
-            super_key = generator.row_super_key(row)
-            index.set_super_key(table.table_id, row_index, super_key)
+            set_super_key(table_id, row_index, generator.row_super_key(row))
             for column_index, value in enumerate(row):
                 if value == MISSING:
                     continue
-                index.add_posting(value, table.table_id, column_index, row_index)
+                add_posting(value, table_id, column_index, row_index)
         return table.num_rows
 
 
@@ -99,8 +111,9 @@ def build_index(
     corpus: TableCorpus,
     config: MateConfig | None = None,
     hash_function_name: str = "xash",
+    layout: str | None = None,
 ) -> InvertedIndex:
     """Convenience wrapper: build an index for ``corpus`` in one call."""
-    return IndexBuilder(config=config, hash_function_name=hash_function_name).build(
-        corpus
-    )
+    return IndexBuilder(
+        config=config, hash_function_name=hash_function_name, layout=layout
+    ).build(corpus)

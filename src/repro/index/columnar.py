@@ -1,0 +1,545 @@
+"""Columnar (struct-of-arrays) posting-list layout.
+
+The classic layout of :class:`~repro.index.inverted.InvertedIndex` stores one
+Python :class:`~repro.index.posting.PostingListItem` NamedTuple per PL item
+and materialises a :class:`~repro.index.posting.FetchedItem` per item on every
+fetch — per-row object overhead that in-memory analytics engines eliminate
+with columnar, array-packed layouts.  This module provides the packed
+equivalent used by the index's (default) ``columnar`` layout:
+
+* :class:`ColumnarPostingList` — the postings of one value as three parallel
+  flat integer arrays (``array('q')`` table ids, ``array('i')`` column
+  indexes, ``array('q')`` row indexes) plus memoised *table runs* and
+  *super-key columns* so repeated fetches do no per-item work;
+* :class:`PackedSuperKeys` — the per-row super keys packed into one
+  fixed-width byte buffer (``hash_size / 8`` bytes per row) instead of a
+  dictionary of arbitrary-precision integers (with a spill map for keys that
+  exceed the configured width);
+* :class:`DictSuperKeys` — the legacy dictionary store behind the same
+  interface, so both layouts share one code path;
+* :class:`FetchBlock` — the struct-of-arrays result of ``fetch_batch``: one
+  block per probed value, referencing the packed columns directly (zero-copy)
+  with the super-key column attached;
+* :class:`TableBlock` — the per-candidate-table view Algorithm 1's filtering
+  loop iterates (lines 4-9): parallel plain lists assembled run-by-run with
+  C-level slice copies instead of per-item tuple construction.
+
+Every structure can still round-trip to the classic per-item records
+(:meth:`FetchBlock.items`, :meth:`ColumnarPostingList.items`), which is what
+keeps ``InvertedIndex.fetch`` byte-compatible across layouts.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import repeat
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..config import INDEX_LAYOUTS
+from .posting import FetchedItem, PostingListItem
+
+#: Supported posting-list layouts of the inverted index (the canonical
+#: definition lives in :mod:`repro.config`, next to its validation).
+LAYOUTS: tuple[str, ...] = INDEX_LAYOUTS
+
+#: A run of consecutive postings of one value that share a table id:
+#: ``(table_id, start, end)`` half-open positions into the packed columns.
+TableRun = tuple[int, int, int]
+
+
+def compute_table_runs(table_ids: Sequence[int]) -> list[TableRun]:
+    """Return the maximal runs of equal consecutive table ids.
+
+    Postings are appended in corpus-scan order (table by table), so a value's
+    ``table_ids`` column consists of few long runs; grouping by table then
+    costs one slice copy per run instead of one append per item.
+    """
+    runs: list[TableRun] = []
+    start = 0
+    previous: int | None = None
+    position = 0
+    for position, table_id in enumerate(table_ids):
+        if table_id != previous:
+            if previous is not None:
+                runs.append((previous, start, position))
+            previous = table_id
+            start = position
+    if previous is not None:
+        runs.append((previous, start, position + 1))
+    return runs
+
+
+class DictSuperKeys:
+    """Row super keys in a plain dictionary (the ``legacy`` layout's store).
+
+    Exposes the same interface as :class:`PackedSuperKeys` — including the
+    ``epoch`` counter the memoised super-key columns are validated against —
+    so the index code is layout-agnostic.
+    """
+
+    __slots__ = ("epoch", "_entries")
+
+    def __init__(self) -> None:
+        #: Bumped on every mutation; consumers key memoised data on it.
+        self.epoch = 0
+        self._entries: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._entries
+
+    def get(self, key: tuple[int, int], default: int | None = 0) -> int | None:
+        """Return the super key stored under ``key`` (or ``default``)."""
+        return self._entries.get(key, default)
+
+    def set(self, key: tuple[int, int], value: int) -> None:
+        """Store (or replace) one super key."""
+        self.epoch += 1
+        self._entries[key] = value
+
+    def or_into(self, key: tuple[int, int], value_hash: int) -> int:
+        """OR ``value_hash`` into the stored key (0 when absent); return it."""
+        self.epoch += 1
+        updated = self._entries.get(key, 0) | value_hash
+        self._entries[key] = updated
+        return updated
+
+    def pop(self, key: tuple[int, int]) -> None:
+        """Drop one super key (no-op when absent)."""
+        self.epoch += 1
+        self._entries.pop(key, None)
+
+    def items(self) -> Iterator[tuple[tuple[int, int], int]]:
+        """Iterate over ``((table_id, row_index), super_key)`` pairs."""
+        return iter(self._entries.items())
+
+    def get_many(
+        self, table_ids: Sequence[int], row_indexes: Sequence[int]
+    ) -> list[int]:
+        """Return the super keys of the given rows (0 when absent), in order."""
+        get = self._entries.get
+        return [get(key, 0) for key in zip(table_ids, row_indexes)]
+
+
+class PackedSuperKeys:
+    """Row super keys packed into one fixed-width byte buffer.
+
+    Each row owns one ``width_bytes`` slot in a shared :class:`bytearray`
+    (big-endian), addressed through a ``(table_id, row_index) -> slot``
+    dictionary; freed slots are recycled.  Keys too wide for the configured
+    hash size spill into a plain dictionary so that correctness never depends
+    on the declared width.
+    """
+
+    __slots__ = ("width_bytes", "epoch", "_slots", "_buffer", "_free", "_spill")
+
+    def __init__(self, hash_size_bits: int = 128):
+        #: Bytes per packed super key (the configured hash width).
+        self.width_bytes = max(1, (int(hash_size_bits) + 7) // 8)
+        #: Bumped on every mutation; consumers key memoised data on it.
+        self.epoch = 0
+        self._slots: dict[tuple[int, int], int] = {}
+        self._buffer = bytearray()
+        self._free: list[int] = []
+        self._spill: dict[tuple[int, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._slots) + len(self._spill)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._slots or key in self._spill
+
+    def _fits(self, value: int) -> bool:
+        return 0 <= value < (1 << (8 * self.width_bytes))
+
+    def get(self, key: tuple[int, int], default: int | None = 0) -> int | None:
+        """Return the super key stored under ``key`` (or ``default``)."""
+        slot = self._slots.get(key)
+        if slot is None:
+            return self._spill.get(key, default)
+        offset = slot * self.width_bytes
+        return int.from_bytes(
+            self._buffer[offset : offset + self.width_bytes], "big"
+        )
+
+    def set(self, key: tuple[int, int], value: int) -> None:
+        """Store (or replace) one super key in its packed slot."""
+        self.epoch += 1
+        if not self._fits(value):
+            slot = self._slots.pop(key, None)
+            if slot is not None:
+                self._free.append(slot)
+            self._spill[key] = value
+            return
+        slot = self._slots.get(key)
+        if slot is None:
+            self._spill.pop(key, None)
+            if self._free:
+                slot = self._free.pop()
+            else:
+                slot = len(self._buffer) // self.width_bytes
+                self._buffer.extend(bytes(self.width_bytes))
+            self._slots[key] = slot
+        offset = slot * self.width_bytes
+        self._buffer[offset : offset + self.width_bytes] = value.to_bytes(
+            self.width_bytes, "big"
+        )
+
+    def or_into(self, key: tuple[int, int], value_hash: int) -> int:
+        """OR ``value_hash`` into the stored key (0 when absent); return it."""
+        updated = (self.get(key, 0) or 0) | value_hash
+        self.set(key, updated)
+        return updated
+
+    def pop(self, key: tuple[int, int]) -> None:
+        """Drop one super key, recycling its packed slot (no-op when absent)."""
+        self.epoch += 1
+        slot = self._slots.pop(key, None)
+        if slot is not None:
+            self._free.append(slot)
+        else:
+            self._spill.pop(key, None)
+
+    def items(self) -> Iterator[tuple[tuple[int, int], int]]:
+        """Iterate over ``((table_id, row_index), super_key)`` pairs."""
+        width = self.width_bytes
+        buffer = self._buffer
+        for key, slot in self._slots.items():
+            offset = slot * width
+            yield key, int.from_bytes(buffer[offset : offset + width], "big")
+        yield from self._spill.items()
+
+    def get_many(
+        self, table_ids: Sequence[int], row_indexes: Sequence[int]
+    ) -> list[int]:
+        """Return the super keys of the given rows (0 when absent), in order."""
+        slots = self._slots
+        spill = self._spill
+        buffer = self._buffer
+        width = self.width_bytes
+        from_bytes = int.from_bytes
+        out: list[int] = []
+        append = out.append
+        for key in zip(table_ids, row_indexes):
+            slot = slots.get(key)
+            if slot is None:
+                append(spill.get(key, 0))
+            else:
+                offset = slot * width
+                append(from_bytes(buffer[offset : offset + width], "big"))
+        return out
+
+
+class ColumnarPostingList:
+    """The postings of one value as three parallel packed integer arrays.
+
+    ``table_ids`` and ``row_indexes`` are 64-bit (``'q'``), ``column_indexes``
+    32-bit (``'i'``).  Two memoisations make repeated fetches cheap: the table
+    *runs* (keyed by the item count, which only changes when postings change)
+    and the *super-key column* (keyed additionally by the identity and epoch
+    of the super-key store it was computed from, so shard-local and central
+    stores never cross-contaminate).
+    """
+
+    __slots__ = (
+        "table_ids",
+        "column_indexes",
+        "row_indexes",
+        "_runs_cache",
+        "_super_keys_cache",
+    )
+
+    def __init__(self) -> None:
+        self.table_ids = array("q")
+        self.column_indexes = array("i")
+        self.row_indexes = array("q")
+        self._runs_cache: tuple[int, list[TableRun]] | None = None
+        self._super_keys_cache: tuple[object, int, int, list[int]] | None = None
+
+    def __len__(self) -> int:
+        return len(self.table_ids)
+
+    def __getstate__(self):
+        # The memo caches are derived data; a pickled/deep-copied posting
+        # list must not drag (dead) super-key stores along with it.
+        return (self.table_ids, self.column_indexes, self.row_indexes)
+
+    def __setstate__(self, state) -> None:
+        self.table_ids, self.column_indexes, self.row_indexes = state
+        self._runs_cache = None
+        self._super_keys_cache = None
+
+    def append(self, table_id: int, column_index: int, row_index: int) -> None:
+        """Append one posting to the packed columns."""
+        self.table_ids.append(table_id)
+        self.column_indexes.append(column_index)
+        self.row_indexes.append(row_index)
+
+    def item(self, position: int) -> PostingListItem:
+        """Materialise the posting at ``position`` as a classic record."""
+        return PostingListItem(
+            table_id=self.table_ids[position],
+            column_index=self.column_indexes[position],
+            row_index=self.row_indexes[position],
+        )
+
+    def items(self) -> list[PostingListItem]:
+        """Materialise every posting as a classic per-item record."""
+        return [
+            PostingListItem(table_id, column_index, row_index)
+            for table_id, column_index, row_index in zip(
+                self.table_ids, self.column_indexes, self.row_indexes
+            )
+        ]
+
+    def runs(self) -> list[TableRun]:
+        """The memoised table runs of this posting list."""
+        count = len(self.table_ids)
+        cached = self._runs_cache
+        if cached is not None and cached[0] == count:
+            return cached[1]
+        runs = compute_table_runs(self.table_ids)
+        self._runs_cache = (count, runs)
+        return runs
+
+    def super_key_column(
+        self, store: DictSuperKeys | PackedSuperKeys
+    ) -> list[int]:
+        """The memoised super-key column of this posting list under ``store``.
+
+        Valid while the store object, its epoch, and the item count are
+        unchanged; any posting append or super-key mutation recomputes.
+        """
+        count = len(self.table_ids)
+        cached = self._super_keys_cache
+        if (
+            cached is not None
+            and cached[0] is store
+            and cached[1] == store.epoch
+            and cached[2] == count
+        ):
+            return cached[3]
+        column = store.get_many(self.table_ids, self.row_indexes)
+        self._super_keys_cache = (store, store.epoch, count, column)
+        return column
+
+    def filtered(
+        self, keep: Callable[[int, int, int], bool]
+    ) -> tuple["ColumnarPostingList", int]:
+        """Return ``(kept postings, removed count)`` under the predicate.
+
+        Returns ``self`` unchanged (and 0) when nothing is removed, so the
+        memoised runs and super-key columns survive no-op maintenance.
+        """
+        kept = ColumnarPostingList()
+        removed = 0
+        for table_id, column_index, row_index in zip(
+            self.table_ids, self.column_indexes, self.row_indexes
+        ):
+            if keep(table_id, column_index, row_index):
+                kept.append(table_id, column_index, row_index)
+            else:
+                removed += 1
+        if removed == 0:
+            return self, 0
+        return kept, removed
+
+    def copy(self) -> "ColumnarPostingList":
+        """Return an independent copy of the packed columns (C-level memcpy)."""
+        copied = ColumnarPostingList()
+        copied.table_ids = array("q", self.table_ids)
+        copied.column_indexes = array("i", self.column_indexes)
+        copied.row_indexes = array("q", self.row_indexes)
+        return copied
+
+    @classmethod
+    def from_columns(
+        cls,
+        table_ids: Iterable[int],
+        column_indexes: Iterable[int],
+        row_indexes: Iterable[int],
+    ) -> "ColumnarPostingList":
+        """Build a posting list directly from packed (or packable) columns."""
+        columns = cls()
+        columns.table_ids.extend(table_ids)
+        columns.column_indexes.extend(column_indexes)
+        columns.row_indexes.extend(row_indexes)
+        if not (
+            len(columns.table_ids)
+            == len(columns.column_indexes)
+            == len(columns.row_indexes)
+        ):
+            raise ValueError("posting columns must have equal lengths")
+        return columns
+
+
+class FetchBlock:
+    """Struct-of-arrays fetch result of one probe value.
+
+    The posting columns reference the index's packed arrays directly (no
+    copy); ``super_keys`` is the per-posting super-key column and ``runs`` the
+    table runs used to regroup the block by candidate table.  Blocks are
+    snapshots: index mutations invalidate them (callers such as the
+    posting-list cache drop blocks on mutation).
+    """
+
+    __slots__ = ("value", "table_ids", "column_indexes", "row_indexes",
+                 "super_keys", "runs")
+
+    def __init__(
+        self,
+        value: str,
+        table_ids: Sequence[int],
+        column_indexes: Sequence[int],
+        row_indexes: Sequence[int],
+        super_keys: Sequence[int],
+        runs: Sequence[TableRun],
+    ):
+        self.value = value
+        self.table_ids = table_ids
+        self.column_indexes = column_indexes
+        self.row_indexes = row_indexes
+        self.super_keys = super_keys
+        self.runs = runs
+
+    def __len__(self) -> int:
+        return len(self.super_keys)
+
+    def __iter__(self) -> Iterator[FetchedItem]:
+        value = self.value
+        for table_id, column_index, row_index, super_key in zip(
+            self.table_ids, self.column_indexes, self.row_indexes, self.super_keys
+        ):
+            yield FetchedItem(value, table_id, column_index, row_index, super_key)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FetchBlock):
+            return NotImplemented
+        return self.value == other.value and self.items() == other.items()
+
+    def __repr__(self) -> str:
+        return f"FetchBlock(value={self.value!r}, items={len(self)})"
+
+    def items(self) -> list[FetchedItem]:
+        """Materialise the block as classic per-item fetch records."""
+        return list(self)
+
+    @classmethod
+    def empty(cls, value: str) -> "FetchBlock":
+        """An empty block (used to cache negative fetch results)."""
+        return cls(value, (), (), (), (), ())
+
+    @classmethod
+    def from_fetched_items(
+        cls, value: str, items: Sequence[FetchedItem]
+    ) -> "FetchBlock":
+        """Build a block from classic fetch records (legacy-layout bridge)."""
+        table_ids = [item.table_id for item in items]
+        return cls(
+            value=value,
+            table_ids=table_ids,
+            column_indexes=[item.column_index for item in items],
+            row_indexes=[item.row_index for item in items],
+            super_keys=[item.super_key for item in items],
+            runs=compute_table_runs(table_ids),
+        )
+
+
+def blocks_from_fetch(items: Iterable[FetchedItem]) -> list[FetchBlock]:
+    """Group classic per-item fetch results into per-value blocks.
+
+    The bridge from any per-item ``fetch`` to the struct-of-arrays world:
+    one block per value in first-seen order, items in fetch order, values
+    without postings yielding no block — exactly the ``fetch_batch``
+    contract.
+    """
+    grouped: dict[str, list[FetchedItem]] = {}
+    for item in items:
+        grouped.setdefault(item.value, []).append(item)
+    return [
+        FetchBlock.from_fetched_items(value, value_items)
+        for value, value_items in grouped.items()
+    ]
+
+
+class TableBlock:
+    """All fetched postings of one candidate table, as parallel plain lists.
+
+    This is what the discovery engine's filtering loop (Algorithm 1 lines
+    4-9) iterates: ``zip(values, row_indexes, super_keys)`` touches no
+    per-item objects.  Blocks are assembled run-by-run with slice copies from
+    the packed fetch blocks.
+    """
+
+    __slots__ = ("table_id", "values", "column_indexes", "row_indexes",
+                 "super_keys")
+
+    def __init__(self, table_id: int):
+        self.table_id = table_id
+        self.values: list[str] = []
+        self.column_indexes: list[int] = []
+        self.row_indexes: list[int] = []
+        self.super_keys: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def extend_run(self, block: FetchBlock, start: int, end: int) -> None:
+        """Append one table run of ``block`` (C-level slice copies)."""
+        self.values.extend(repeat(block.value, end - start))
+        self.column_indexes.extend(block.column_indexes[start:end])
+        self.row_indexes.extend(block.row_indexes[start:end])
+        self.super_keys.extend(block.super_keys[start:end])
+
+    def items(self) -> list[FetchedItem]:
+        """Materialise the block as classic per-item fetch records."""
+        return [
+            FetchedItem(value, self.table_id, column_index, row_index, super_key)
+            for value, column_index, row_index, super_key in zip(
+                self.values, self.column_indexes, self.row_indexes, self.super_keys
+            )
+        ]
+
+
+def group_into_table_blocks(
+    blocks: Iterable[FetchBlock],
+) -> dict[int, TableBlock]:
+    """Regroup per-value fetch blocks into per-table blocks (line 5 of Alg. 1).
+
+    Preserves the fetch order exactly: per probed value in first-seen order,
+    per posting in insertion order — the grouping the legacy
+    ``fetch_grouped_by_table`` produced, minus the per-item records.
+    """
+    grouped: dict[int, TableBlock] = {}
+    for block in blocks:
+        for table_id, start, end in block.runs:
+            table_block = grouped.get(table_id)
+            if table_block is None:
+                table_block = grouped[table_id] = TableBlock(table_id)
+            table_block.extend_run(block, start, end)
+    return grouped
+
+
+def fetch_table_blocks(index, values: Iterable[str]) -> dict[int, TableBlock]:
+    """Fetch ``values`` from any index and group the postings by table.
+
+    Uses the batched struct-of-arrays path when the index provides
+    ``fetch_batch`` (all indexes in this repository do) and falls back to the
+    classic per-item ``fetch`` otherwise, so the discovery engine runs
+    unchanged on third-party index objects.
+    """
+    fetch_batch = getattr(index, "fetch_batch", None)
+    if fetch_batch is not None:
+        return group_into_table_blocks(fetch_batch(values))
+    grouped: dict[int, TableBlock] = {}
+    for item in index.fetch(values):
+        table_block = grouped.get(item.table_id)
+        if table_block is None:
+            table_block = grouped[item.table_id] = TableBlock(item.table_id)
+        table_block.values.append(item.value)
+        table_block.column_indexes.append(item.column_index)
+        table_block.row_indexes.append(item.row_index)
+        table_block.super_keys.append(item.super_key)
+    return grouped

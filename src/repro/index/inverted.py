@@ -2,18 +2,33 @@
 
 :class:`InvertedIndex` stores two structures:
 
-* ``postings``: value -> list of :class:`PostingListItem` (the classic
-  single-attribute inverted index of Eq. 4), and
+* ``postings``: value -> posting list (the classic single-attribute inverted
+  index of Eq. 4), and
 * ``super_keys``: (table_id, row_index) -> int, the per-row super key that
   turns the index into MATE's extended index.
+
+Two storage layouts are supported (see :mod:`repro.index.columnar`):
+
+* ``columnar`` (the default) — each value's postings live in three parallel
+  packed integer arrays and the super keys in a fixed-width packed byte
+  buffer; ``fetch_batch`` returns struct-of-arrays
+  :class:`~repro.index.columnar.FetchBlock` objects that reference the packed
+  columns directly (zero copy), with memoised super-key columns and table
+  runs so repeated fetches do no per-item work;
+* ``legacy`` — one :class:`~repro.index.posting.PostingListItem` NamedTuple
+  per PL item and a dictionary of super keys, the layout of the original
+  reproduction (kept for comparison benchmarks and old persisted data).
+
+Both layouts expose the exact same query surface, and ``fetch`` returns
+byte-identical :class:`~repro.index.posting.FetchedItem` lists either way.
 
 The index is deliberately storage-backend agnostic: it is an in-memory object
 that can be persisted/restored through :mod:`repro.storage`.  Its query
 surface is exactly what Algorithm 1 needs:
 
-* ``fetch`` — retrieve all PL items (with super keys) for a set of probe
-  values (line 4),
-* ``posting_list`` / ``super_key`` accessors,
+* ``fetch`` / ``fetch_batch`` — retrieve all PL items (with super keys) for a
+  set of probe values (line 4),
+* ``posting_list`` / ``posting_columns`` / ``super_key`` accessors,
 * mutation operations used by the maintenance layer (Section 5.4).
 """
 
@@ -24,19 +39,45 @@ from typing import Iterable, Iterator, Sequence
 
 from ..datamodel import MISSING
 from ..exceptions import IndexError_
+from .columnar import (
+    LAYOUTS,
+    ColumnarPostingList,
+    DictSuperKeys,
+    FetchBlock,
+    PackedSuperKeys,
+    blocks_from_fetch,
+)
 from .posting import FetchedItem, PostingListItem
 
 
 class InvertedIndex:
     """Value -> posting-list mapping plus per-row super keys."""
 
-    def __init__(self, hash_function_name: str = "xash", hash_size: int = 128):
+    def __init__(
+        self,
+        hash_function_name: str = "xash",
+        hash_size: int = 128,
+        layout: str = "columnar",
+    ):
+        if layout not in LAYOUTS:
+            raise IndexError_(
+                f"unknown posting layout {layout!r}; expected one of {LAYOUTS}"
+            )
         #: Name of the hash function the super keys were generated with.
         self.hash_function_name = hash_function_name
         #: Width of the stored super keys in bits.
         self.hash_size = hash_size
-        self._postings: dict[str, list[PostingListItem]] = defaultdict(list)
-        self._super_keys: dict[tuple[int, int], int] = {}
+        #: Posting-list storage layout: ``"columnar"`` or ``"legacy"``.
+        self.layout = layout
+        self._columnar = layout == "columnar"
+        if self._columnar:
+            self._postings: dict[str, ColumnarPostingList] = {}
+            self._super_keys: PackedSuperKeys | DictSuperKeys = PackedSuperKeys(
+                hash_size
+            )
+        else:
+            self._postings = defaultdict(list)  # type: ignore[assignment]
+            self._super_keys = DictSuperKeys()
         self._table_rows: dict[int, set[int]] = defaultdict(set)
 
     # ------------------------------------------------------------------
@@ -67,20 +108,39 @@ class InvertedIndex:
 
     def posting_list(self, value: str) -> list[PostingListItem]:
         """Return the posting list of ``value`` (empty when not indexed)."""
-        return list(self._postings.get(value, ()))
+        stored = self._postings.get(value)
+        if stored is None:
+            return []
+        if self._columnar:
+            return stored.items()
+        return list(stored)
+
+    def posting_columns(self, value: str) -> ColumnarPostingList | None:
+        """Return the packed posting columns of ``value`` (columnar layout).
+
+        ``None`` when the value is not indexed.  Raises on the legacy layout,
+        which has no packed columns.
+        """
+        if not self._columnar:
+            raise IndexError_(
+                "posting_columns requires the columnar layout "
+                f"(this index uses {self.layout!r})"
+            )
+        return self._postings.get(value)
 
     def posting_list_length(self, value: str) -> int:
         """Return the number of PL items for ``value`` without copying."""
-        return len(self._postings.get(value, ()))
+        stored = self._postings.get(value)
+        return 0 if stored is None else len(stored)
 
     def super_key(self, table_id: int, row_index: int) -> int:
         """Return the super key of a row."""
-        try:
-            return self._super_keys[(table_id, row_index)]
-        except KeyError as exc:
+        stored = self._super_keys.get((table_id, row_index), None)
+        if stored is None:
             raise IndexError_(
                 f"no super key stored for table {table_id} row {row_index}"
-            ) from exc
+            )
+        return stored
 
     def has_row(self, table_id: int, row_index: int) -> bool:
         """Return whether a super key is stored for the row."""
@@ -100,63 +160,100 @@ class InvertedIndex:
         """Add a single PL item for ``value``.  Missing values are skipped."""
         if value == MISSING:
             return
-        self._postings[value].append(
-            PostingListItem(table_id=table_id, column_index=column_index,
-                            row_index=row_index)
-        )
+        if self._columnar:
+            columns = self._postings.get(value)
+            if columns is None:
+                columns = self._postings[value] = ColumnarPostingList()
+            columns.append(table_id, column_index, row_index)
+        else:
+            self._postings[value].append(
+                PostingListItem(
+                    table_id=table_id,
+                    column_index=column_index,
+                    row_index=row_index,
+                )
+            )
         self._table_rows[table_id].add(row_index)
+
+    def set_posting_columns(
+        self, value: str, columns: ColumnarPostingList
+    ) -> None:
+        """Install pre-packed posting columns for ``value`` (bulk loading).
+
+        Used by storage backends restoring a packed layout; requires the
+        columnar layout.
+        """
+        if not self._columnar:
+            raise IndexError_(
+                "set_posting_columns requires the columnar layout "
+                f"(this index uses {self.layout!r})"
+            )
+        if value == MISSING or not len(columns):
+            return
+        self._postings[value] = columns
+        table_rows = self._table_rows
+        for table_id, row_index in zip(columns.table_ids, columns.row_indexes):
+            table_rows[table_id].add(row_index)
 
     def set_super_key(self, table_id: int, row_index: int, super_key: int) -> None:
         """Store (or replace) the super key of a row."""
-        self._super_keys[(table_id, row_index)] = super_key
+        self._super_keys.set((table_id, row_index), super_key)
         self._table_rows[table_id].add(row_index)
 
     def or_into_super_key(self, table_id: int, row_index: int, value_hash: int) -> int:
         """OR a new value hash into an existing row super key (column insert)."""
-        key = (table_id, row_index)
-        updated = self._super_keys.get(key, 0) | value_hash
-        self._super_keys[key] = updated
+        updated = self._super_keys.or_into((table_id, row_index), value_hash)
         self._table_rows[table_id].add(row_index)
         return updated
+
+    def _remove_postings_where(self, keep) -> int:
+        """Filter every posting list by ``keep(table_id, column_index, row_index)``."""
+        removed = 0
+        empty_values = []
+        if self._columnar:
+            for value, columns in self._postings.items():
+                kept, dropped = columns.filtered(keep)
+                removed += dropped
+                if len(kept):
+                    self._postings[value] = kept
+                else:
+                    empty_values.append(value)
+        else:
+            for value, items in self._postings.items():
+                kept_items = [
+                    item
+                    for item in items
+                    if keep(item.table_id, item.column_index, item.row_index)
+                ]
+                removed += len(items) - len(kept_items)
+                if kept_items:
+                    self._postings[value] = kept_items
+                else:
+                    empty_values.append(value)
+        for value in empty_values:
+            del self._postings[value]
+        return removed
 
     def remove_table(self, table_id: int) -> int:
         """Remove every posting and super key of ``table_id``.
 
         Returns the number of removed PL items.
         """
-        removed = 0
-        empty_values = []
-        for value, items in self._postings.items():
-            kept = [item for item in items if item.table_id != table_id]
-            removed += len(items) - len(kept)
-            if kept:
-                self._postings[value] = kept
-            else:
-                empty_values.append(value)
-        for value in empty_values:
-            del self._postings[value]
+        removed = self._remove_postings_where(
+            lambda item_table, _column, _row: item_table != table_id
+        )
         for row_index in self._table_rows.pop(table_id, set()):
-            self._super_keys.pop((table_id, row_index), None)
+            self._super_keys.pop((table_id, row_index))
         return removed
 
     def remove_row(self, table_id: int, row_index: int) -> int:
         """Remove the postings and super key of a single row."""
-        removed = 0
-        empty_values = []
-        for value, items in self._postings.items():
-            kept = [
-                item
-                for item in items
-                if not (item.table_id == table_id and item.row_index == row_index)
-            ]
-            removed += len(items) - len(kept)
-            if kept:
-                self._postings[value] = kept
-            else:
-                empty_values.append(value)
-        for value in empty_values:
-            del self._postings[value]
-        self._super_keys.pop((table_id, row_index), None)
+        removed = self._remove_postings_where(
+            lambda item_table, _column, item_row: not (
+                item_table == table_id and item_row == row_index
+            )
+        )
+        self._super_keys.pop((table_id, row_index))
         rows = self._table_rows.get(table_id)
         if rows is not None:
             rows.discard(row_index)
@@ -166,41 +263,69 @@ class InvertedIndex:
 
     def remove_column(self, table_id: int, column_index: int) -> int:
         """Remove the postings of one column (super keys must be rebuilt by the caller)."""
-        removed = 0
-        empty_values = []
-        for value, items in self._postings.items():
-            kept = [
-                item
-                for item in items
-                if not (
-                    item.table_id == table_id and item.column_index == column_index
-                )
-            ]
-            removed += len(items) - len(kept)
-            if kept:
-                self._postings[value] = kept
-            else:
-                empty_values.append(value)
-        for value in empty_values:
-            del self._postings[value]
-        return removed
+        return self._remove_postings_where(
+            lambda item_table, item_column, _row: not (
+                item_table == table_id and item_column == column_index
+            )
+        )
 
     # ------------------------------------------------------------------
     # Discovery-phase retrieval
     # ------------------------------------------------------------------
+    def fetch_batch(self, values: Iterable[str]) -> list[FetchBlock]:
+        """Fetch the postings of ``values`` as struct-of-arrays blocks.
+
+        One block per probed value with at least one PL item, in first-seen
+        value order; duplicate and missing probe values are skipped.  On the
+        columnar layout the blocks reference the packed columns directly and
+        reuse the memoised super-key columns, so a warm ``fetch_batch`` does
+        no per-item work at all.
+        """
+        if self._columnar:
+            blocks: list[FetchBlock] = []
+            append = blocks.append
+            postings = self._postings
+            store = self._super_keys
+            for value in dict.fromkeys(values):
+                if value == MISSING:
+                    continue
+                columns = postings.get(value)
+                if columns is None or not len(columns):
+                    continue
+                append(
+                    FetchBlock(
+                        value,
+                        columns.table_ids,
+                        columns.column_indexes,
+                        columns.row_indexes,
+                        columns.super_key_column(store),
+                        columns.runs(),
+                    )
+                )
+            return blocks
+        return blocks_from_fetch(self.fetch(values))
+
     def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
         """Fetch the PL items (with super keys) for every value in ``values``.
 
         This is ``fetch_PLs`` of Algorithm 1 (line 4).  Duplicate probe values
-        are fetched only once.
+        are fetched only once.  The output is identical across layouts.
         """
-        fetched: list[FetchedItem] = []
-        for value in dict.fromkeys(values):
-            if value == MISSING:
-                continue
-            for item in self._postings.get(value, ()):
-                super_key = self._super_keys.get((item.table_id, item.row_index), 0)
-                fetched.append(FetchedItem.from_posting(value, item, super_key))
+        if not self._columnar:
+            fetched: list[FetchedItem] = []
+            for value in dict.fromkeys(values):
+                if value == MISSING:
+                    continue
+                for item in self._postings.get(value, ()):
+                    super_key = self._super_keys.get(
+                        (item.table_id, item.row_index), 0
+                    )
+                    fetched.append(FetchedItem.from_posting(value, item, super_key))
+            return fetched
+        fetched = []
+        extend = fetched.extend
+        for block in self.fetch_batch(values):
+            extend(block)
         return fetched
 
     def fetch_grouped_by_table(

@@ -19,7 +19,7 @@ index, the corpus, and the per-row super keys stay consistent:
 from __future__ import annotations
 
 from ..datamodel import MISSING, Row, Table, TableCorpus
-from ..exceptions import DataModelError, IndexError_
+from ..exceptions import DataModelError
 from ..hashing import SuperKeyGenerator
 from .inverted import InvertedIndex
 

@@ -8,20 +8,23 @@ logical index whose posting lists are partitioned across workers by
 
 :class:`ShardedInvertedIndex` satisfies the exact query surface
 :class:`~repro.core.discovery.MateDiscovery` consumes (``fetch``,
-``fetch_grouped_by_table``, ``posting_count_for_values``, the posting-list
-and super-key accessors, and the mutation operations of the maintenance
-layer), so the engine runs unchanged on top of it:
+``fetch_batch``, ``fetch_grouped_by_table``, ``posting_count_for_values``,
+the posting-list and super-key accessors, and the mutation operations of the
+maintenance layer), so the engine runs unchanged on top of it:
 
 * **postings** live in one :class:`~repro.index.inverted.InvertedIndex` per
-  shard; a value's shard is chosen by :func:`shard_of_value`, which is a
-  stable CRC-32 based hash so that shard assignment survives persistence
-  and process restarts (Python's builtin ``hash`` is salted per process);
+  shard (columnar packed arrays by default, see
+  :mod:`repro.index.columnar`); a value's shard is chosen by
+  :func:`shard_of_value`, which is a stable CRC-32 based hash so that shard
+  assignment survives persistence and process restarts (Python's builtin
+  ``hash`` is salted per process);
 * **super keys** are keyed by row, not by value, and are therefore kept in
-  one central map shared by all shards — ``fetch`` routes each probe value
-  to its shard and attaches the super key centrally, exactly as line 4 of
+  one central store shared by all shards — packed fixed-width bytes on the
+  columnar layout — and ``fetch_batch`` routes each probe value to its shard
+  and attaches the central super-key column, exactly as line 4 of
   Algorithm 1 requires;
-* ``fetch`` optionally fans out across shards on a thread pool
-  (``max_workers``), the same worker-pool idiom
+* ``fetch``/``fetch_batch`` optionally fan out across shards on a thread
+  pool (``max_workers``), the same worker-pool idiom
   :class:`~repro.core.parallel.ShardedMateDiscovery` uses for per-shard
   engines.
 
@@ -43,6 +46,14 @@ from ..config import MateConfig
 from ..datamodel import MISSING, TableCorpus
 from ..exceptions import IndexError_
 from .builder import IndexBuilder
+from .columnar import (
+    LAYOUTS,
+    ColumnarPostingList,
+    DictSuperKeys,
+    FetchBlock,
+    PackedSuperKeys,
+    blocks_from_fetch,
+)
 from .inverted import InvertedIndex
 from .posting import FetchedItem, PostingListItem
 
@@ -74,21 +85,35 @@ class ShardedInvertedIndex:
         hash_function_name: str = "xash",
         hash_size: int = 128,
         max_workers: int | None = None,
+        layout: str = "columnar",
     ):
         if num_shards <= 0:
             raise IndexError_(f"num_shards must be positive, got {num_shards}")
+        if layout not in LAYOUTS:
+            raise IndexError_(
+                f"unknown posting layout {layout!r}; expected one of {LAYOUTS}"
+            )
         #: Name of the hash function the super keys were generated with.
         self.hash_function_name = hash_function_name
         #: Width of the stored super keys in bits.
         self.hash_size = hash_size
+        #: Posting-list storage layout shared by every shard.
+        self.layout = layout
+        self._columnar = layout == "columnar"
         #: Number of worker threads used to fan ``fetch`` out across shards
         #: (``None`` or 1 fetches serially).
         self.max_workers = max_workers
         self._shards: list[InvertedIndex] = [
-            InvertedIndex(hash_function_name=hash_function_name, hash_size=hash_size)
+            InvertedIndex(
+                hash_function_name=hash_function_name,
+                hash_size=hash_size,
+                layout=layout,
+            )
             for _ in range(num_shards)
         ]
-        self._super_keys: dict[tuple[int, int], int] = {}
+        self._super_keys: PackedSuperKeys | DictSuperKeys = (
+            PackedSuperKeys(hash_size) if self._columnar else DictSuperKeys()
+        )
         self._table_rows: dict[int, set[int]] = defaultdict(set)
 
     # ------------------------------------------------------------------
@@ -142,18 +167,22 @@ class ShardedInvertedIndex:
         """Return the posting list of ``value`` (empty when not indexed)."""
         return self._shards[self.shard_of(value)].posting_list(value)
 
+    def posting_columns(self, value: str) -> ColumnarPostingList | None:
+        """Return the packed posting columns of ``value`` (columnar layout)."""
+        return self._shards[self.shard_of(value)].posting_columns(value)
+
     def posting_list_length(self, value: str) -> int:
         """Return the number of PL items for ``value`` without copying."""
         return self._shards[self.shard_of(value)].posting_list_length(value)
 
     def super_key(self, table_id: int, row_index: int) -> int:
         """Return the super key of a row."""
-        try:
-            return self._super_keys[(table_id, row_index)]
-        except KeyError as exc:
+        stored = self._super_keys.get((table_id, row_index), None)
+        if stored is None:
             raise IndexError_(
                 f"no super key stored for table {table_id} row {row_index}"
-            ) from exc
+            )
+        return stored
 
     def has_row(self, table_id: int, row_index: int) -> bool:
         """Return whether a super key is stored for the row."""
@@ -178,16 +207,30 @@ class ShardedInvertedIndex:
         )
         self._table_rows[table_id].add(row_index)
 
+    def set_posting_columns(
+        self, value: str, columns: ColumnarPostingList
+    ) -> None:
+        """Install pre-packed posting columns on the shard owning ``value``.
+
+        The packed bulk-loading path of :meth:`InvertedIndex.set_posting_columns
+        <repro.index.inverted.InvertedIndex.set_posting_columns>`; requires
+        the columnar layout.
+        """
+        if value == MISSING or not len(columns):
+            return
+        self._shards[self.shard_of(value)].set_posting_columns(value, columns)
+        table_rows = self._table_rows
+        for table_id, row_index in zip(columns.table_ids, columns.row_indexes):
+            table_rows[table_id].add(row_index)
+
     def set_super_key(self, table_id: int, row_index: int, super_key: int) -> None:
         """Store (or replace) the super key of a row."""
-        self._super_keys[(table_id, row_index)] = super_key
+        self._super_keys.set((table_id, row_index), super_key)
         self._table_rows[table_id].add(row_index)
 
     def or_into_super_key(self, table_id: int, row_index: int, value_hash: int) -> int:
         """OR a new value hash into an existing row super key (column insert)."""
-        key = (table_id, row_index)
-        updated = self._super_keys.get(key, 0) | value_hash
-        self._super_keys[key] = updated
+        updated = self._super_keys.or_into((table_id, row_index), value_hash)
         self._table_rows[table_id].add(row_index)
         return updated
 
@@ -195,7 +238,7 @@ class ShardedInvertedIndex:
         """Remove every posting and super key of ``table_id`` from all shards."""
         removed = sum(shard.remove_table(table_id) for shard in self._shards)
         for row_index in self._table_rows.pop(table_id, set()):
-            self._super_keys.pop((table_id, row_index), None)
+            self._super_keys.pop((table_id, row_index))
         return removed
 
     def remove_row(self, table_id: int, row_index: int) -> int:
@@ -203,7 +246,7 @@ class ShardedInvertedIndex:
         removed = sum(
             shard.remove_row(table_id, row_index) for shard in self._shards
         )
-        self._super_keys.pop((table_id, row_index), None)
+        self._super_keys.pop((table_id, row_index))
         rows = self._table_rows.get(table_id)
         if rows is not None:
             rows.discard(row_index)
@@ -220,39 +263,79 @@ class ShardedInvertedIndex:
     # ------------------------------------------------------------------
     # Discovery-phase retrieval
     # ------------------------------------------------------------------
-    def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
-        """Fetch the PL items (with super keys) for every value in ``values``.
+    def fetch_batch(self, values: Iterable[str]) -> list[FetchBlock]:
+        """Fetch the postings of ``values`` as struct-of-arrays blocks.
 
-        The fan-out is by shard: probe values are routed to their owning
-        shard, each shard returns its posting lists (concurrently when
-        ``max_workers`` > 1), and the results are reassembled in the original
-        first-seen value order with the centrally stored super keys attached.
-        The output is therefore identical to
-        :meth:`InvertedIndex.fetch <repro.index.inverted.InvertedIndex.fetch>`
-        on the same corpus.
+        Probe values are routed to their owning shard (concurrently when
+        ``max_workers`` > 1), each shard hands back its packed posting
+        columns, and the blocks are reassembled in the original first-seen
+        value order with the *central* super-key column attached — identical
+        content to :meth:`InvertedIndex.fetch_batch
+        <repro.index.inverted.InvertedIndex.fetch_batch>` on the same corpus.
         """
         ordered = [v for v in dict.fromkeys(values) if v != MISSING]
         by_shard: dict[int, list[str]] = defaultdict(list)
         for value in ordered:
             by_shard[self.shard_of(value)].append(value)
 
-        postings: dict[str, list[PostingListItem]] = {}
-        if self.max_workers and self.max_workers > 1 and len(by_shard) > 1:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                for shard_postings in pool.map(
-                    self._fetch_shard_postings, by_shard.items()
-                ):
-                    postings.update(shard_postings)
-        else:
-            for entry in by_shard.items():
-                postings.update(self._fetch_shard_postings(entry))
+        if self._columnar:
+            columns: dict[str, ColumnarPostingList] = {}
+            for shard_columns in self._map_shards(
+                self._fetch_shard_columns, by_shard
+            ):
+                columns.update(shard_columns)
+            store = self._super_keys
+            blocks: list[FetchBlock] = []
+            for value in ordered:
+                value_columns = columns.get(value)
+                if value_columns is None or not len(value_columns):
+                    continue
+                blocks.append(
+                    FetchBlock(
+                        value,
+                        value_columns.table_ids,
+                        value_columns.column_indexes,
+                        value_columns.row_indexes,
+                        value_columns.super_key_column(store),
+                        value_columns.runs(),
+                    )
+                )
+            return blocks
 
-        fetched: list[FetchedItem] = []
-        for value in ordered:
-            for item in postings.get(value, ()):
-                super_key = self._super_keys.get((item.table_id, item.row_index), 0)
-                fetched.append(FetchedItem.from_posting(value, item, super_key))
-        return fetched
+        postings: dict[str, list[PostingListItem]] = {}
+        for shard_postings in self._map_shards(
+            self._fetch_shard_postings, by_shard
+        ):
+            postings.update(shard_postings)
+        get_super_key = self._super_keys.get
+        return blocks_from_fetch(
+            FetchedItem.from_posting(
+                value, item, get_super_key((item.table_id, item.row_index), 0)
+            )
+            for value in ordered
+            for item in postings.get(value, ())
+        )
+
+    def _map_shards(self, worker, by_shard: dict[int, list[str]]):
+        """Run ``worker`` over the shard routing, on a pool when configured."""
+        entries = list(by_shard.items())
+        if self.max_workers and self.max_workers > 1 and len(entries) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                return list(pool.map(worker, entries))
+        return [worker(entry) for entry in entries]
+
+    def _fetch_shard_columns(
+        self, entry: tuple[int, list[str]]
+    ) -> dict[str, ColumnarPostingList]:
+        """Fetch the packed posting columns of one shard (pool worker)."""
+        shard_index, shard_values = entry
+        shard = self._shards[shard_index]
+        columns: dict[str, ColumnarPostingList] = {}
+        for value in shard_values:
+            value_columns = shard.posting_columns(value)
+            if value_columns is not None:
+                columns[value] = value_columns
+        return columns
 
     def _fetch_shard_postings(
         self, entry: tuple[int, list[str]]
@@ -261,6 +344,19 @@ class ShardedInvertedIndex:
         shard_index, shard_values = entry
         shard = self._shards[shard_index]
         return {value: shard.posting_list(value) for value in shard_values}
+
+    def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
+        """Fetch the PL items (with super keys) for every value in ``values``.
+
+        Flattens :meth:`fetch_batch`, so the output is identical to
+        :meth:`InvertedIndex.fetch <repro.index.inverted.InvertedIndex.fetch>`
+        on the same corpus.
+        """
+        fetched: list[FetchedItem] = []
+        extend = fetched.extend
+        for block in self.fetch_batch(values):
+            extend(block)
+        return fetched
 
     def fetch_grouped_by_table(
         self, values: Iterable[str]
@@ -295,12 +391,22 @@ class ShardedInvertedIndex:
             hash_function_name=index.hash_function_name,
             hash_size=index.hash_size,
             max_workers=max_workers,
+            layout=index.layout,
         )
-        for value in index.values():
-            for item in index.posting_list(value):
-                sharded.add_posting(
-                    value, item.table_id, item.column_index, item.row_index
-                )
+        if index.layout == "columnar":
+            # Wholesale per-value moves: every posting of a value lands on one
+            # shard, so the packed columns transfer without materialising
+            # per-item records (copied — the source index stays independent).
+            for value in index.values():
+                columns = index.posting_columns(value)
+                if columns is not None:
+                    sharded.set_posting_columns(value, columns.copy())
+        else:
+            for value in index.values():
+                for item in index.posting_list(value):
+                    sharded.add_posting(
+                        value, item.table_id, item.column_index, item.row_index
+                    )
         for table_id, row_index, super_key in index.iter_super_keys():
             sharded.set_super_key(table_id, row_index, super_key)
         return sharded
@@ -312,6 +418,7 @@ def build_sharded_index(
     config: MateConfig | None = None,
     hash_function_name: str = "xash",
     max_workers: int | None = None,
+    layout: str | None = None,
 ) -> ShardedInvertedIndex:
     """Build a :class:`ShardedInvertedIndex` for ``corpus`` in one call.
 
@@ -326,6 +433,7 @@ def build_sharded_index(
         hash_function_name=hash_function_name,
         hash_size=config.hash_size,
         max_workers=max_workers,
+        layout=layout or config.index_layout,
     )
     for table in corpus:
         builder.add_table(index, table)

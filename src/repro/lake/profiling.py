@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from ..config import CHARACTER_FREQUENCIES, DEFAULT_ALPHABET, MateConfig
 from ..datamodel import MISSING, Table, TableCorpus

@@ -7,22 +7,26 @@ exhibit means a small cache absorbs a large share of the fetch traffic.  Two
 classes implement the hot path:
 
 * :class:`PostingListCache` — a thread-safe LRU mapping one probe value to
-  its fetched PL items (with super keys), instrumented with the
+  its fetched postings — a packed struct-of-arrays
+  :class:`~repro.index.columnar.FetchBlock` (the unit the columnar engine
+  works with) or a tuple of :class:`~repro.index.posting.FetchedItem`
+  records — instrumented with the
   :class:`~repro.metrics.counters.CacheCounters` hit/miss/eviction counters
   from :mod:`repro.metrics`;
 * :class:`CachingIndex` — a read-through wrapper that sits between the
   discovery engine and *any* index (monolithic
   :class:`~repro.index.inverted.InvertedIndex` or
   :class:`~repro.index.sharded.ShardedInvertedIndex`), caching per-value
-  fetch results while delegating the rest of the query surface unchanged.
+  fetch blocks while delegating the rest of the query surface unchanged.
 
-Caching is transparent by construction: ``CachingIndex.fetch`` returns
-exactly what the wrapped index would return (same items, same order), so a
+Caching is transparent by construction: ``CachingIndex.fetch_batch`` returns
+exactly what the wrapped index would return (same blocks, same order) and
+``fetch`` flattens those blocks into the classic per-item records, so a
 :class:`~repro.core.discovery.MateDiscovery` engine produces identical
 results with or without the cache.  Mutations invalidate conservatively —
 ``add_posting`` drops the touched value, super-key updates and removals
-clear the whole cache (cached :class:`~repro.index.posting.FetchedItem`
-tuples embed super keys, so any super-key change can stale any entry).
+clear the whole cache (cached blocks embed super-key columns, so any
+super-key change can stale any entry).
 """
 
 from __future__ import annotations
@@ -33,16 +37,17 @@ from typing import Iterable
 
 from ..datamodel import MISSING
 from ..exceptions import ConfigurationError
-from ..index import FetchedItem
+from ..index import FetchBlock, FetchedItem
+from ..index.columnar import blocks_from_fetch
 from ..metrics import CacheCounters
 
 
 class PostingListCache:
     """Thread-safe LRU cache of per-value fetch results.
 
-    Entries map one probe value to the tuple of :class:`FetchedItem` records
-    its fetch produced (possibly empty — negative results are cached too,
-    since a value absent from the index stays absent until a mutation).
+    Entries map one probe value to its fetched postings — possibly empty,
+    since negative results are cached too (a value absent from the index
+    stays absent until a mutation).
     """
 
     def __init__(self, capacity: int = 4096, counters: CacheCounters | None = None):
@@ -54,7 +59,7 @@ class PostingListCache:
         self.capacity = capacity
         #: Hit/miss/eviction accounting (shared with the service layer).
         self.counters = counters or CacheCounters()
-        self._entries: OrderedDict[str, tuple[FetchedItem, ...]] = OrderedDict()
+        self._entries: OrderedDict[str, FetchBlock] = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -64,25 +69,37 @@ class PostingListCache:
         """Membership check without touching recency or the counters."""
         return value in self._entries
 
-    def get(self, value: str) -> tuple[FetchedItem, ...] | None:
-        """Return the cached items for ``value`` (``None`` on a miss).
+    def get(self, value: str) -> FetchBlock | None:
+        """Return the cached block for ``value`` (``None`` on a miss).
 
         A hit refreshes the entry's recency; both outcomes are counted.
         """
         with self._lock:
             try:
-                items = self._entries[value]
+                entry = self._entries[value]
             except KeyError:
                 self.counters.misses += 1
                 return None
             self._entries.move_to_end(value)
             self.counters.hits += 1
-            return items
+            return entry
 
-    def put(self, value: str, items: Iterable[FetchedItem]) -> None:
-        """Cache the fetch result of ``value``, evicting LRU entries if full."""
+    def put(
+        self, value: str, items: FetchBlock | Iterable[FetchedItem]
+    ) -> None:
+        """Cache the fetch result of ``value``, evicting LRU entries if full.
+
+        Accepts a packed :class:`~repro.index.columnar.FetchBlock` (stored
+        as-is) or any iterable of :class:`FetchedItem` records (normalised
+        to a block once, so hits never pay a conversion).
+        """
+        entry = (
+            items
+            if isinstance(items, FetchBlock)
+            else FetchBlock.from_fetched_items(value, list(items))
+        )
         with self._lock:
-            self._entries[value] = tuple(items)
+            self._entries[value] = entry
             self._entries.move_to_end(value)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -103,11 +120,11 @@ class CachingIndex:
     """Read-through posting-list cache in front of any index.
 
     Wraps an :class:`~repro.index.inverted.InvertedIndex` or
-    :class:`~repro.index.sharded.ShardedInvertedIndex` and serves ``fetch``
-    per value from the LRU cache, falling back to one batched fetch of all
-    missing values (so a sharded index still fans out once per request, not
-    once per value).  Everything else — posting-list accessors, super keys,
-    mutation, shard topology — is delegated to the wrapped index.
+    :class:`~repro.index.sharded.ShardedInvertedIndex` and serves
+    ``fetch_batch`` per value from the LRU cache, falling back to one batched
+    fetch of all missing values (so a sharded index still fans out once per
+    request, not once per value).  Everything else — posting-list accessors,
+    super keys, mutation, shard topology — is delegated to the wrapped index.
     """
 
     def __init__(
@@ -133,6 +150,42 @@ class CachingIndex:
     # ------------------------------------------------------------------
     # Cached retrieval
     # ------------------------------------------------------------------
+    def fetch_batch(self, values: Iterable[str]) -> list[FetchBlock]:
+        """Fetch blocks for ``values``, serving cached values from the LRU.
+
+        Identical output to the wrapped index's ``fetch_batch``: duplicate
+        probe values collapse, missing values are skipped, per-value block
+        order is preserved, and values without postings yield no block (an
+        empty block is cached so the negative result is remembered).
+        """
+        ordered = [v for v in dict.fromkeys(values) if v != MISSING]
+        resolved: dict[str, FetchBlock] = {}
+        missing: list[str] = []
+        for value in ordered:
+            entry = self.cache.get(value)
+            if entry is None:
+                missing.append(value)
+            else:
+                resolved[value] = entry
+
+        if missing:
+            fetch_batch = getattr(self._index, "fetch_batch", None)
+            if fetch_batch is not None:
+                fetched = fetch_batch(missing)
+            else:
+                fetched = blocks_from_fetch(self._index.fetch(missing))
+            produced = {block.value: block for block in fetched}
+            for value in missing:
+                block = produced.get(value)
+                if block is None:
+                    block = FetchBlock.empty(value)
+                self.cache.put(value, block)
+                resolved[value] = block
+
+        return [
+            resolved[value] for value in ordered if len(resolved[value])
+        ]
+
     def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
         """Fetch PL items for ``values``, serving cached values from the LRU.
 
@@ -140,28 +193,9 @@ class CachingIndex:
         values collapse, missing values are skipped, and per-value item
         order is preserved.
         """
-        ordered = [v for v in dict.fromkeys(values) if v != MISSING]
-        resolved: dict[str, tuple[FetchedItem, ...]] = {}
-        missing: list[str] = []
-        for value in ordered:
-            items = self.cache.get(value)
-            if items is None:
-                missing.append(value)
-            else:
-                resolved[value] = items
-
-        if missing:
-            grouped: dict[str, list[FetchedItem]] = defaultdict(list)
-            for item in self._index.fetch(missing):
-                grouped[item.value].append(item)
-            for value in missing:
-                items = tuple(grouped.get(value, ()))
-                self.cache.put(value, items)
-                resolved[value] = items
-
         fetched: list[FetchedItem] = []
-        for value in ordered:
-            fetched.extend(resolved[value])
+        for block in self.fetch_batch(values):
+            fetched.extend(block)
         return fetched
 
     def fetch_grouped_by_table(
@@ -184,12 +218,12 @@ class CachingIndex:
         self.cache.invalidate(value)
 
     def set_super_key(self, table_id: int, row_index: int, super_key: int) -> None:
-        """Store a super key; clears the cache (cached items embed super keys)."""
+        """Store a super key; clears the cache (cached blocks embed super keys)."""
         self._index.set_super_key(table_id, row_index, super_key)
         self.cache.clear()
 
     def or_into_super_key(self, table_id: int, row_index: int, value_hash: int) -> int:
-        """Update a super key; clears the cache (cached items embed super keys)."""
+        """Update a super key; clears the cache (cached blocks embed super keys)."""
         updated = self._index.or_into_super_key(table_id, row_index, value_hash)
         self.cache.clear()
         return updated

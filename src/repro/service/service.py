@@ -237,5 +237,5 @@ class DiscoveryService:
             total += len(values)
             merged.update(dict.fromkeys(values))
         if merged:
-            self.index.fetch(merged)
+            self.index.fetch_batch(merged)
         return len(merged), total - len(merged)

@@ -14,11 +14,17 @@ from .sharded import (
     shard_index_name,
 )
 from .serialization import (
+    INDEX_FORMAT_VERSION,
+    SUPPORTED_INDEX_FORMAT_VERSIONS,
     corpus_from_json,
     corpus_to_json,
+    index_from_payload,
+    index_to_payload,
     load_corpus_from_csv_directory,
     load_corpus_json,
+    load_index_json,
     save_corpus_json,
+    save_index_json,
     table_from_csv,
     table_to_csv,
 )
@@ -27,17 +33,23 @@ from .sqlite import SQLiteBackend
 __all__ = [
     "FetchAccounting",
     "FetchCostModel",
+    "INDEX_FORMAT_VERSION",
     "InMemoryBackend",
     "PagedPostingStore",
     "SQLiteBackend",
     "StorageBackend",
+    "SUPPORTED_INDEX_FORMAT_VERSIONS",
     "corpus_from_json",
     "corpus_to_json",
+    "index_from_payload",
+    "index_to_payload",
     "list_sharded_indexes",
     "load_corpus_from_csv_directory",
     "load_corpus_json",
+    "load_index_json",
     "load_sharded_index",
     "save_corpus_json",
+    "save_index_json",
     "save_sharded_index",
     "shard_index_name",
     "table_from_csv",

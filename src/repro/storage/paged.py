@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..exceptions import StorageError
-from ..index import FetchedItem, InvertedIndex
+from ..index import FetchBlock, FetchedItem, InvertedIndex
 
 #: Bytes a single PL item occupies on disk: table id, column id, row id as
 #: three 64-bit integers (matches repro.index.statistics.SCR_BYTES_PER_ENTRY).
@@ -206,13 +206,8 @@ class PagedPostingStore:
             self._buffer.popitem(last=False)
         return False
 
-    def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
-        """Fetch PL items for ``values``, accounting for the pages touched.
-
-        Returns exactly what :meth:`repro.index.InvertedIndex.fetch` returns;
-        the side effect is the updated :attr:`accounting`.
-        """
-        probe_values = [value for value in dict.fromkeys(values) if value != ""]
+    def _account_pages(self, probe_values: Sequence[str]) -> None:
+        """Charge the buffer pool and cost model for one fetch of the values."""
         pages_needed: list[int] = []
         seen_pages: set[int] = set()
         for value in probe_values:
@@ -229,14 +224,37 @@ class PagedPostingStore:
             else:
                 cold += 1
 
-        items = self.index.fetch(probe_values)
         self.accounting.fetches += 1
         self.accounting.values_probed += len(probe_values)
-        self.accounting.items_returned += len(items)
         self.accounting.pages_read += cold
         self.accounting.pages_from_cache += warm
         self.accounting.estimated_seconds += self.cost_model.cost(cold, warm)
+
+    def fetch(self, values: Iterable[str]) -> list[FetchedItem]:
+        """Fetch PL items for ``values``, accounting for the pages touched.
+
+        Returns exactly what :meth:`repro.index.InvertedIndex.fetch` returns;
+        the side effect is the updated :attr:`accounting`.
+        """
+        probe_values = [value for value in dict.fromkeys(values) if value != ""]
+        self._account_pages(probe_values)
+        items = self.index.fetch(probe_values)
+        self.accounting.items_returned += len(items)
         return items
+
+    def fetch_batch(self, values: Iterable[str]) -> list[FetchBlock]:
+        """Fetch packed blocks for ``values``, accounting for the pages touched.
+
+        The struct-of-arrays sibling of :meth:`fetch`: identical accounting,
+        but the result is what :meth:`repro.index.InvertedIndex.fetch_batch`
+        returns (so the discovery engine's columnar hot path can run on top
+        of the simulated paged store).
+        """
+        probe_values = [value for value in dict.fromkeys(values) if value != ""]
+        self._account_pages(probe_values)
+        blocks = self.index.fetch_batch(probe_values)
+        self.accounting.items_returned += sum(len(block) for block in blocks)
+        return blocks
 
     def estimated_fetch_seconds(self, values: Sequence[str]) -> float:
         """Estimate the cold-cache cost of fetching ``values`` without fetching.

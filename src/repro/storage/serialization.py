@@ -1,9 +1,21 @@
-"""Plain-file (JSON / CSV) import and export of table corpora.
+"""Plain-file (JSON / CSV) import and export of table corpora and indexes.
 
 Real deployments would ingest web-table dumps; for the reproduction we mostly
 move synthetic corpora around, but the functions below give users a simple
 way to bring their own tables into the system (one CSV per table, or one JSON
 file per corpus) and to inspect generated corpora.
+
+Inverted indexes serialise through a **versioned payload**:
+
+* **format version 1** — the row-wise layout of the original reproduction:
+  one ``[table_id, column_index, row_index]`` triple per PL item;
+* **format version 2** — the columnar packed layout: one struct-of-arrays
+  record per value (three parallel integer columns), mirroring
+  :class:`~repro.index.columnar.ColumnarPostingList`.
+
+``index_to_payload`` emits the version matching the index's layout and
+``index_from_payload`` accepts either version (restoring the matching
+layout), so old persisted payloads keep loading after the columnar switch.
 """
 
 from __future__ import annotations
@@ -14,6 +26,13 @@ from pathlib import Path
 
 from ..datamodel import Row, Table, TableCorpus
 from ..exceptions import StorageError
+from ..index import LAYOUTS, ColumnarPostingList, InvertedIndex
+
+#: Payload version written for columnar-layout indexes.
+INDEX_FORMAT_VERSION: int = 2
+
+#: Payload versions ``index_from_payload`` understands.
+SUPPORTED_INDEX_FORMAT_VERSIONS: tuple[int, ...] = (1, 2)
 
 
 def corpus_to_json(corpus: TableCorpus) -> dict:
@@ -67,6 +86,124 @@ def load_corpus_json(path: str | Path) -> TableCorpus:
     with path.open("r", encoding="utf-8") as handle:
         payload = json.load(handle)
     return corpus_from_json(payload)
+
+
+def index_to_payload(index: InvertedIndex) -> dict:
+    """Return a JSON-serialisable, versioned representation of ``index``.
+
+    Columnar-layout indexes emit format version 2 (struct-of-arrays posting
+    columns); legacy-layout indexes emit format version 1 (per-item triples).
+    Super keys are stored as hex strings because they can exceed 64 bits.
+    """
+    super_keys = [
+        [table_id, row_index, format(super_key, "x")]
+        for table_id, row_index, super_key in index.iter_super_keys()
+    ]
+    if index.layout == "columnar":
+        postings: dict[str, object] = {}
+        for value in index.values():
+            columns = index.posting_columns(value)
+            if columns is None:
+                continue
+            postings[value] = {
+                "table_ids": list(columns.table_ids),
+                "column_indexes": list(columns.column_indexes),
+                "row_indexes": list(columns.row_indexes),
+            }
+        return {
+            "format_version": INDEX_FORMAT_VERSION,
+            "layout": index.layout,
+            "hash_function": index.hash_function_name,
+            "hash_size": index.hash_size,
+            "postings": postings,
+            "super_keys": super_keys,
+        }
+    return {
+        "format_version": 1,
+        "layout": index.layout,
+        "hash_function": index.hash_function_name,
+        "hash_size": index.hash_size,
+        "postings": {
+            value: [
+                [item.table_id, item.column_index, item.row_index]
+                for item in index.posting_list(value)
+            ]
+            for value in index.values()
+        },
+        "super_keys": super_keys,
+    }
+
+
+def index_from_payload(payload: dict) -> InvertedIndex:
+    """Rebuild an inverted index from :func:`index_to_payload` output.
+
+    Accepts every version in :data:`SUPPORTED_INDEX_FORMAT_VERSIONS`;
+    version 1 payloads restore the legacy layout, version 2 the columnar one
+    (an explicit ``layout`` key overrides either default).
+    """
+    try:
+        version = int(payload.get("format_version", 1))
+        if version not in SUPPORTED_INDEX_FORMAT_VERSIONS:
+            raise StorageError(
+                f"unsupported index payload format version {version} "
+                f"(supported: {SUPPORTED_INDEX_FORMAT_VERSIONS})"
+            )
+        layout = payload.get("layout") or (
+            "columnar" if version >= 2 else "legacy"
+        )
+        if layout not in LAYOUTS:
+            raise StorageError(
+                f"unknown index payload layout {layout!r} "
+                f"(expected one of {LAYOUTS})"
+            )
+        index = InvertedIndex(
+            hash_function_name=payload["hash_function"],
+            hash_size=int(payload["hash_size"]),
+            layout=layout,
+        )
+        if version >= 2:
+            for value, columns in payload["postings"].items():
+                packed = ColumnarPostingList.from_columns(
+                    columns["table_ids"],
+                    columns["column_indexes"],
+                    columns["row_indexes"],
+                )
+                if layout == "columnar":
+                    index.set_posting_columns(value, packed)
+                else:
+                    for item in packed.items():
+                        index.add_posting(
+                            value, item.table_id, item.column_index,
+                            item.row_index,
+                        )
+        else:
+            for value, items in payload["postings"].items():
+                for table_id, column_index, row_index in items:
+                    index.add_posting(value, table_id, column_index, row_index)
+        for table_id, row_index, super_key_hex in payload["super_keys"]:
+            index.set_super_key(table_id, row_index, int(super_key_hex, 16))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed index payload: {exc}") from exc
+    return index
+
+
+def save_index_json(index: InvertedIndex, path: str | Path) -> Path:
+    """Write ``index`` to a JSON file (versioned payload) and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(index_to_payload(index), handle)
+    return path
+
+
+def load_index_json(path: str | Path) -> InvertedIndex:
+    """Read an index from a JSON file written by :func:`save_index_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"index file does not exist: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return index_from_payload(payload)
 
 
 def table_to_csv(table: Table, path: str | Path) -> Path:

@@ -53,18 +53,36 @@ def save_sharded_index(
             carrier = InvertedIndex(
                 hash_function_name=index.hash_function_name,
                 hash_size=index.hash_size,
+                layout=index.layout,
             )
-            for value in shard.values():
-                for item in shard.posting_list(value):
-                    carrier.add_posting(
-                        value, item.table_id, item.column_index, item.row_index
-                    )
+            _copy_postings(shard, carrier)
             for table_id, row_index, super_key in index.iter_super_keys():
                 carrier.set_super_key(table_id, row_index, super_key)
             shard = carrier
         backend.save_index(
             shard_index_name(name, shard_index, index.num_shards), shard
         )
+
+
+def _copy_postings(source: InvertedIndex, target) -> None:
+    """Copy every posting of ``source`` into ``target``.
+
+    Columnar sources transfer each value's packed columns wholesale
+    (``target`` may be an :class:`InvertedIndex` or a
+    :class:`~repro.index.sharded.ShardedInvertedIndex`, which routes the
+    value to its shard); legacy sources fall back to per-item appends.
+    """
+    if source.layout == "columnar":
+        for value in source.values():
+            columns = source.posting_columns(value)
+            if columns is not None:
+                target.set_posting_columns(value, columns.copy())
+    else:
+        for value in source.values():
+            for item in source.posting_list(value):
+                target.add_posting(
+                    value, item.table_id, item.column_index, item.row_index
+                )
 
 
 def list_sharded_indexes(backend: StorageBackend) -> dict[str, int]:
@@ -105,6 +123,7 @@ def load_sharded_index(
         hash_function_name=shard_zero.hash_function_name,
         hash_size=shard_zero.hash_size,
         max_workers=max_workers,
+        layout=getattr(shard_zero, "layout", "legacy"),
     )
     for shard_index in range(num_shards):
         shard = (
@@ -112,13 +131,9 @@ def load_sharded_index(
             if shard_index == 0
             else backend.load_index(shard_index_name(name, shard_index, num_shards))
         )
-        for value in shard.values():
-            for item in shard.posting_list(value):
-                # Stable CRC-32 routing sends each value back to the shard it
-                # was saved from.
-                sharded.add_posting(
-                    value, item.table_id, item.column_index, item.row_index
-                )
+        # Stable CRC-32 routing sends each value back to the shard it was
+        # saved from; columnar shards move their packed columns wholesale.
+        _copy_postings(shard, sharded)
     for table_id, row_index, super_key in shard_zero.iter_super_keys():
         sharded.set_super_key(table_id, row_index, super_key)
     return sharded

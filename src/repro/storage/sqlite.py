@@ -8,22 +8,54 @@ logical schema mirrors the extended inverted index:
 * ``cells(corpus, table_id, row_index, column_index, value)`` holds the table
   contents,
 * ``postings(index_name, value, table_id, column_index, row_index)`` holds
-  the PL items,
+  the PL items of *legacy*-layout indexes (format version 1),
+* ``posting_columns(index_name, value, item_count, table_ids,
+  column_indexes, row_indexes)`` holds the packed struct-of-arrays posting
+  columns of *columnar*-layout indexes as little-endian BLOBs (format
+  version 2) — one row per value instead of one row per PL item,
 * ``super_keys(index_name, table_id, row_index, super_key)`` holds the
   per-row super keys (stored as hex text because they can exceed 64 bits),
-* ``indexes(name, hash_function, hash_size)`` holds index metadata.
+* ``indexes(name, hash_function, hash_size, layout, format_version)`` holds
+  index metadata.
+
+Databases written before the columnar layout existed lack the ``layout`` /
+``format_version`` columns; they are added on open with a ``legacy`` / ``1``
+default, so old files keep loading unchanged.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import sys
+from array import array
 from pathlib import Path
 
 from ..datamodel import Row, Table, TableCorpus
 from ..exceptions import StorageError
-from ..index import InvertedIndex
+from ..index import ColumnarPostingList, InvertedIndex
 from .backend import StorageBackend
+
+
+def _array_to_blob(values: array) -> bytes:
+    """Serialise a packed integer column as little-endian bytes.
+
+    ``array.tobytes`` is native-order; normalising to little-endian keeps the
+    format-version-2 BLOBs portable across hosts of different endianness.
+    """
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts only
+        values = array(values.typecode, values)
+        values.byteswap()
+    return values.tobytes()
+
+
+def _blob_to_array(typecode: str, blob: bytes) -> array:
+    """Deserialise a little-endian BLOB back into a packed integer column."""
+    values = array(typecode)
+    values.frombytes(blob)
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts only
+        values.byteswap()
+    return values
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS corpora (
@@ -47,7 +79,9 @@ CREATE TABLE IF NOT EXISTS cells (
 CREATE TABLE IF NOT EXISTS indexes (
     name TEXT PRIMARY KEY,
     hash_function TEXT NOT NULL,
-    hash_size INTEGER NOT NULL
+    hash_size INTEGER NOT NULL,
+    layout TEXT NOT NULL DEFAULT 'legacy',
+    format_version INTEGER NOT NULL DEFAULT 1
 );
 CREATE TABLE IF NOT EXISTS postings (
     index_name TEXT NOT NULL,
@@ -57,6 +91,15 @@ CREATE TABLE IF NOT EXISTS postings (
     row_index INTEGER NOT NULL
 );
 CREATE INDEX IF NOT EXISTS postings_by_value ON postings (index_name, value);
+CREATE TABLE IF NOT EXISTS posting_columns (
+    index_name TEXT NOT NULL,
+    value TEXT NOT NULL,
+    item_count INTEGER NOT NULL,
+    table_ids BLOB NOT NULL,
+    column_indexes BLOB NOT NULL,
+    row_indexes BLOB NOT NULL,
+    PRIMARY KEY (index_name, value)
+);
 CREATE TABLE IF NOT EXISTS super_keys (
     index_name TEXT NOT NULL,
     table_id INTEGER NOT NULL,
@@ -77,7 +120,25 @@ class SQLiteBackend(StorageBackend):
         except sqlite3.Error as exc:  # pragma: no cover - environment dependent
             raise StorageError(f"cannot open SQLite database at {self.path}") from exc
         self._connection.executescript(_SCHEMA)
+        self._migrate_index_metadata()
         self._connection.commit()
+
+    def _migrate_index_metadata(self) -> None:
+        """Add the layout/format_version columns to pre-columnar databases."""
+        columns = {
+            row[1]
+            for row in self._connection.execute("PRAGMA table_info(indexes)")
+        }
+        if "layout" not in columns:
+            self._connection.execute(
+                "ALTER TABLE indexes "
+                "ADD COLUMN layout TEXT NOT NULL DEFAULT 'legacy'"
+            )
+        if "format_version" not in columns:
+            self._connection.execute(
+                "ALTER TABLE indexes "
+                "ADD COLUMN format_version INTEGER NOT NULL DEFAULT 1"
+            )
 
     # ------------------------------------------------------------------
     # Corpora
@@ -151,24 +212,55 @@ class SQLiteBackend(StorageBackend):
     # ------------------------------------------------------------------
     def save_index(self, name: str, index: InvertedIndex) -> None:
         connection = self._connection
+        layout = getattr(index, "layout", "legacy")
+        format_version = 2 if layout == "columnar" else 1
         with connection:
             connection.execute("DELETE FROM indexes WHERE name = ?", (name,))
             connection.execute("DELETE FROM postings WHERE index_name = ?", (name,))
+            connection.execute(
+                "DELETE FROM posting_columns WHERE index_name = ?", (name,)
+            )
             connection.execute("DELETE FROM super_keys WHERE index_name = ?", (name,))
             connection.execute(
-                "INSERT INTO indexes (name, hash_function, hash_size) VALUES (?, ?, ?)",
-                (name, index.hash_function_name, index.hash_size),
-            )
-            connection.executemany(
-                "INSERT INTO postings "
-                "(index_name, value, table_id, column_index, row_index) "
+                "INSERT INTO indexes "
+                "(name, hash_function, hash_size, layout, format_version) "
                 "VALUES (?, ?, ?, ?, ?)",
-                (
-                    (name, value, item.table_id, item.column_index, item.row_index)
-                    for value in index.values()
-                    for item in index.posting_list(value)
-                ),
+                (name, index.hash_function_name, index.hash_size, layout,
+                 format_version),
             )
+            if layout == "columnar":
+                connection.executemany(
+                    "INSERT INTO posting_columns "
+                    "(index_name, value, item_count, table_ids, column_indexes, "
+                    "row_indexes) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        (
+                            name,
+                            value,
+                            len(columns),
+                            _array_to_blob(columns.table_ids),
+                            _array_to_blob(columns.column_indexes),
+                            _array_to_blob(columns.row_indexes),
+                        )
+                        for value, columns in (
+                            (value, index.posting_columns(value))
+                            for value in index.values()
+                        )
+                        if columns is not None
+                    ),
+                )
+            else:
+                connection.executemany(
+                    "INSERT INTO postings "
+                    "(index_name, value, table_id, column_index, row_index) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        (name, value, item.table_id, item.column_index,
+                         item.row_index)
+                        for value in index.values()
+                        for item in index.posting_list(value)
+                    ),
+                )
             connection.executemany(
                 "INSERT INTO super_keys (index_name, table_id, row_index, super_key) "
                 "VALUES (?, ?, ?, ?)",
@@ -181,19 +273,35 @@ class SQLiteBackend(StorageBackend):
     def load_index(self, name: str) -> InvertedIndex:
         connection = self._connection
         meta = connection.execute(
-            "SELECT hash_function, hash_size FROM indexes WHERE name = ?", (name,)
+            "SELECT hash_function, hash_size, layout FROM indexes WHERE name = ?",
+            (name,),
         ).fetchone()
         if meta is None:
             raise StorageError(f"no index stored under name {name!r}")
-        hash_function, hash_size = meta
-        index = InvertedIndex(hash_function_name=hash_function, hash_size=hash_size)
-        postings = connection.execute(
-            "SELECT value, table_id, column_index, row_index FROM postings "
-            "WHERE index_name = ?",
-            (name,),
-        ).fetchall()
-        for value, table_id, column_index, row_index in postings:
-            index.add_posting(value, table_id, column_index, row_index)
+        hash_function, hash_size, layout = meta
+        index = InvertedIndex(
+            hash_function_name=hash_function, hash_size=hash_size, layout=layout
+        )
+        if layout == "columnar":
+            packed_rows = connection.execute(
+                "SELECT value, table_ids, column_indexes, row_indexes "
+                "FROM posting_columns WHERE index_name = ?",
+                (name,),
+            ).fetchall()
+            for value, table_ids, column_indexes, row_indexes in packed_rows:
+                columns = ColumnarPostingList()
+                columns.table_ids = _blob_to_array("q", table_ids)
+                columns.column_indexes = _blob_to_array("i", column_indexes)
+                columns.row_indexes = _blob_to_array("q", row_indexes)
+                index.set_posting_columns(value, columns)
+        else:
+            postings = connection.execute(
+                "SELECT value, table_id, column_index, row_index FROM postings "
+                "WHERE index_name = ?",
+                (name,),
+            ).fetchall()
+            for value, table_id, column_index, row_index in postings:
+                index.add_posting(value, table_id, column_index, row_index)
         super_keys = connection.execute(
             "SELECT table_id, row_index, super_key FROM super_keys "
             "WHERE index_name = ?",
@@ -214,6 +322,9 @@ class SQLiteBackend(StorageBackend):
         with connection:
             connection.execute("DELETE FROM indexes WHERE name = ?", (name,))
             connection.execute("DELETE FROM postings WHERE index_name = ?", (name,))
+            connection.execute(
+                "DELETE FROM posting_columns WHERE index_name = ?", (name,)
+            )
             connection.execute("DELETE FROM super_keys WHERE index_name = ?", (name,))
 
     def close(self) -> None:

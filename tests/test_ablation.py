@@ -1,6 +1,5 @@
 """Tests for the XASH ablation variants (Figure 5)."""
 
-import pytest
 
 from repro.hashing import FIGURE5_VARIANTS, create_hash_function, popcount
 from repro.hashing.ablation import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import build_index
 from repro.baselines import (
     JosieIndex,
     JosieSearch,

@@ -1,6 +1,5 @@
 """Tests for the synthetic data generators: vocab, corpora, queries, planting."""
 
-import random
 
 import pytest
 
@@ -11,7 +10,6 @@ from repro.datagen import (
     OPEN_DATA_PROFILE,
     PROFILES,
     SCHOOL_PROFILE,
-    SyntheticCorpusGenerator,
     WEB_TABLE_PROFILE,
     generate_airline_query,
     generate_corpus,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MateConfig, build_index
+from repro import build_index
 from repro.datamodel import QueryTable, Table, TableCorpus
 from repro.exceptions import DiscoveryError
 from repro.extensions import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import MateConfig, build_index
+from repro import build_index
 from repro.datamodel import Table, TableCorpus
 from repro.exceptions import DataModelError
 from repro.hashing import SuperKeyGenerator

@@ -1,6 +1,5 @@
 """Tests for repro.core.joinability: Eq. 1 / Eq. 2 and the verification helpers."""
 
-import pytest
 
 from repro.core import (
     exact_joinability,
@@ -10,7 +9,7 @@ from repro.core import (
     row_mappings,
     top_k_by_exact_joinability,
 )
-from repro.datamodel import QueryTable, Table, TableCorpus
+from repro.datamodel import QueryTable, Table
 
 
 class TestRowMappings:

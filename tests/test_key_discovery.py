@@ -15,7 +15,6 @@ from repro.extensions import (
     rank_key_candidates,
     suggest_query,
 )
-from repro.lake import ColumnType
 
 
 @pytest.fixture()

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.config import MateConfig
 from repro.datagen import generate_corpus
-from repro.datamodel import TableCorpus
 from repro.exceptions import StorageError
 from repro.index import build_index
 from repro.storage import FetchCostModel, PagedPostingStore

@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 from repro.config import MateConfig
 from repro.core import MateDiscovery, exact_joinability, top_k_by_exact_joinability
 from repro.baselines import PrefixTreeDiscovery, TablePrefixTree
-from repro.datamodel import QueryTable, Table, TableCorpus
+from repro.datamodel import Table
 from repro.exceptions import DiscoveryError
 from repro.index import build_index
 from repro.metrics import DiscoveryCounters

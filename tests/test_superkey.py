@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hashing import SuperKeyGenerator, create_hash_function, subsumes
+from repro.hashing import SuperKeyGenerator, subsumes
 
 
 @pytest.fixture(params=["xash", "bloom", "hashtable", "md5"])
