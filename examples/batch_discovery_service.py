@@ -1,11 +1,12 @@
-"""Batch discovery service: sharded index, posting-list cache, query batches.
+"""Batch discovery serving: sharded index, posting-list cache, query batches.
 
 The other examples run one query at a time against a cold index.  This one
-shows the serving layer (``repro.service``) that the production-scale
+shows the serving layer (a :class:`repro.DiscoverySession` — the unified API
+over ``repro.service``'s cache and sharding) that the production-scale
 deployment would expose: the extended inverted index is partitioned across
 shards by value hash, an LRU cache keeps hot posting lists in memory, and a
-whole *batch* of query tables is answered in one call — with probe values
-shared between the queries fetched only once.
+whole *batch* of :class:`repro.DiscoveryRequest` objects is answered in one
+call — with probe values shared between the queries fetched only once.
 
 Run with::
 
@@ -15,6 +16,8 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    DiscoveryRequest,
+    DiscoverySession,
     MateConfig,
     MateDiscovery,
     QueryTable,
@@ -24,7 +27,6 @@ from repro import (
     build_index,
     build_sharded_index,
 )
-from repro.service import DiscoveryService
 
 
 def build_corpus() -> TableCorpus:
@@ -114,14 +116,15 @@ def main() -> None:
         f"{index.num_shards} shards {index.shard_sizes()}"
     )
 
-    # Online: one service call answers the whole batch.
-    service = DiscoveryService(
+    # Online: one session call answers the whole batch.
+    session = DiscoverySession(
         corpus,
         index,
         config=config,
         service_config=ServiceConfig(cache_capacity=256, max_workers=2),
     )
-    batch = service.discover_batch(queries)
+    requests = [DiscoveryRequest(query=query) for query in queries]
+    batch = session.discover_batch(requests)
 
     print(f"\nbatch of {len(batch)} queries:")
     for query, result in zip(queries, batch):
@@ -139,7 +142,7 @@ def main() -> None:
     print(f"cold cache hit rate: {stats.cache.hit_rate:.2f}")
 
     # The cache stays warm across batches: the same batch again is all hits.
-    warm = service.discover_batch(queries)
+    warm = session.discover_batch(requests)
     print(f"warm cache hit rate: {warm.stats.cache.hit_rate:.2f}")
 
     # Serving is exact: the batch reproduces cold sequential engine runs.

@@ -12,7 +12,15 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MateConfig, MateDiscovery, QueryTable, Table, TableCorpus, build_index
+from repro import (
+    DiscoveryRequest,
+    DiscoverySession,
+    MateConfig,
+    QueryTable,
+    Table,
+    TableCorpus,
+    build_index,
+)
 
 
 def build_query_table() -> QueryTable:
@@ -85,9 +93,10 @@ def main() -> None:
     index = build_index(corpus, config=config)
     print(f"indexed {len(corpus)} tables, {index.num_posting_items()} posting items")
 
-    # 3. Online phase: discover the top-k joinable tables for the composite key.
-    mate = MateDiscovery(corpus, index, config=config)
-    result = mate.discover(query)
+    # 3. Online phase: open a discovery session (the unified API front door)
+    #    and answer a typed request with the default "mate" engine.
+    with DiscoverySession(corpus, index, config=config) as session:
+        result = session.discover(DiscoveryRequest(query=query))
 
     print(f"\ntop-{result.k} joinable tables for key {query.key_columns}:")
     for entry in result.tables:

@@ -28,7 +28,11 @@ _SRC = REPO_ROOT / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.experiments import (  # noqa: E402  (sys.path setup must run first)
+from repro.api.schema import (  # noqa: E402  (sys.path setup must run first)
+    KIND_BENCHMARK,
+    json_envelope,
+)
+from repro.experiments import (  # noqa: E402
     ExperimentResult,
     ExperimentSettings,
     run_batch_service,
@@ -69,7 +73,9 @@ def export_benchmark(
     started = time.perf_counter()
     result = runner(settings)
     wall_seconds = time.perf_counter() - started
-    payload = {
+    # The same versioned envelope the CLI's --json output uses (one shared
+    # response schema across every machine-readable artifact of the repo).
+    payload = json_envelope(KIND_BENCHMARK, {
         "name": name,
         "title": result.name,
         "wall_seconds": round(wall_seconds, 4),
@@ -85,7 +91,7 @@ def export_benchmark(
             for row in result.row_dicts()
         ],
         "notes": list(result.notes),
-    }
+    })
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

@@ -4,6 +4,9 @@ This package reimplements the system described in "MATE: Multi-Attribute
 Table Extraction" (Esmailoghli, Quiané-Ruiz, Abedjan — VLDB 2022) as a
 self-contained Python library:
 
+* :mod:`repro.api` — the unified public API: :class:`DiscoveryRequest` /
+  :class:`DiscoverySession`, the engine registry, per-request budgets and
+  deadlines, streaming results, and the versioned JSON response schema;
 * :mod:`repro.hashing` — XASH and every baseline hash function, plus the
   super-key machinery;
 * :mod:`repro.index` — the extended single-attribute inverted index, plus
@@ -24,18 +27,39 @@ self-contained Python library:
 
 Quickstart::
 
-    from repro import MateConfig, MateDiscovery, build_index
+    from repro import DiscoveryRequest, DiscoverySession, MateConfig
     from repro.datagen import build_workload
 
     workload = build_workload("WT_100", seed=7)
     config = MateConfig(hash_size=128, k=10, expected_unique_values=100_000)
-    index = build_index(workload.corpus, config=config)
-    mate = MateDiscovery(workload.corpus, index, config=config)
-    result = mate.discover(workload.queries[0])
-    for table in result.tables:
-        print(table.table_id, table.joinability)
+    with DiscoverySession(workload.corpus, config=config) as session:
+        result = session.discover(DiscoveryRequest(query=workload.queries[0]))
+        for table in result.tables:
+            print(table.table_id, table.joinability)
+
+Every registered engine (``mate``, ``sharded``, ``scr``, ``mcr``, ``josie``,
+``prefix_tree``) is reachable through the same session via
+``DiscoveryRequest(engine=...)``; per-request limits
+(``deadline_seconds`` / ``max_pl_fetches``), streaming
+(:meth:`DiscoverySession.discover_stream
+<repro.api.session.DiscoverySession.discover_stream>`), and async submission
+(:meth:`DiscoverySession.asubmit <repro.api.session.DiscoverySession.asubmit>`)
+ride on the request object.  The pre-API constructors
+(:class:`MateDiscovery` built by hand, :class:`DiscoveryService`) keep
+working; the service is a deprecated shim over a session.
 """
 
+from .api import (
+    DiscoveryRequest,
+    DiscoverySession,
+    EngineRegistry,
+    RequestBudget,
+    SCHEMA_VERSION,
+    SessionBatch,
+    SessionResult,
+    available_engines,
+    register_engine,
+)
 from .config import (
     DEFAULT_CONFIG,
     MateConfig,
@@ -58,6 +82,7 @@ from .exceptions import (
     CorpusError,
     DataModelError,
     DiscoveryError,
+    EngineNotFoundError,
     HashingError,
     MateError,
     StorageError,
@@ -86,11 +111,15 @@ __all__ = [
     "ConfigurationError",
     "CorpusError",
     "DEFAULT_CONFIG",
+    "DiscoveryRequest",
     "DiscoveryService",
+    "DiscoverySession",
     "DataLake",
     "DataModelError",
     "DiscoveryError",
     "DiscoveryResult",
+    "EngineNotFoundError",
+    "EngineRegistry",
     "HashingError",
     "IndexBuilder",
     "IndexMaintainer",
@@ -99,8 +128,12 @@ __all__ = [
     "MateDiscovery",
     "MateError",
     "QueryTable",
+    "RequestBudget",
     "Row",
+    "SCHEMA_VERSION",
     "ServiceConfig",
+    "SessionBatch",
+    "SessionResult",
     "ShardedInvertedIndex",
     "ShardedMateDiscovery",
     "StorageError",
@@ -109,12 +142,14 @@ __all__ = [
     "TableCorpus",
     "TableResult",
     "XashHashFunction",
+    "available_engines",
     "available_hash_functions",
     "build_index",
     "build_sharded_index",
     "create_hash_function",
     "exact_joinability",
     "exact_joinability_score",
+    "register_engine",
     "required_number_of_ones",
     "table_from_dicts",
     "top_k_by_exact_joinability",

@@ -1,0 +1,50 @@
+"""The unified discovery API: one typed request surface over every engine.
+
+This package is the public front door of the reproduction (the API layer the
+ROADMAP's serving story builds on):
+
+* :class:`~repro.api.request.DiscoveryRequest` — the frozen request contract
+  (query, ``k``, engine name, Algorithm 1 knobs, and the per-request
+  ``deadline_seconds`` / ``max_pl_fetches`` limits);
+* :class:`~repro.api.session.DiscoverySession` — the facade owning corpus +
+  index + cache lifecycle, with ``discover`` / ``discover_batch`` /
+  ``discover_stream`` / ``submit`` / ``asubmit`` entry points;
+* :mod:`~repro.api.registry` — the engine registry (``mate``, ``sharded``,
+  ``scr``, ``mcr``, ``josie``, ``prefix_tree``, plus anything registered via
+  :func:`register_engine`);
+* :class:`~repro.api.results.SessionResult` / :class:`~repro.api.results.SessionBatch`
+  — attributable, JSON-serialisable responses sharing the versioned envelope
+  of :mod:`~repro.api.schema`.
+
+The legacy constructors (:class:`~repro.core.discovery.MateDiscovery` built
+by hand, :class:`~repro.service.service.DiscoveryService`) remain available;
+the service is a thin deprecated shim over a session.
+"""
+
+from .registry import (
+    DEFAULT_REGISTRY,
+    EngineRegistry,
+    EngineSpec,
+    available_engines,
+    register_engine,
+)
+from .request import DEFAULT_ENGINE, DiscoveryRequest, RequestBudget
+from .results import SessionBatch, SessionResult
+from .schema import SCHEMA_VERSION, json_envelope
+from .session import DiscoverySession
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "DEFAULT_REGISTRY",
+    "DiscoveryRequest",
+    "DiscoverySession",
+    "EngineRegistry",
+    "EngineSpec",
+    "RequestBudget",
+    "SCHEMA_VERSION",
+    "SessionBatch",
+    "SessionResult",
+    "available_engines",
+    "json_envelope",
+    "register_engine",
+]

@@ -1,0 +1,248 @@
+"""The engine registry: one front door over many discovery strategies.
+
+Every discovery engine of the reproduction — MATE itself, its sharded
+scale-out, and the SCR / MCR / JOSIE / prefix-tree baselines — is registered
+here under a short name, entry-point style.  A
+:class:`~repro.api.session.DiscoverySession` resolves
+:attr:`DiscoveryRequest.engine <repro.api.request.DiscoveryRequest.engine>`
+through the registry, so callers pick a strategy by name instead of wiring
+constructors by hand, and downstream code (CLI, experiments, future serving
+layers) can enumerate what is available via :func:`available_engines`.
+
+Third-party engines plug in with::
+
+    from repro.api import register_engine
+
+    def build_my_engine(session, request):
+        return MyEngine(session.corpus, session.index, config=session.config)
+
+    register_engine("mine", build_my_engine, description="my engine")
+
+A factory receives the owning session and the request and must return an
+object exposing ``discover(query, k) -> DiscoveryResult``.  Engines that
+additionally accept the ``budget=`` / ``on_snapshot=`` keywords of
+:meth:`MateDiscovery.discover <repro.core.discovery.MateDiscovery.discover>`
+should be registered with ``supports_budget=True`` so the session lets
+per-request limits through (it refuses to silently drop a limit on an engine
+that cannot enforce it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..exceptions import ConfigurationError, EngineNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from .request import DiscoveryRequest
+    from .session import DiscoverySession
+
+#: ``(session, request) -> engine``; the engine must expose ``discover``.
+EngineFactory = Callable[["DiscoverySession", "DiscoveryRequest"], object]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered engine: its factory plus dispatch metadata."""
+
+    name: str
+    factory: EngineFactory
+    description: str = ""
+    #: Whether the engine's ``discover`` accepts ``budget=``/``on_snapshot=``.
+    supports_budget: bool = False
+    #: Whether the engine exposes ``probe_values`` (cache warm-up eligible).
+    supports_probe_values: bool = False
+
+
+class EngineRegistry:
+    """A name → :class:`EngineSpec` mapping with entry-point semantics."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, EngineSpec] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: EngineFactory,
+        *,
+        description: str = "",
+        supports_budget: bool = False,
+        supports_probe_values: bool = False,
+        replace: bool = False,
+    ) -> EngineSpec:
+        """Register ``factory`` under ``name`` and return its spec.
+
+        Re-registering an existing name requires ``replace=True`` so typos
+        cannot silently shadow a built-in engine.
+        """
+        if not name or not isinstance(name, str):
+            raise ConfigurationError(
+                f"engine name must be a non-empty string, got {name!r}"
+            )
+        if name in self._specs and not replace:
+            raise ConfigurationError(
+                f"engine {name!r} is already registered (pass replace=True)",
+                engine=name,
+            )
+        spec = EngineSpec(
+            name=name,
+            factory=factory,
+            description=description,
+            supports_budget=supports_budget,
+            supports_probe_values=supports_probe_values,
+        )
+        self._specs[name] = spec
+        return spec
+
+    def get(self, name: str) -> EngineSpec:
+        """Return the spec for ``name``; raises :class:`EngineNotFoundError`."""
+        spec = self._specs.get(name)
+        if spec is None:
+            raise EngineNotFoundError(
+                f"unknown engine {name!r}; registered: {', '.join(self.names())}",
+                engine=name,
+            )
+        return spec
+
+    def names(self) -> list[str]:
+        """Sorted names of every registered engine."""
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+# ----------------------------------------------------------------------
+# Built-in engines
+# ----------------------------------------------------------------------
+def _build_mate(session: "DiscoverySession", request: "DiscoveryRequest"):
+    from ..core.discovery import MateDiscovery
+
+    return MateDiscovery(
+        session.corpus,
+        session.index,
+        config=session.config,
+        hash_function_name=request.hash_function,
+        column_selector=request.column_selector,
+        row_filter_mode=request.row_filter_mode,
+        use_table_filters=request.use_table_filters,
+    )
+
+
+def _build_sharded(session: "DiscoverySession", request: "DiscoveryRequest"):
+    # Builds its own per-shard indexes from the corpus (the engine's design:
+    # one index per worker); the session's central index is not consulted.
+    from ..core.parallel import ShardedMateDiscovery
+
+    return ShardedMateDiscovery(
+        session.corpus,
+        num_shards=session.service_config.num_shards,
+        config=session.config,
+        hash_function_name=request.hash_function or "xash",
+        max_workers=session.service_config.fetch_workers,
+        column_selector=request.column_selector,
+        row_filter_mode=request.row_filter_mode,
+        use_table_filters=request.use_table_filters,
+    )
+
+
+def _build_scr(session: "DiscoverySession", request: "DiscoveryRequest"):
+    from ..baselines import ScrDiscovery
+
+    return ScrDiscovery(
+        session.corpus,
+        session.index,
+        config=session.config,
+        column_selector=request.column_selector,
+        use_table_filters=request.use_table_filters,
+    )
+
+
+def _build_mcr(session: "DiscoverySession", request: "DiscoveryRequest"):
+    from ..baselines import McrDiscovery
+
+    return McrDiscovery(session.corpus, session.index, config=session.config)
+
+
+def _build_josie(session: "DiscoverySession", request: "DiscoveryRequest"):
+    from ..baselines import ScrJosieDiscovery
+
+    return ScrJosieDiscovery(session.corpus, config=session.config)
+
+
+def _build_prefix_tree(session: "DiscoverySession", request: "DiscoveryRequest"):
+    from ..baselines import PrefixTreeDiscovery
+
+    return PrefixTreeDiscovery(session.corpus, config=session.config)
+
+
+def _register_builtins(registry: EngineRegistry) -> None:
+    registry.register(
+        "mate",
+        _build_mate,
+        description="Algorithm 1 over the session index (the paper's system)",
+        supports_budget=True,
+        supports_probe_values=True,
+    )
+    registry.register(
+        "sharded",
+        _build_sharded,
+        description="MATE over per-shard corpora with merged top-k "
+        "(shard count from ServiceConfig.num_shards)",
+    )
+    registry.register(
+        "scr",
+        _build_scr,
+        description="single-column retrieval baseline (no super key)",
+        supports_budget=True,
+        supports_probe_values=True,
+    )
+    registry.register(
+        "mcr",
+        _build_mcr,
+        description="multi-column retrieval baseline (per-column intersection)",
+    )
+    registry.register(
+        "josie",
+        _build_josie,
+        description="JOSIE-adapted single-column baseline (builds a set index)",
+    )
+    registry.register(
+        "prefix_tree",
+        _build_prefix_tree,
+        description="Li et al. prefix-tree related-work baseline",
+    )
+
+
+#: The process-wide default registry every session uses unless given its own.
+DEFAULT_REGISTRY = EngineRegistry()
+_register_builtins(DEFAULT_REGISTRY)
+
+
+def register_engine(
+    name: str,
+    factory: EngineFactory,
+    *,
+    description: str = "",
+    supports_budget: bool = False,
+    supports_probe_values: bool = False,
+    replace: bool = False,
+) -> EngineSpec:
+    """Register an engine in the default registry (entry-point style)."""
+    return DEFAULT_REGISTRY.register(
+        name,
+        factory,
+        description=description,
+        supports_budget=supports_budget,
+        supports_probe_values=supports_probe_values,
+        replace=replace,
+    )
+
+
+def available_engines() -> list[str]:
+    """Sorted names of the engines in the default registry."""
+    return DEFAULT_REGISTRY.names()

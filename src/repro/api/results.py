@@ -1,0 +1,146 @@
+"""Response objects of the unified discovery API.
+
+:class:`SessionResult` pairs the engine's
+:class:`~repro.core.results.DiscoveryResult` with the originating
+:class:`~repro.api.request.DiscoveryRequest`, so a response is always
+attributable and serialisable on its own.  :class:`SessionBatch` is the
+batch counterpart: per-request results in submission order plus the
+aggregate :class:`~repro.service.service.BatchStats`.
+
+Both serialise through the shared envelope of :mod:`repro.api.schema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.results import DiscoveryResult
+from .schema import KIND_BATCH_RESULT, KIND_DISCOVERY_RESULT, json_envelope
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..service.service import BatchStats
+    from .request import DiscoveryRequest
+
+
+@dataclass
+class SessionResult:
+    """One answered discovery request."""
+
+    #: The request that produced this result.
+    request: "DiscoveryRequest"
+    #: The registered engine name the session dispatched to.
+    engine: str
+    #: The engine's raw result (tables, counters, system label).
+    response: DiscoveryResult
+
+    # ------------------------------------------------------------------
+    # Convenience passthroughs
+    # ------------------------------------------------------------------
+    @property
+    def tables(self):
+        """The ranked :class:`~repro.core.results.TableResult` entries."""
+        return self.response.tables
+
+    @property
+    def counters(self):
+        """The run's :class:`~repro.metrics.counters.DiscoveryCounters`."""
+        return self.response.counters
+
+    @property
+    def k(self) -> int:
+        """The ``k`` the run was answered with."""
+        return self.response.k
+
+    @property
+    def complete(self) -> bool:
+        """Whether the run saw its full search space (no limit fired)."""
+        return self.response.complete
+
+    def result_tuples(self) -> list[tuple[int, int]]:
+        """``(table_id, joinability)`` pairs, best first."""
+        return self.response.result_tuples()
+
+    def table_ids(self) -> list[int]:
+        """The discovered table ids, best first."""
+        return self.response.table_ids()
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Return the stable JSON-serialisable response document.
+
+        The field names and the ``schema_version`` handling are shared with
+        every other machine-readable output of the repository (see
+        :mod:`repro.api.schema`).
+        """
+        return json_envelope(
+            KIND_DISCOVERY_RESULT,
+            {
+                "request": {
+                    "id": self.request.request_id,
+                    "label": self.request.label,
+                    "engine": self.request.engine,
+                    "query_table": self.request.query.table.name,
+                    "key_columns": list(self.request.query.key_columns),
+                    "k": self.request.k,
+                    "deadline_seconds": self.request.deadline_seconds,
+                    "max_pl_fetches": self.request.max_pl_fetches,
+                },
+                "engine": self.engine,
+                "system": self.response.system,
+                "k": self.response.k,
+                "complete": self.response.complete,
+                "tables": [entry.as_dict() for entry in self.response.tables],
+                "counters": self.response.counters.as_dict(),
+            },
+        )
+
+
+@dataclass
+class SessionBatch:
+    """Per-request results plus aggregate statistics of one batch.
+
+    ``results`` is in submission order.  When the batch ran with
+    ``on_error="collect"``, slots whose request failed hold ``None`` and the
+    corresponding exception is kept (in order of occurrence) in
+    :attr:`failures`; the aggregate :attr:`stats` then carries one
+    attribution line per failure.
+    """
+
+    results: list["SessionResult | None"]
+    stats: "BatchStats"
+    failures: list[Exception] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self) -> Iterator["SessionResult | None"]:
+        return iter(self.results)
+
+    def __getitem__(self, position: int) -> "SessionResult | None":
+        return self.results[position]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every request of the batch succeeded."""
+        return not self.failures
+
+    def successful(self) -> list[SessionResult]:
+        """The successful results, in submission order."""
+        return [result for result in self.results if result is not None]
+
+    def to_dict(self) -> dict:
+        """Return the stable JSON-serialisable batch document."""
+        return json_envelope(
+            KIND_BATCH_RESULT,
+            {
+                "results": [
+                    None if result is None else result.to_dict()
+                    for result in self.results
+                ],
+                "stats": self.stats.as_dict(),
+                "failures": [str(error) for error in self.failures],
+            },
+        )

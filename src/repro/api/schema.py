@@ -1,0 +1,30 @@
+"""The JSON response schema shared by every machine-readable output.
+
+One schema version covers everything this repository serialises for external
+consumers: the CLI's ``--json`` output, the bench-smoke artifacts written by
+``scripts/export_bench_json.py``, and
+:meth:`SessionResult.to_dict <repro.api.results.SessionResult.to_dict>`.
+Each payload is wrapped in the same envelope::
+
+    {"schema_version": 1, "kind": "<payload kind>", ...payload fields...}
+
+Field names are part of the contract: renaming or removing one requires a
+``SCHEMA_VERSION`` bump (adding fields does not).
+"""
+
+from __future__ import annotations
+
+#: Version of the JSON envelope and the field names inside it.
+SCHEMA_VERSION = 1
+
+#: Envelope kinds currently emitted.
+KIND_DISCOVERY_RESULT = "discovery_result"
+KIND_BATCH_RESULT = "batch_result"
+KIND_BENCHMARK = "benchmark"
+
+
+def json_envelope(kind: str, payload: dict) -> dict:
+    """Wrap ``payload`` in the versioned envelope (a new dictionary)."""
+    document = {"schema_version": SCHEMA_VERSION, "kind": kind}
+    document.update(payload)
+    return document

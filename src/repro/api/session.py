@@ -1,0 +1,435 @@
+"""The :class:`DiscoverySession` facade: one front door for Algorithm 1.
+
+A session owns the serving state — corpus, (optionally sharded) index, LRU
+posting-list cache, engine instances, and a thread-pool scheduler — and
+answers :class:`~repro.api.request.DiscoveryRequest` objects through four
+entry points:
+
+* :meth:`DiscoverySession.discover` — one request, one
+  :class:`~repro.api.results.SessionResult`;
+* :meth:`DiscoverySession.discover_batch` — a batch with probe-value
+  deduplication, cache warm-up, worker-pool scheduling, and attributable
+  failures (the machinery the legacy
+  :class:`~repro.service.service.DiscoveryService` exposed, generalised to
+  mixed-engine batches);
+* :meth:`DiscoverySession.discover_stream` — an iterator of incremental
+  top-k snapshots while the run progresses, ending with the final result;
+* :meth:`DiscoverySession.submit` / :meth:`DiscoverySession.asubmit` —
+  future-based and ``async`` wrappers over the session's thread pool.
+
+Engines are resolved by name through an
+:class:`~repro.api.registry.EngineRegistry` and cached per configuration
+signature, so repeated requests share memoised hash state exactly like the
+legacy single-engine service did.
+
+Usage::
+
+    from repro import DiscoveryRequest, DiscoverySession
+
+    with DiscoverySession(corpus, index, config=config) as session:
+        result = session.discover(DiscoveryRequest(query=query, k=10))
+        for snapshot in session.discover_stream(DiscoveryRequest(query=query)):
+            print(snapshot.result_tuples(), snapshot.complete)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..config import MateConfig, ServiceConfig
+from ..core.results import DiscoveryResult, TableResult
+from ..datamodel import TableCorpus
+from ..exceptions import DiscoveryError, MateError
+from ..index import ShardedInvertedIndex, build_index
+from ..metrics import CacheCounters, DiscoveryCounters
+from ..service.cache import CachingIndex
+from .registry import DEFAULT_REGISTRY, EngineRegistry, EngineSpec
+from .request import DiscoveryRequest, RequestBudget
+from .results import SessionBatch, SessionResult
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..service.service import BatchStats
+
+
+class DiscoverySession:
+    """Owns corpus + index + cache lifecycle and serves discovery requests.
+
+    Parameters
+    ----------
+    corpus:
+        The table corpus the index was (or will be) built from.
+    index:
+        A monolithic :class:`~repro.index.inverted.InvertedIndex` or a
+        :class:`~repro.index.sharded.ShardedInvertedIndex`.  ``None`` builds
+        a fresh index from ``corpus`` (the zero-setup path of the examples).
+        A monolithic index is partitioned per ``service_config.num_shards``
+        (> 1); unless caching is disabled the result is wrapped in a
+        :class:`~repro.service.cache.CachingIndex`.
+    config:
+        The :class:`~repro.config.MateConfig` shared by index and engines.
+    service_config:
+        The serving knobs (shard count, cache capacity, batch and fetch
+        workers); see :class:`~repro.config.ServiceConfig`.
+    registry:
+        The engine registry to resolve request engine names against;
+        defaults to the process-wide registry of :mod:`repro.api.registry`.
+    """
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        index=None,
+        config: MateConfig | None = None,
+        service_config: ServiceConfig | None = None,
+        registry: EngineRegistry | None = None,
+    ):
+        self.corpus = corpus
+        self.config = config or MateConfig()
+        self.service_config = service_config or ServiceConfig()
+        self.registry = registry or DEFAULT_REGISTRY
+        if index is None:
+            index = build_index(corpus, config=self.config)
+        if self.service_config.num_shards > 1 and not isinstance(
+            index, ShardedInvertedIndex
+        ):
+            index = ShardedInvertedIndex.from_index(
+                index, self.service_config.num_shards
+            )
+        if (
+            isinstance(index, ShardedInvertedIndex)
+            and self.service_config.fetch_workers > 1
+        ):
+            index.max_workers = self.service_config.fetch_workers
+        #: The index before cache wrapping (what persistence layers see).
+        self.base_index = index
+        if self.service_config.cache_capacity > 0:
+            self.index = CachingIndex(
+                index, capacity=self.service_config.cache_capacity
+            )
+        else:
+            self.index = index
+        # Engines are cached per request configuration signature so repeated
+        # requests share one instance (and its memoised value hashes); the
+        # per-run state of every engine is local to each discover() call.
+        self._engines: dict[tuple, tuple[EngineSpec, object]] = {}
+        self._engines_lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the session's scheduler (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "DiscoverySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise DiscoveryError("the session is closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(self.service_config.max_workers, 1),
+                thread_name_prefix="discovery-session",
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_counters(self) -> CacheCounters:
+        """Lifetime cache counters (zeros when caching is disabled)."""
+        if isinstance(self.index, CachingIndex):
+            return self.index.counters
+        return CacheCounters()
+
+    def engines(self) -> list[str]:
+        """Names of the engines requests can address in this session."""
+        return self.registry.names()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _engine_for(self, request: DiscoveryRequest) -> tuple[EngineSpec, object]:
+        spec = self.registry.get(request.engine)
+        signature = request.engine_signature()
+        with self._engines_lock:
+            cached = self._engines.get(signature)
+        if cached is not None:
+            return cached
+        # Build outside the lock: factories can be expensive (the josie and
+        # prefix_tree engines build whole indexes) and must not serialise
+        # concurrent dispatch to other engines.  First insert wins.
+        built = (spec, spec.factory(self, request))
+        with self._engines_lock:
+            cached = self._engines.setdefault(signature, built)
+        return cached
+
+    def _resolve_k(self, request: DiscoveryRequest) -> int:
+        return request.k if request.k is not None else self.config.k
+
+    def discover(self, request: DiscoveryRequest) -> SessionResult:
+        """Answer one request and return its :class:`SessionResult`.
+
+        Per-request limits (``deadline_seconds`` / ``max_pl_fetches``) are
+        enforced by engines registered with ``supports_budget``; a limited
+        request addressed to any other engine is refused (the session never
+        silently drops a limit it cannot enforce).  Errors raised anywhere
+        below this call carry the engine name and request label.
+        """
+        try:
+            spec, engine = self._engine_for(request)
+        except MateError as error:
+            raise error.with_context(request=request)
+        k = self._resolve_k(request)
+        budget = request.make_budget()
+        try:
+            if budget is not None:
+                if not spec.supports_budget:
+                    raise DiscoveryError(
+                        f"engine {spec.name!r} does not support per-request "
+                        "limits (deadline_seconds / max_pl_fetches)"
+                    )
+                response = engine.discover(request.query, k=k, budget=budget)
+            else:
+                response = engine.discover(request.query, k=k)
+        except MateError as error:
+            raise error.with_context(engine=spec.name, request=request)
+        return SessionResult(request=request, engine=spec.name, response=response)
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def discover_batch(
+        self,
+        requests: Iterable[DiscoveryRequest],
+        on_error: str = "raise",
+    ) -> SessionBatch:
+        """Answer every request and return results plus aggregate statistics.
+
+        Results come back in submission order and are identical to what
+        sequential :meth:`discover` calls would produce.  The session warms
+        its posting-list cache with one deduplicated bulk fetch of the
+        batch's probe values first (for cache-eligible, unlimited requests),
+        then schedules the queries over ``service_config.max_workers``
+        threads.
+
+        ``on_error`` controls failure handling: ``"raise"`` (default)
+        propagates the first attributable error, ``"collect"`` keeps going —
+        failed slots hold ``None``, the exceptions are returned on the batch,
+        and the :class:`~repro.service.service.BatchStats` carry one
+        attribution line per failure.
+        """
+        if on_error not in ("raise", "collect"):
+            raise DiscoveryError(
+                f'on_error must be "raise" or "collect", got {on_error!r}'
+            )
+        from ..service.service import BatchStats
+
+        request_list = list(requests)
+        before = self.cache_counters.snapshot()
+        started = time.perf_counter()
+
+        distinct, duplicates = self._warm_cache(request_list)
+
+        def run_one(request: DiscoveryRequest):
+            try:
+                return self.discover(request)
+            except MateError as error:
+                if on_error == "raise":
+                    raise
+                return error
+
+        workers = self.service_config.max_workers
+        if workers > 1 and len(request_list) > 1:
+            # Reuse the session's pool — no per-batch thread churn.
+            outcomes = list(self._executor().map(run_one, request_list))
+        else:
+            outcomes = [run_one(request) for request in request_list]
+
+        results: list[SessionResult | None] = []
+        failures: list[Exception] = []
+        for outcome in outcomes:
+            if isinstance(outcome, Exception):
+                failures.append(outcome)
+                results.append(None)
+            else:
+                results.append(outcome)
+
+        resolved_ks = {self._resolve_k(request) for request in request_list}
+        stats = BatchStats(
+            num_queries=len(request_list),
+            k=resolved_ks.pop() if len(resolved_ks) == 1 else 0,
+            batch_seconds=time.perf_counter() - started,
+            distinct_probe_values=distinct,
+            duplicate_probe_values=duplicates,
+            cache=self.cache_counters.delta_since(before),
+            failed_queries=len(failures),
+            failures=[str(error) for error in failures],
+        )
+        return SessionBatch(results=results, stats=stats, failures=failures)
+
+    def _warm_cache(self, requests: list[DiscoveryRequest]) -> tuple[int, int]:
+        """Bulk-fetch the batch's deduplicated probe values into the cache.
+
+        Returns ``(distinct, duplicates)``.  Only cache-eligible requests
+        participate: the engine must expose ``probe_values`` and the request
+        must be unlimited (warming past a fetch budget would charge the cache
+        for work the run will never do).  Errors during warm-up are deferred
+        to the actual run, where they are attributed properly.
+        """
+        if not isinstance(self.index, CachingIndex):
+            return 0, 0
+        total = 0
+        merged: dict[str, None] = {}
+        for request in requests:
+            if request.limited:
+                continue
+            try:
+                # Spec lookup first: no engine is built just to learn that
+                # it cannot participate in warm-up.
+                if not self.registry.get(request.engine).supports_probe_values:
+                    continue
+                _, engine = self._engine_for(request)
+                values = engine.probe_values(request.query)
+            except MateError:
+                continue
+            total += len(values)
+            merged.update(dict.fromkeys(values))
+        if merged:
+            self.index.fetch_batch(merged)
+        return len(merged), total - len(merged)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def discover_stream(
+        self, request: DiscoveryRequest
+    ) -> Iterator[SessionResult]:
+        """Yield incremental top-k snapshots, ending with the final result.
+
+        Snapshots (``complete=False``, no column mappings or counters) are
+        emitted every time a candidate table enters or improves the top-k,
+        so consecutive snapshots are monotonically improving; the last
+        yielded element is the full final :class:`SessionResult`, equal to
+        what :meth:`discover` returns for the same request.  Engines without
+        streaming support yield the final result only.
+        """
+        try:
+            spec, engine = self._engine_for(request)
+        except MateError as error:
+            raise error.with_context(request=request)
+        k = self._resolve_k(request)
+        if not spec.supports_budget:
+            # Engines outside the MateDiscovery family expose neither the
+            # budget nor the snapshot hook; stream degenerates to one item.
+            if request.limited:
+                raise DiscoveryError(
+                    f"engine {spec.name!r} does not support per-request limits"
+                ).with_context(engine=spec.name, request=request)
+            yield self.discover(request)
+            return
+
+        # Always run with a budget so an abandoned stream can cancel the
+        # worker: closing the generator expires the budget, and the engine
+        # stops at its next deadline check instead of finishing the run.
+        budget = request.make_budget() or RequestBudget()
+        snapshots: queue.Queue = queue.Queue()
+        done = object()
+        outcome: dict[str, object] = {}
+        system = getattr(engine, "system_name", spec.name)
+
+        def on_snapshot(ranked: list[tuple[int, int]]) -> None:
+            snapshots.put(self._snapshot_result(request, spec.name, system, k, ranked))
+
+        def run() -> None:
+            try:
+                outcome["result"] = engine.discover(
+                    request.query, k=k, budget=budget, on_snapshot=on_snapshot
+                )
+            except BaseException as error:  # noqa: BLE001 - relayed below
+                outcome["error"] = error
+            finally:
+                snapshots.put(done)
+
+        worker = threading.Thread(
+            target=run, name="discovery-stream", daemon=True
+        )
+        worker.start()
+        try:
+            while True:
+                item = snapshots.get()
+                if item is done:
+                    break
+                yield item
+        finally:
+            budget.cancel()
+        worker.join()
+        error = outcome.get("error")
+        if error is not None:
+            if isinstance(error, MateError):
+                raise error.with_context(engine=spec.name, request=request)
+            raise error  # pragma: no cover - non-library failure
+        yield SessionResult(
+            request=request, engine=spec.name, response=outcome["result"]
+        )
+
+    def _snapshot_result(
+        self,
+        request: DiscoveryRequest,
+        engine_name: str,
+        system: str,
+        k: int,
+        ranked: list[tuple[int, int]],
+    ) -> SessionResult:
+        tables = [
+            TableResult(
+                table_id=table_id,
+                joinability=joinability,
+                table_name=self.corpus.get_table(table_id).name,
+            )
+            for table_id, joinability in ranked
+        ]
+        response = DiscoveryResult(
+            system=system,
+            k=k,
+            tables=tables,
+            counters=DiscoveryCounters(),
+            complete=False,
+        )
+        return SessionResult(request=request, engine=engine_name, response=response)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def submit(self, request: DiscoveryRequest) -> "Future[SessionResult]":
+        """Schedule ``request`` on the session's thread pool (a Future)."""
+        return self._executor().submit(self.discover, request)
+
+    async def asubmit(self, request: DiscoveryRequest) -> SessionResult:
+        """``await``-able :meth:`discover`, run on the session's thread pool."""
+        return await asyncio.wrap_future(self.submit(request))
+
+    async def asubmit_batch(
+        self, requests: Iterable[DiscoveryRequest]
+    ) -> list[SessionResult]:
+        """``await``-able fan-out: every request through :meth:`asubmit`."""
+        return list(
+            await asyncio.gather(
+                *(self.asubmit(request) for request in requests)
+            )
+        )

@@ -9,8 +9,11 @@ Four sub-commands cover the typical workflow:
     Build the extended inverted index for a corpus JSON file and store it in a
     SQLite database.
 ``discover``
-    Run MATE (or a baseline) against an indexed corpus for a query table given
-    as CSV plus a list of key columns.
+    Run any registered discovery engine (``--engine``, see
+    :mod:`repro.api.registry`) against an indexed corpus for a query table
+    given as CSV plus a list of key columns; supports per-request limits
+    (``--deadline-seconds`` / ``--max-pl-fetches``) and ``--json`` output in
+    the versioned response schema.
 ``experiment``
     Run one of the paper's experiments (table1, table2, table3, figure4,
     figure5, figure6, topk, init_column, index_generation) or one of the
@@ -18,9 +21,10 @@ Four sub-commands cover the typical workflow:
     related_work, short_values, batch_service); print the resulting table
     and optionally save it as text/CSV/JSON via ``--out``.
 ``serve-batch``
-    Answer a batch of query tables through the :mod:`repro.service` layer:
-    a value-sharded index, an LRU posting-list cache, and a worker pool.
-    Prints the per-query top-k plus batch throughput and cache statistics.
+    Answer a batch of query tables through a
+    :class:`~repro.api.session.DiscoverySession`: a value-sharded index, an
+    LRU posting-list cache, and a worker pool.  Prints the per-query top-k
+    plus batch throughput and cache statistics (or ``--json``).
 ``profile``
     Profile a data lake (a directory of CSV / JSON-lines tables or a corpus
     JSON file): table/row/value counts, column type mix, posting-list-length
@@ -37,13 +41,13 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from . import __version__
-from .baselines import McrDiscovery, ScrDiscovery
+from .api import DiscoveryRequest, DiscoverySession, available_engines
 from .config import MateConfig, ServiceConfig
-from .core import MateDiscovery
 from .datagen import TABLE1_SPECS, build_workload
 from .datamodel import QueryTable
 from .experiments import (
@@ -68,7 +72,6 @@ from .experiments import (
 from .extensions import discover_key_candidates
 from .index import build_index, build_sharded_index
 from .lake import DataLake, profile_corpus
-from .service import DiscoveryService
 from .storage import (
     SQLiteBackend,
     list_sharded_indexes,
@@ -99,8 +102,6 @@ EXPERIMENT_RUNNERS = {
     "short_values": run_short_values,
 }
 
-#: System name -> discovery engine class, for the ``discover`` sub-command.
-SYSTEMS = {"mate": MateDiscovery, "scr": ScrDiscovery, "mcr": McrDiscovery}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,9 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--key", nargs="+", required=True, help="composite key columns")
     discover.add_argument("--database", type=Path, default=None,
                           help="SQLite database with a prebuilt index")
-    discover.add_argument("--system", choices=sorted(SYSTEMS), default="mate")
+    discover.add_argument("--engine", "--system", dest="engine",
+                          choices=available_engines(), default="mate",
+                          help="registered discovery engine "
+                          "(--system is the deprecated alias)")
     discover.add_argument("--k", type=int, default=10)
     discover.add_argument("--hash-size", type=int, default=128)
+    discover.add_argument("--deadline-seconds", type=float, default=None,
+                          help="per-request wall-clock limit; an expired "
+                          "deadline returns the partial top-k")
+    discover.add_argument("--max-pl-fetches", type=int, default=None,
+                          help="per-request posting-list fetch budget "
+                          "(one probe value = one fetch)")
+    discover.add_argument("--json", action="store_true",
+                          help="print the result as the versioned JSON "
+                          "response document instead of text")
 
     experiment = subparsers.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS))
@@ -176,6 +189,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="SQLite database to load the sharded index from (built and "
         "saved there on first use)",
     )
+    serve.add_argument("--json", action="store_true",
+                       help="print the batch as the versioned JSON response "
+                       "document instead of text")
 
     profile = subparsers.add_parser("profile", help="profile a data lake")
     profile.add_argument(
@@ -236,17 +252,29 @@ def _command_discover(args: argparse.Namespace) -> int:
 
     query_table = table_from_csv(10_000_000, args.query)
     query = QueryTable(table=query_table, key_columns=[c.lower() for c in args.key])
-    engine_class = SYSTEMS[args.system]
-    engine = engine_class(corpus, index, config=config)
-    result = engine.discover(query, k=args.k)
+    request = DiscoveryRequest(
+        query=query,
+        k=args.k,
+        engine=args.engine,
+        deadline_seconds=args.deadline_seconds,
+        max_pl_fetches=args.max_pl_fetches,
+    )
+    with DiscoverySession(corpus, index, config=config) as session:
+        result = session.discover(request)
 
-    print(f"top-{args.k} joinable tables ({args.system}, key={query.key_columns}):")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"top-{args.k} joinable tables ({args.engine}, key={query.key_columns}):")
     for entry in result.tables:
         print(f"  table {entry.table_id:>6}  joinability={entry.joinability:>5}  "
               f"{entry.table_name}")
     counters = result.counters
     print(f"rows checked: {counters.rows_checked}, precision: {counters.precision:.2f}, "
           f"runtime: {counters.runtime_seconds:.3f}s")
+    if not result.complete:
+        reason = "deadline" if counters.deadline_expired else "fetch budget"
+        print(f"note: partial result ({reason} limit reached)")
     return 0
 
 
@@ -308,25 +336,31 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
 
     shared_key = [c.lower() for c in args.key] if args.key else None
     query_corpus = load_corpus_json(args.queries)
-    queries = [
-        QueryTable(
-            table=table,
-            key_columns=shared_key or table.columns[: args.key_size],
+    requests = [
+        DiscoveryRequest(
+            query=QueryTable(
+                table=table,
+                key_columns=shared_key or table.columns[: args.key_size],
+            ),
+            k=args.k,
         )
         for table in query_corpus
     ]
 
-    service = DiscoveryService(
+    with DiscoverySession(
         corpus, index, config=config, service_config=service_config
-    )
-    batch = service.discover_batch(queries, k=args.k)
+    ) as session:
+        batch = session.discover_batch(requests)
 
+    if args.json:
+        print(json.dumps(batch.to_dict(), indent=2))
+        return 0
     print(f"served {len(batch)} queries over {index.num_shards} shards:")
-    for query, result in zip(queries, batch):
+    for request, result in zip(requests, batch):
         ranked = ", ".join(
             f"{entry.table_id}:{entry.joinability}" for entry in result.tables
         )
-        print(f"  {query.table.name} (key={query.key_columns}): "
+        print(f"  {request.query.table.name} (key={request.query.key_columns}): "
               f"top-{args.k} [{ranked}]")
     stats = batch.stats
     print(

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from typing import TYPE_CHECKING, Callable
 
 from ..config import MateConfig
 from ..datamodel import MISSING, QueryTable, TableCorpus
@@ -34,6 +35,13 @@ from .filters import RowFilter, should_abandon_table, should_prune_table
 from .joinability import joinability_from_matches, row_contains_key
 from .results import DiscoveryResult
 from .topk import TopKHeap
+
+if TYPE_CHECKING:  # pragma: no cover - the budget lives in the api layer
+    from ..api.request import RequestBudget
+
+#: Streaming hook: receives the interim (table_id, joinability) ranking,
+#: best first, after every accepted top-k update.
+SnapshotCallback = Callable[[list[tuple[int, int]]], None]
 
 
 class MateDiscovery:
@@ -77,11 +85,32 @@ class MateDiscovery:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def discover(self, query: QueryTable, k: int | None = None) -> DiscoveryResult:
+    def discover(
+        self,
+        query: QueryTable,
+        k: int | None = None,
+        *,
+        budget: "RequestBudget | None" = None,
+        on_snapshot: "SnapshotCallback | None" = None,
+    ) -> DiscoveryResult:
         """Return the top-k joinable tables for ``query``.
 
         ``k`` defaults to the configured value.  The result carries the full
         instrumentation counters of the run.
+
+        ``budget`` (a :class:`~repro.api.request.RequestBudget`) bounds the
+        run: its posting-list fetch budget caps how many probe values the
+        initialization step fetches, and its deadline is checked before the
+        fetch and at every candidate table.  A curtailed run returns the
+        (well-formed, possibly empty) partial top-k with ``complete=False``
+        and the matching ``counters.budget_exhausted`` /
+        ``counters.deadline_expired`` flags.  Without a budget the behaviour
+        is byte-identical to earlier releases.
+
+        ``on_snapshot`` is called with the interim ``(table_id, joinability)``
+        ranking (best first) every time a candidate table enters or improves
+        the top-k — the streaming hook behind
+        :meth:`repro.api.session.DiscoverySession.discover_stream`.
         """
         if k is None:
             k = self.config.k
@@ -98,6 +127,16 @@ class MateDiscovery:
             )
         key_map = self._build_key_super_key_map(query, initial_column)
         probe_values = list(key_map)
+
+        if budget is not None:
+            # Each probe value costs one posting-list fetch; a short budget
+            # truncates the (deterministically ordered) probe list.  A
+            # pre-expired deadline skips the fetch entirely.
+            if budget.deadline_expired():
+                probe_values = []
+            else:
+                granted = budget.take_pl_fetches(len(probe_values))
+                probe_values = probe_values[:granted]
 
         # Columnar fetch: struct-of-arrays blocks per candidate table instead
         # of per-item FetchedItem tuples (the packed hot path of this repo).
@@ -116,6 +155,8 @@ class MateDiscovery:
 
         # ---------------- Candidate-table loop (lines 7-22) ----------------
         for position, (table_id, block) in enumerate(candidates):
+            if budget is not None and budget.deadline_expired():
+                break
             if self.use_table_filters and should_prune_table(len(block), topk):
                 counters.tables_pruned_by_rule1 += len(candidates) - position
                 break
@@ -125,7 +166,14 @@ class MateDiscovery:
             counters.tables_evaluated += 1
             if topk.update(table_id, joinability):
                 mappings[table_id] = mapping
+                if on_snapshot is not None:
+                    on_snapshot(topk.result_tuples())
 
+        complete = True
+        if budget is not None:
+            counters.budget_exhausted = int(budget.exhausted)
+            counters.deadline_expired = int(budget.expired)
+            complete = budget.complete
         counters.runtime_seconds = time.perf_counter() - started
         names = {
             table_id: self.corpus.get_table(table_id).name
@@ -138,6 +186,7 @@ class MateDiscovery:
             counters=counters,
             mappings=mappings,
             names=names,
+            complete=complete,
         )
 
     # ------------------------------------------------------------------

@@ -134,6 +134,9 @@ class ShardedMateDiscovery:
         config: MateConfig | None = None,
         hash_function_name: str = "xash",
         max_workers: int | None = None,
+        column_selector="cardinality",
+        row_filter_mode: str = "superkey",
+        use_table_filters: bool = True,
     ):
         if num_shards <= 0:
             raise DiscoveryError(f"num_shards must be positive, got {num_shards}")
@@ -141,6 +144,10 @@ class ShardedMateDiscovery:
         self.config = config or MateConfig()
         self.hash_function_name = hash_function_name
         self.max_workers = max_workers
+        # Algorithm 1 knobs, forwarded to every per-shard engine.
+        self.column_selector = column_selector
+        self.row_filter_mode = row_filter_mode
+        self.use_table_filters = use_table_filters
         self.shards = shard_corpus(corpus, num_shards)
         builder = IndexBuilder(
             config=self.config, hash_function_name=hash_function_name
@@ -167,6 +174,9 @@ class ShardedMateDiscovery:
             self.shard_indexes[shard_index],
             config=self.config,
             hash_function_name=self.hash_function_name,
+            column_selector=self.column_selector,
+            row_filter_mode=self.row_filter_mode,
+            use_table_filters=self.use_table_filters,
         )
         started = time.perf_counter()
         result = engine.discover(query, k=k)

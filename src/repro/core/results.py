@@ -37,6 +37,11 @@ class DiscoveryResult:
     k: int
     tables: list[TableResult] = field(default_factory=list)
     counters: DiscoveryCounters = field(default_factory=DiscoveryCounters)
+    #: Whether the run saw its full search space.  ``False`` only when a
+    #: per-request limit (``deadline_seconds`` / ``max_pl_fetches``, see
+    #: :mod:`repro.api.request`) stopped the run early; the exact pruning
+    #: rules of Algorithm 1 never clear this flag.
+    complete: bool = True
 
     @property
     def runtime_seconds(self) -> float:
@@ -72,6 +77,7 @@ class DiscoveryResult:
         counters: DiscoveryCounters,
         mappings: dict[int, tuple[int, ...] | None] | None = None,
         names: dict[int, str] | None = None,
+        complete: bool = True,
     ) -> "DiscoveryResult":
         """Build a result object from the top-k heap contents."""
         mappings = mappings or {}
@@ -85,4 +91,6 @@ class DiscoveryResult:
             )
             for entry in ranked
         ]
-        return cls(system=system, k=k, tables=tables, counters=counters)
+        return cls(
+            system=system, k=k, tables=tables, counters=counters, complete=complete
+        )

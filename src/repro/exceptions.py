@@ -3,13 +3,68 @@
 All library-specific errors derive from :class:`MateError` so that callers can
 catch a single exception type at API boundaries while still being able to
 distinguish configuration problems from data problems.
+
+Every error can carry the *originating request context* — the engine name and
+the :class:`~repro.api.request.DiscoveryRequest` (or a caller-supplied label)
+that triggered it.  The :class:`~repro.api.session.DiscoverySession` attaches
+that context via :meth:`MateError.with_context` when it dispatches requests,
+so failures inside a batch remain attributable to one request in the batch
+statistics instead of surfacing as anonymous errors.
 """
 
 from __future__ import annotations
 
 
 class MateError(Exception):
-    """Base class for every error raised by this library."""
+    """Base class for every error raised by this library.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    engine:
+        Optional name of the discovery engine that was executing when the
+        error occurred (e.g. ``"mate"``, ``"josie"``).
+    request:
+        Optional originating request — a
+        :class:`~repro.api.request.DiscoveryRequest` or any object whose
+        ``str()`` identifies the request (a label, a query-table name, ...).
+    """
+
+    def __init__(self, message: str = "", *, engine=None, request=None):
+        super().__init__(message)
+        self.engine = engine
+        self.request = request
+
+    def with_context(self, engine=None, request=None) -> "MateError":
+        """Attach originating engine/request context (in place, returns self).
+
+        Existing context is never overwritten, so the innermost (most
+        specific) attribution wins when an error crosses several layers.
+        """
+        if self.engine is None and engine is not None:
+            self.engine = engine
+        if self.request is None and request is not None:
+            self.request = request
+        return self
+
+    @property
+    def context_label(self) -> str:
+        """The attribution suffix, empty when no context was attached."""
+        parts = []
+        if self.engine is not None:
+            parts.append(f"engine={self.engine}")
+        if self.request is not None:
+            label = getattr(self.request, "label", None)
+            parts.append(f"request={label if label is not None else self.request}")
+        return ", ".join(parts)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        context = self.context_label
+        if not context:
+            return base
+        return f"{base} [{context}]"
 
 
 class ConfigurationError(MateError):
@@ -42,6 +97,10 @@ class HashingError(MateError):
 
 class DiscoveryError(MateError):
     """Raised when a discovery run is invoked with invalid inputs."""
+
+
+class EngineNotFoundError(DiscoveryError):
+    """Raised when a request names an engine that is not registered."""
 
 
 class ExperimentError(MateError):

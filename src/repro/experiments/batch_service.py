@@ -1,9 +1,10 @@
 """Batch-discovery service study (extension beyond the paper).
 
-Measures what the serving layer of :mod:`repro.service` buys on top of the
-single-query engine: per shard count, a batch of queries is answered twice —
-once with a cold posting-list cache and once warm — and both passes are
-checked for exact agreement with cold sequential
+Measures what the serving layer (a :class:`~repro.api.session.DiscoverySession`
+over a sharded, cached index) buys on top of the single-query engine: per
+shard count, a batch of queries is answered twice — once with a cold
+posting-list cache and once warm — and both passes are checked for exact
+agreement with cold sequential
 :class:`~repro.core.discovery.MateDiscovery` runs.
 
 Expected shape: results identical to the sequential reference for every
@@ -15,10 +16,10 @@ between the batch's queries.
 
 from __future__ import annotations
 
+from ..api import DiscoveryRequest, DiscoverySession
 from ..config import ServiceConfig
 from ..core import MateDiscovery
 from ..index import build_sharded_index
-from ..service import DiscoveryService
 from .runner import ExperimentResult, ExperimentSettings, build_context
 
 #: Shard counts swept by default.
@@ -53,7 +54,7 @@ def run_batch_service(
         index = build_sharded_index(
             corpus, num_shards=num_shards, config=config, hash_function_name="xash"
         )
-        service = DiscoveryService(
+        session = DiscoverySession(
             corpus,
             index,
             config=config,
@@ -63,8 +64,11 @@ def run_batch_service(
                 max_workers=max_workers,
             ),
         )
-        cold = service.discover_batch(queries, k=settings.k)
-        warm = service.discover_batch(queries, k=settings.k)
+        requests = [
+            DiscoveryRequest(query=query, k=settings.k) for query in queries
+        ]
+        cold = session.discover_batch(requests)
+        warm = session.discover_batch(requests)
         matches = sum(
             1
             for passes in (cold, warm)

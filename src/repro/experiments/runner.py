@@ -21,9 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..api import DiscoveryRequest, DiscoverySession
 from ..baselines import JosieIndex
-from ..config import MateConfig
-from ..core import DiscoveryResult, MateDiscovery
+from ..config import MateConfig, ServiceConfig
+from ..core import DiscoveryResult
 from ..datagen import QueryWorkload, build_workload
 from ..datamodel import QueryTable
 from ..index import IndexBuilder, InvertedIndex
@@ -110,6 +111,24 @@ class WorkloadContext:
             self._indexes[key] = builder.build(self.workload.corpus)
         return self._indexes[key]
 
+    def session(
+        self, hash_function: str = "xash", hash_size: int = 128
+    ) -> DiscoverySession:
+        """Return a *fresh* discovery session over the cached index.
+
+        A new session (and therefore a cold engine with empty memoised hash
+        caches) is built per call, so repeated runs stay comparable cold
+        measurements — exactly like constructing a fresh engine by hand.
+        Only the index is reused (cached per hash layout); the posting-list
+        cache is disabled for the same reason.
+        """
+        return DiscoverySession(
+            self.workload.corpus,
+            self.index(hash_function, hash_size),
+            config=self.config(hash_size),
+            service_config=ServiceConfig(cache_capacity=0),
+        )
+
     def josie_index(self) -> JosieIndex:
         """Return (building and caching on first use) the JOSIE set index."""
         if self._josie_index is None:
@@ -182,18 +201,27 @@ def run_mate(
     row_filter_mode: str = "superkey",
     label: str | None = None,
 ) -> AggregatedRun:
-    """Run MATE (with the given hash function) over every query of a workload."""
+    """Run MATE (with the given hash function) over every query of a workload.
+
+    Queries go through the unified discovery API: one
+    :class:`~repro.api.request.DiscoveryRequest` per query, dispatched by the
+    context's cached :class:`~repro.api.session.DiscoverySession` — the same
+    code path the CLI and the serving layer use.
+    """
     settings = context.settings
-    config = context.config(hash_size)
-    index = context.index(hash_function, hash_size)
-    engine = MateDiscovery(
-        context.workload.corpus,
-        index,
-        config=config,
-        hash_function_name=hash_function,
-        row_filter_mode=row_filter_mode,
-    )
-    results = [engine.discover(query, k=k or settings.k) for query in context.queries]
+    session = context.session(hash_function, hash_size)
+    results = [
+        session.discover(
+            DiscoveryRequest(
+                query=query,
+                k=k or settings.k,
+                engine="mate",
+                hash_function=hash_function,
+                row_filter_mode=row_filter_mode,
+            )
+        ).response
+        for query in context.queries
+    ]
     system = label or f"mate[{hash_function}/{hash_size}]"
     return aggregate_results(system, context.name, results)
 

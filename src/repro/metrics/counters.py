@@ -102,6 +102,11 @@ class DiscoveryCounters:
     false_positive_rows: int = 0
     #: Individual cell-value comparisons performed during verification.
     value_comparisons: int = 0
+    #: Runs (1 for a single run) whose ``max_pl_fetches`` budget ran out and
+    #: truncated the initialization fetch (see :mod:`repro.api.request`).
+    budget_exhausted: int = 0
+    #: Runs (1 for a single run) stopped early by a ``deadline_seconds``.
+    deadline_expired: int = 0
     #: Wall-clock duration of the run in seconds (set by the caller).
     runtime_seconds: float = 0.0
     #: Extra, system-specific counters (e.g. per-column PL counts).
@@ -151,6 +156,8 @@ class DiscoveryCounters:
         self.true_positive_rows += other.true_positive_rows
         self.false_positive_rows += other.false_positive_rows
         self.value_comparisons += other.value_comparisons
+        self.budget_exhausted += other.budget_exhausted
+        self.deadline_expired += other.deadline_expired
         self.runtime_seconds += other.runtime_seconds
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value
@@ -170,6 +177,8 @@ class DiscoveryCounters:
             "true_positive_rows": self.true_positive_rows,
             "false_positive_rows": self.false_positive_rows,
             "value_comparisons": self.value_comparisons,
+            "budget_exhausted": self.budget_exhausted,
+            "deadline_expired": self.deadline_expired,
             "runtime_seconds": self.runtime_seconds,
             "precision": self.precision,
             "false_positive_rate": self.false_positive_rate,

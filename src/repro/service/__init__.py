@@ -17,19 +17,24 @@ star.  Three pieces compose, each usable on its own:
   return per-query :class:`~repro.core.results.DiscoveryResult` objects plus
   aggregate :class:`~repro.service.service.BatchStats`.
 
-The serving knobs live in :class:`~repro.config.ServiceConfig`.  Usage::
+The serving knobs live in :class:`~repro.config.ServiceConfig`.  The public
+front door over this machinery is the unified API
+(:class:`repro.api.session.DiscoverySession`);
+:class:`~repro.service.service.DiscoveryService` remains as a deprecated
+shim over it.  Usage::
 
-    from repro import MateConfig, ServiceConfig
+    from repro import DiscoveryRequest, DiscoverySession, MateConfig, ServiceConfig
     from repro.index import build_sharded_index
-    from repro.service import DiscoveryService
 
     config = MateConfig(k=10, expected_unique_values=100_000)
     index = build_sharded_index(corpus, num_shards=4, config=config)
-    service = DiscoveryService(
+    session = DiscoverySession(
         corpus, index, config=config,
         service_config=ServiceConfig(cache_capacity=8192, max_workers=4),
     )
-    batch = service.discover_batch(queries)
+    batch = session.discover_batch(
+        [DiscoveryRequest(query=query) for query in queries]
+    )
     for result in batch:
         print(result.table_ids())
     print(batch.stats.queries_per_second, batch.stats.cache.hit_rate)

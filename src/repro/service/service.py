@@ -1,55 +1,42 @@
-"""The batch discovery service: deduplicated, cached, scheduled Algorithm 1.
+"""The legacy batch discovery service — now a shim over the unified API.
 
-:class:`DiscoveryService` is the serving layer the ROADMAP's "heavy traffic"
-north star asks for.  It accepts a *batch* of
-:class:`~repro.datamodel.table.QueryTable` requests and answers each one with
-the exact result a cold, sequential
-:class:`~repro.core.discovery.MateDiscovery` run would produce, while doing
-strictly less index work:
+.. deprecated::
+    :class:`DiscoveryService` predates the unified discovery API and is kept
+    as a thin compatibility layer.  New code should use
+    :class:`repro.api.session.DiscoverySession` with
+    :class:`repro.api.request.DiscoveryRequest` objects, which adds engine
+    selection, per-request budgets/deadlines, streaming results, and async
+    submission on top of the batching this class exposed.
 
-1. **Probe-value deduplication** — the initialization step of every query is
-   known up front (initial column choice + its probe values), so the service
-   unions the probe values of the whole batch, drops duplicates shared
-   between queries, and warms the posting-list cache with one bulk ``fetch``
-   (one fan-out across the shards of a
-   :class:`~repro.index.sharded.ShardedInvertedIndex` instead of one per
-   query).
-2. **Posting-list caching** — queries then run against a
-   :class:`~repro.service.cache.CachingIndex`, so each shared probe value
-   hits the index exactly once per batch (and stays cached across batches up
-   to the LRU capacity).
-3. **Scheduling** — queries are dispatched serially or across a
-   ``ThreadPoolExecutor`` (``ServiceConfig.max_workers``), the same
-   worker-pool idiom :mod:`repro.core.parallel` uses for per-shard engines.
+The service still answers every batch with the exact results a cold,
+sequential :class:`~repro.core.discovery.MateDiscovery` run would produce —
+probe-value deduplication, posting-list caching, and worker-pool scheduling
+all live on (they moved into the session; this class forwards to it).
 
-Per-query results keep their individual instrumentation counters; the batch
-returns an aggregate :class:`BatchStats` with wall-clock throughput and the
-cache hit/miss delta attributable to the batch.
+:class:`BatchStats` remains the aggregate accounting object of a batch, and
+since failures inside a batch are now attributable (errors carry the engine
+name and request label), it also records them: ``failed_queries`` counts the
+requests that raised, ``failures`` keeps one attribution line each.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from dataclasses import dataclass, field
 
 from ..config import MateConfig, ServiceConfig
-from ..core import MateDiscovery
 from ..core.results import DiscoveryResult
 from ..datamodel import QueryTable, TableCorpus
-from ..exceptions import DiscoveryError
-from ..index import ShardedInvertedIndex
 from ..metrics import CacheCounters
-from .cache import CachingIndex
 
 
 @dataclass
 class BatchStats:
-    """Aggregate accounting of one :meth:`DiscoveryService.discover_batch`."""
+    """Aggregate accounting of one batch (service or session)."""
 
-    #: Number of queries answered in the batch.
+    #: Number of queries submitted in the batch (including failed ones).
     num_queries: int = 0
-    #: ``k`` used for every query of the batch.
+    #: ``k`` used for every query of the batch (0 when requests disagree).
     k: int = 0
     #: Wall-clock duration of the whole batch in seconds.
     batch_seconds: float = 0.0
@@ -59,6 +46,10 @@ class BatchStats:
     duplicate_probe_values: int = 0
     #: Cache activity attributable to this batch (delta over the batch).
     cache: CacheCounters = field(default_factory=CacheCounters)
+    #: Requests that raised instead of producing a result.
+    failed_queries: int = 0
+    #: One attribution line per failure (engine name + request label + error).
+    failures: list[str] = field(default_factory=list)
 
     @property
     def queries_per_second(self) -> float:
@@ -76,6 +67,7 @@ class BatchStats:
             "queries_per_second": self.queries_per_second,
             "distinct_probe_values": self.distinct_probe_values,
             "duplicate_probe_values": self.duplicate_probe_values,
+            "failed_queries": self.failed_queries,
         }
         result.update(self.cache.as_dict())
         return result
@@ -101,28 +93,15 @@ class BatchDiscoveryResult:
 
 
 class DiscoveryService:
-    """Answers batches of discovery queries over one (optionally sharded) index.
+    """Deprecated facade: batches of queries over one (optionally sharded) index.
 
-    Parameters
-    ----------
-    corpus:
-        The table corpus the index was built from.
-    index:
-        Any index satisfying the engine's query surface — a monolithic
-        :class:`~repro.index.inverted.InvertedIndex` or a
-        :class:`~repro.index.sharded.ShardedInvertedIndex`.  A monolithic
-        index is partitioned per ``service_config.num_shards`` (> 1); an
-        already-sharded index is used as-is.  Unless caching is disabled it
-        is then wrapped in a :class:`~repro.service.cache.CachingIndex`.
-    config:
-        The :class:`~repro.config.MateConfig` shared with the engine.
-    service_config:
-        The serving knobs (shard count, cache capacity, batch and fetch
-        workers); see :class:`~repro.config.ServiceConfig`.
-    engine_kwargs:
-        Extra keyword arguments forwarded to
-        :class:`~repro.core.discovery.MateDiscovery` (column selector,
-        row-filter mode, ...).
+    Construction parameters are unchanged from earlier releases (corpus,
+    index, :class:`~repro.config.MateConfig`,
+    :class:`~repro.config.ServiceConfig`, plus engine keyword arguments);
+    they are translated into a :class:`~repro.api.session.DiscoverySession`
+    and default :class:`~repro.api.request.DiscoveryRequest` fields.  Use the
+    session directly for engine selection, budgets, streaming, or async
+    submission.
     """
 
     system_name = "mate-service"
@@ -133,34 +112,49 @@ class DiscoveryService:
         index,
         config: MateConfig | None = None,
         service_config: ServiceConfig | None = None,
-        **engine_kwargs,
+        hash_function_name: str | None = None,
+        column_selector=None,
+        row_filter_mode: str = "superkey",
+        use_table_filters: bool = True,
     ):
+        warnings.warn(
+            "DiscoveryService is deprecated; use repro.DiscoverySession with "
+            "repro.DiscoveryRequest (see the Public API section of the README)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..api.request import DiscoveryRequest
+        from ..api.session import DiscoverySession
+
         self.corpus = corpus
         self.config = config or MateConfig()
         self.service_config = service_config or ServiceConfig()
-        if self.service_config.num_shards > 1 and not isinstance(
-            index, ShardedInvertedIndex
-        ):
-            index = ShardedInvertedIndex.from_index(
-                index, self.service_config.num_shards
-            )
-        if (
-            isinstance(index, ShardedInvertedIndex)
-            and self.service_config.fetch_workers > 1
-        ):
-            index.max_workers = self.service_config.fetch_workers
-        if self.service_config.cache_capacity > 0:
-            self.index = CachingIndex(
-                index, capacity=self.service_config.cache_capacity
-            )
-        else:
-            self.index = index
-        # One shared engine: its per-run state (heap, counters) is local to
-        # each discover() call, so concurrent batch workers can reuse it and
-        # share the memoised value hashes.
-        self.engine = MateDiscovery(
-            corpus, self.index, config=self.config, **engine_kwargs
+        self._session = DiscoverySession(
+            corpus,
+            index,
+            config=self.config,
+            service_config=self.service_config,
         )
+        # The session's (possibly cache-wrapped, possibly sharded) index —
+        # kept as an attribute for backwards compatibility.
+        self.index = self._session.index
+        self._request_defaults = {
+            "engine": "mate",
+            "hash_function": hash_function_name,
+            "row_filter_mode": row_filter_mode,
+            "use_table_filters": use_table_filters,
+        }
+        if column_selector is not None:
+            self._request_defaults["column_selector"] = column_selector
+        self._request_factory = DiscoveryRequest
+
+    @property
+    def session(self):
+        """The underlying :class:`~repro.api.session.DiscoverySession`."""
+        return self._session
+
+    def _request(self, query: QueryTable, k: int | None):
+        return self._request_factory(query=query, k=k, **self._request_defaults)
 
     # ------------------------------------------------------------------
     # Cache introspection
@@ -168,16 +162,14 @@ class DiscoveryService:
     @property
     def cache_counters(self) -> CacheCounters:
         """Lifetime cache counters (zeros when caching is disabled)."""
-        if isinstance(self.index, CachingIndex):
-            return self.index.counters
-        return CacheCounters()
+        return self._session.cache_counters
 
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def discover(self, query: QueryTable, k: int | None = None) -> DiscoveryResult:
         """Answer a single query (through the cache, no batching)."""
-        return self.engine.discover(query, k=k)
+        return self._session.discover(self._request(query, k)).response
 
     def discover_batch(
         self, queries: list[QueryTable], k: int | None = None
@@ -189,53 +181,10 @@ class DiscoveryService:
         <repro.core.discovery.MateDiscovery.discover>` runs would produce on
         the same corpus and index.
         """
-        if k is None:
-            k = self.config.k
-        if k <= 0:
-            raise DiscoveryError(f"k must be positive, got {k}")
-        before = self.cache_counters.snapshot()
-        started = time.perf_counter()
-
-        distinct, duplicates = self._warm_cache(queries)
-
-        workers = self.service_config.max_workers
-        if workers > 1 and len(queries) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                results = list(
-                    pool.map(lambda query: self.engine.discover(query, k=k), queries)
-                )
-        else:
-            results = [self.engine.discover(query, k=k) for query in queries]
-
-        stats = BatchStats(
-            num_queries=len(queries),
-            k=k,
-            batch_seconds=time.perf_counter() - started,
-            distinct_probe_values=distinct,
-            duplicate_probe_values=duplicates,
-            cache=self.cache_counters.delta_since(before),
+        batch = self._session.discover_batch(
+            [self._request(query, k) for query in queries]
         )
-        return BatchDiscoveryResult(results=results, stats=stats)
-
-    # ------------------------------------------------------------------
-    # Batch deduplication
-    # ------------------------------------------------------------------
-    def _warm_cache(self, queries: list[QueryTable]) -> tuple[int, int]:
-        """Bulk-fetch the batch's deduplicated probe values into the cache.
-
-        Returns ``(distinct, duplicates)``: the number of distinct probe
-        values across the batch and how many per-query values collapsed onto
-        an already-seen one.  Without a cache the bulk fetch would be wasted
-        work, so the warm-up is skipped entirely.
-        """
-        if not isinstance(self.index, CachingIndex):
-            return 0, 0
-        total = 0
-        merged: dict[str, None] = {}
-        for query in queries:
-            values = self.engine.probe_values(query)
-            total += len(values)
-            merged.update(dict.fromkeys(values))
-        if merged:
-            self.index.fetch_batch(merged)
-        return len(merged), total - len(merged)
+        return BatchDiscoveryResult(
+            results=[result.response for result in batch.results],
+            stats=batch.stats,
+        )

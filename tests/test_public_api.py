@@ -1,0 +1,91 @@
+"""API-surface snapshot: ``repro.__all__`` against a checked-in list.
+
+The unified discovery API makes ``repro``'s top-level namespace a contract:
+removing or renaming a name is a breaking change that must be made
+deliberately.  This test pins the exported surface — any drift (an export
+added, dropped, or renamed) fails CI until this snapshot is updated in the
+same change, which is exactly the review point the contract needs.
+"""
+
+from __future__ import annotations
+
+import repro
+
+#: The public surface of ``repro`` as of schema version 1.  Update this list
+#: (and the README's Public API section, and ``SCHEMA_VERSION`` if response
+#: field names changed) in the same commit as any export change.
+EXPECTED_EXPORTS = [
+    "BatchDiscoveryResult",
+    "BatchStats",
+    "ConfigurationError",
+    "CorpusError",
+    "DEFAULT_CONFIG",
+    "DataLake",
+    "DataModelError",
+    "DiscoveryError",
+    "DiscoveryRequest",
+    "DiscoveryResult",
+    "DiscoveryService",
+    "DiscoverySession",
+    "EngineNotFoundError",
+    "EngineRegistry",
+    "HashingError",
+    "IndexBuilder",
+    "IndexMaintainer",
+    "InvertedIndex",
+    "MateConfig",
+    "MateDiscovery",
+    "MateError",
+    "QueryTable",
+    "RequestBudget",
+    "Row",
+    "SCHEMA_VERSION",
+    "ServiceConfig",
+    "SessionBatch",
+    "SessionResult",
+    "ShardedInvertedIndex",
+    "ShardedMateDiscovery",
+    "StorageError",
+    "SuperKeyGenerator",
+    "Table",
+    "TableCorpus",
+    "TableResult",
+    "XashHashFunction",
+    "__version__",
+    "available_engines",
+    "available_hash_functions",
+    "build_index",
+    "build_sharded_index",
+    "create_hash_function",
+    "exact_joinability",
+    "exact_joinability_score",
+    "register_engine",
+    "required_number_of_ones",
+    "table_from_dicts",
+    "top_k_by_exact_joinability",
+]
+
+
+def test_public_surface_matches_snapshot():
+    assert sorted(repro.__all__) == EXPECTED_EXPORTS, (
+        "repro.__all__ drifted from the checked-in snapshot; if the change "
+        "is intentional, update tests/test_public_api.py in the same commit"
+    )
+
+
+def test_all_names_are_importable():
+    for name in EXPECTED_EXPORTS:
+        assert hasattr(repro, name), f"repro.{name} is exported but missing"
+
+
+def test_no_unexported_dunder_leaks():
+    exported = set(repro.__all__)
+    assert "__version__" in exported
+    assert all(name.isidentifier() for name in exported)
+
+
+def test_session_and_request_are_the_documented_front_door():
+    """The quickstart docstring names the session API, not the old one."""
+    docstring = repro.__doc__ or ""
+    assert "DiscoverySession" in docstring
+    assert "DiscoveryRequest" in docstring
