@@ -1,0 +1,37 @@
+"""Benchmark: online ingestion throughput and query latency (extension).
+
+Measures what the LSM-style ingestion subsystem (`repro.ingest`) costs
+relative to the offline bulk build, and how query latency varies with the
+compaction state (buffer-only, segmented, fully compacted) — the smoke
+benchmark the CI bench job tracks via ``scripts/export_bench_json.py``.
+"""
+
+from repro.experiments import run_ingest
+
+from .common import bench_settings, publish
+
+
+def test_online_ingestion(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(run_ingest, settings)
+    publish(result, "ingest")
+
+    by_state = {row["state"]: row for row in result.row_dicts()}
+    assert set(by_state) == {"bulk", "buffer", "segmented", "compacted"}
+
+    # Correctness first: every ingestion state answers every query with the
+    # exact top-k of the bulk-built baseline index.
+    for state, row in by_state.items():
+        matched, total = str(row["top-k identical"]).split("/")
+        assert matched == total, f"{state} diverged from the bulk baseline"
+
+    # The compacted stack collapses to one segment; the segmented state
+    # keeps a bounded stack (the policy merges past four segments).
+    assert int(by_state["compacted"]["segments"]) == 1
+    assert 1 <= int(by_state["segmented"]["segments"]) <= 4
+
+    # Streaming ingestion pays WAL-less buffer appends only; it must stay
+    # within an order of magnitude of the bulk build even on noisy runners.
+    bulk = float(by_state["bulk"]["ingest s"])
+    buffered = float(by_state["buffer"]["ingest s"])
+    assert buffered <= bulk * 10

@@ -37,6 +37,7 @@ from repro.experiments import (  # noqa: E402
     ExperimentSettings,
     run_batch_service,
     run_columnar,
+    run_ingest,
 )
 
 
@@ -48,9 +49,14 @@ def _bench_service(settings: ExperimentSettings) -> ExperimentResult:
     return run_batch_service(settings, shard_counts=(1, 2))
 
 
+def _bench_ingest(settings: ExperimentSettings) -> ExperimentResult:
+    return run_ingest(settings)
+
+
 #: name -> callable(settings) -> ExperimentResult
 BENCHMARKS = {
     "columnar": _bench_columnar,
+    "ingest": _bench_ingest,
     "service": _bench_service,
 }
 

@@ -11,6 +11,9 @@ self-contained Python library:
   super-key machinery;
 * :mod:`repro.index` — the extended single-attribute inverted index, plus
   its value-sharded variant for scale-out deployments;
+* :mod:`repro.ingest` — online ingestion: a WAL-durable delta buffer sealed
+  and compacted into immutable columnar segments behind a
+  :class:`LiveIndex` (``session.ingest()`` / ``engine="live"``);
 * :mod:`repro.core` — Algorithm 1: initialization, table/row filtering,
   joinability calculation, and sharded scale-out discovery;
 * :mod:`repro.service` — the serving layer: batch discovery with probe-value
@@ -84,6 +87,7 @@ from .exceptions import (
     DiscoveryError,
     EngineNotFoundError,
     HashingError,
+    IndexClosedError,
     MateError,
     StorageError,
 )
@@ -101,6 +105,7 @@ from .index import (
     build_index,
     build_sharded_index,
 )
+from .ingest import CompactionPolicy, Compactor, IngestBuffer, LiveIndex
 from .service import BatchDiscoveryResult, BatchStats, DiscoveryService
 
 __version__ = "1.0.0"
@@ -108,6 +113,8 @@ __version__ = "1.0.0"
 __all__ = [
     "BatchDiscoveryResult",
     "BatchStats",
+    "CompactionPolicy",
+    "Compactor",
     "ConfigurationError",
     "CorpusError",
     "DEFAULT_CONFIG",
@@ -122,8 +129,11 @@ __all__ = [
     "EngineRegistry",
     "HashingError",
     "IndexBuilder",
+    "IndexClosedError",
     "IndexMaintainer",
+    "IngestBuffer",
     "InvertedIndex",
+    "LiveIndex",
     "MateConfig",
     "MateDiscovery",
     "MateError",

@@ -180,6 +180,34 @@ def _build_prefix_tree(session: "DiscoverySession", request: "DiscoveryRequest")
     return PrefixTreeDiscovery(session.corpus, config=session.config)
 
 
+def _build_live(session: "DiscoverySession", request: "DiscoveryRequest"):
+    # Algorithm 1 over the session's online-mutable LiveIndex: identical
+    # dispatch to "mate", but the factory insists on a live index so a
+    # request that expects online data can never silently run against a
+    # static one.  Reads go through the session's cache wrapper; the
+    # LiveIndex underneath pins a snapshot per fetch, so results are
+    # consistent mid-compaction.
+    from ..core.discovery import MateDiscovery
+    from ..exceptions import DiscoveryError
+    from ..ingest import LiveIndex
+
+    if not isinstance(session.base_index, LiveIndex):
+        raise DiscoveryError(
+            'engine "live" requires the session to own a '
+            "repro.ingest.LiveIndex (got "
+            f"{type(session.base_index).__name__})"
+        )
+    return MateDiscovery(
+        session.corpus,
+        session.index,
+        config=session.config,
+        hash_function_name=request.hash_function,
+        column_selector=request.column_selector,
+        row_filter_mode=request.row_filter_mode,
+        use_table_filters=request.use_table_filters,
+    )
+
+
 def _register_builtins(registry: EngineRegistry) -> None:
     registry.register(
         "mate",
@@ -215,6 +243,14 @@ def _register_builtins(registry: EngineRegistry) -> None:
         "prefix_tree",
         _build_prefix_tree,
         description="Li et al. prefix-tree related-work baseline",
+    )
+    registry.register(
+        "live",
+        _build_live,
+        description="Algorithm 1 over the session's online-mutable "
+        "LiveIndex (WAL + delta buffer + columnar segments)",
+        supports_budget=True,
+        supports_probe_values=True,
     )
 
 

@@ -43,9 +43,9 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..config import MateConfig, ServiceConfig
 from ..core.results import DiscoveryResult, TableResult
-from ..datamodel import TableCorpus
+from ..datamodel import Table, TableCorpus
 from ..exceptions import DiscoveryError, MateError
-from ..index import ShardedInvertedIndex, build_index
+from ..index import InvertedIndex, ShardedInvertedIndex, build_index
 from ..metrics import CacheCounters, DiscoveryCounters
 from ..service.cache import CachingIndex
 from .registry import DEFAULT_REGISTRY, EngineRegistry, EngineSpec
@@ -94,8 +94,10 @@ class DiscoverySession:
         self.registry = registry or DEFAULT_REGISTRY
         if index is None:
             index = build_index(corpus, config=self.config)
-        if self.service_config.num_shards > 1 and not isinstance(
-            index, ShardedInvertedIndex
+        # Only a monolithic InvertedIndex can be partitioned here; sharded,
+        # live, and pre-wrapped indexes keep their own topology.
+        if self.service_config.num_shards > 1 and isinstance(
+            index, InvertedIndex
         ):
             index = ShardedInvertedIndex.from_index(
                 index, self.service_config.num_shards
@@ -105,14 +107,22 @@ class DiscoverySession:
             and self.service_config.fetch_workers > 1
         ):
             index.max_workers = self.service_config.fetch_workers
-        #: The index before cache wrapping (what persistence layers see).
-        self.base_index = index
-        if self.service_config.cache_capacity > 0:
-            self.index = CachingIndex(
-                index, capacity=self.service_config.cache_capacity
-            )
-        else:
+        if isinstance(index, CachingIndex):
+            # An already-cached index (e.g. handed over from another session
+            # or the deprecated service shim) is used as-is: stacking a
+            # second LRU on top would double the memory and hide the inner
+            # counters.
+            self.base_index = index.wrapped
             self.index = index
+        else:
+            #: The index before cache wrapping (what persistence layers see).
+            self.base_index = index
+            if self.service_config.cache_capacity > 0:
+                self.index = CachingIndex(
+                    index, capacity=self.service_config.cache_capacity
+                )
+            else:
+                self.index = index
         # Engines are cached per request configuration signature so repeated
         # requests share one instance (and its memoised value hashes); the
         # per-run state of every engine is local to each discover() call.
@@ -160,6 +170,70 @@ class DiscoverySession:
     def engines(self) -> list[str]:
         """Names of the engines requests can address in this session."""
         return self.registry.names()
+
+    # ------------------------------------------------------------------
+    # Online ingestion (engine="live" sessions)
+    # ------------------------------------------------------------------
+    def _invalidate_cache(self) -> None:
+        if isinstance(self.index, CachingIndex):
+            self.index.cache.clear()
+
+    def ingest(self, table: Table) -> int:
+        """Add ``table`` to the session's corpus and live index; returns rows.
+
+        Requires the session to own an online-mutable index (a
+        :class:`~repro.ingest.live.LiveIndex`): the write is made durable
+        through its WAL, lands in the delta buffer, and is immediately
+        discoverable by every subsequent request.  The posting-list cache is
+        invalidated so cached blocks never serve stale postings.
+
+        Re-ingesting an id that was :meth:`remove`-d replaces the corpus
+        entry; re-ingesting a *live* id raises (remove it first).
+        """
+        add_table = getattr(self.base_index, "add_table", None)
+        if add_table is None:
+            raise DiscoveryError(
+                "this session's index does not accept online ingestion; "
+                "construct the session with a repro.ingest.LiveIndex"
+            )
+        # Corpus first, index second: the instant postings become fetchable a
+        # concurrent query may verify rows via corpus.get_row, so the table
+        # must already be there.  A stale entry of an earlier remove() is
+        # replaced (and restored if the index rejects the write).
+        stale = None
+        if table.table_id in self.corpus:
+            stale = self.corpus.remove_table(table.table_id)
+        self.corpus.add_table(table)
+        try:
+            rows = add_table(table)
+        except MateError:
+            self.corpus.remove_table(table.table_id)
+            if stale is not None:
+                self.corpus.add_table(stale)
+            raise
+        self._invalidate_cache()
+        return rows
+
+    def remove(self, table_id: int) -> int:
+        """Remove a table from the session's live view.
+
+        The index masks the table (tombstone + buffer purge on a live
+        index); the corpus keeps the :class:`~repro.datamodel.table.Table`
+        object so discovery runs pinned to an older snapshot can still
+        verify its rows.  Returns the number of physically dropped PL items
+        (0 when the table lives only in sealed segments).
+        """
+        # Gate on the same ingestion capability as ingest(): every index has
+        # a (destructive, maintenance-layer) remove_table, but only an
+        # online-mutable one may be edited through the serving session.
+        if not hasattr(self.base_index, "add_table"):
+            raise DiscoveryError(
+                "this session's index does not support online removal; "
+                "construct the session with a repro.ingest.LiveIndex"
+            )
+        removed = self.base_index.remove_table(table_id)
+        self._invalidate_cache()
+        return removed
 
     # ------------------------------------------------------------------
     # Dispatch

@@ -18,13 +18,20 @@ Four sub-commands cover the typical workflow:
     Run one of the paper's experiments (table1, table2, table3, figure4,
     figure5, figure6, topk, init_column, index_generation) or one of the
     extension studies (scaling, fetch_cost, frequency_source, sharding,
-    related_work, short_values, batch_service); print the resulting table
-    and optionally save it as text/CSV/JSON via ``--out``.
+    related_work, short_values, batch_service, ingest); print the resulting
+    table and optionally save it as text/CSV/JSON via ``--out``.
 ``serve-batch``
     Answer a batch of query tables through a
     :class:`~repro.api.session.DiscoverySession`: a value-sharded index, an
     LRU posting-list cache, and a worker pool.  Prints the per-query top-k
     plus batch throughput and cache statistics (or ``--json``).
+``ingest``
+    Stream tables from a directory (CSV / JSON-lines, via the lake loaders)
+    or a corpus JSON file into a *persisted live index* directory: every
+    table is WAL-logged, indexed online into the delta buffer, and sealed /
+    merged into columnar segments by the compaction policy.  Re-running with
+    the same ``--live-dir`` resumes (crash recovery replays the WAL first);
+    already-live table ids are skipped.
 ``profile``
     Profile a data lake (a directory of CSV / JSON-lines tables or a corpus
     JSON file): table/row/value counts, column type mix, posting-list-length
@@ -59,6 +66,7 @@ from .experiments import (
     run_figure6,
     run_frequency_source,
     run_index_generation,
+    run_ingest,
     run_init_column,
     run_related_work,
     run_scaling,
@@ -94,6 +102,7 @@ EXPERIMENT_RUNNERS = {
     "topk": run_topk,
     "init_column": run_init_column,
     "index_generation": run_index_generation,
+    "ingest": run_ingest,
     "scaling": run_scaling,
     "fetch_cost": run_fetch_cost,
     "frequency_source": run_frequency_source,
@@ -192,6 +201,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the batch as the versioned JSON response "
                        "document instead of text")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="stream tables into a persisted live index"
+    )
+    ingest.add_argument(
+        "source", type=Path,
+        help="directory of CSV/JSON-lines tables, or a corpus JSON file",
+    )
+    ingest.add_argument(
+        "--live-dir", type=Path, required=True,
+        help="live index directory (WAL + segments + manifest + corpus)",
+    )
+    ingest.add_argument("--hash-function", default="xash")
+    ingest.add_argument("--hash-size", type=int, default=128)
+    ingest.add_argument(
+        "--buffer-rows", type=int, default=5000,
+        help="seal the delta buffer into a segment at this many rows",
+    )
+    ingest.add_argument(
+        "--max-segments", type=int, default=4,
+        help="merge adjacent segments while the stack is deeper than this",
+    )
+    ingest.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip per-append WAL fsync (faster, weaker durability)",
+    )
+    ingest.add_argument(
+        "--compact", action="store_true",
+        help="fully compact the index (single segment) after ingesting",
+    )
 
     profile = subparsers.add_parser("profile", help="profile a data lake")
     profile.add_argument(
@@ -376,6 +415,81 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    import time
+
+    from .datamodel import TableCorpus
+    from .ingest import CompactionPolicy, Compactor, LiveIndex
+
+    source = Path(args.source)
+    if source.is_dir():
+        incoming = DataLake.from_directory(source).corpus
+    else:
+        incoming = load_corpus_json(source)
+
+    config = MateConfig(hash_size=args.hash_size)
+    live = LiveIndex.open(
+        args.live_dir,
+        config=config,
+        hash_function_name=args.hash_function,
+        fsync=not args.no_fsync,
+    )
+    corpus_path = Path(args.live_dir) / "corpus.json"
+    corpus = (
+        load_corpus_json(corpus_path)
+        if corpus_path.exists()
+        else TableCorpus(name=incoming.name)
+    )
+    # Tables acknowledged before a crash live in the WAL, not yet in the
+    # persisted corpus — put them back.
+    for table in live.recovered_tables():
+        if table.table_id not in corpus:
+            corpus.add_table(table)
+
+    compactor = Compactor(
+        live,
+        CompactionPolicy(
+            max_buffer_rows=args.buffer_rows, max_segments=args.max_segments
+        ),
+    )
+    ingested = rows = skipped = 0
+    started = time.perf_counter()
+    with DiscoverySession(corpus, live, config=config) as session:
+        for table in incoming:
+            if live.has_table(table.table_id):
+                # Already live (typically sealed before a crash that beat the
+                # corpus save): repair the persisted corpus instead of
+                # leaving an index entry without its rows.
+                if table.table_id not in corpus:
+                    corpus.add_table(table)
+                skipped += 1
+                continue
+            rows += session.ingest(table)
+            ingested += 1
+            compactor.run_once()
+        if args.compact:
+            live.compact()
+        else:
+            live.seal()
+        save_corpus_json(session.corpus, corpus_path)
+    elapsed = time.perf_counter() - started
+    live.close()
+
+    rate = rows / elapsed if elapsed > 0 else 0.0
+    print(
+        f"ingested {ingested} tables ({rows} rows, {skipped} already live) "
+        f"in {elapsed:.3f}s ({rate:.0f} rows/s)"
+    )
+    print(
+        f"live index: {live.num_posting_items()} postings, "
+        f"{live.num_segments} segments (generation {live.generation}), "
+        f"{live.buffer_rows} buffered rows, "
+        f"{compactor.seals} seals / {compactor.merges} merges"
+    )
+    print(f"state persisted under {args.live_dir}")
+    return 0
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     source = Path(args.source)
     if source.is_dir():
@@ -418,6 +532,7 @@ def main(argv: list[str] | None = None) -> int:
         "discover": _command_discover,
         "experiment": _command_experiment,
         "serve-batch": _command_serve_batch,
+        "ingest": _command_ingest,
         "profile": _command_profile,
         "suggest-key": _command_suggest_key,
     }

@@ -87,6 +87,17 @@ class IndexError_(MateError):
     """
 
 
+class IndexClosedError(IndexError_):
+    """Raised when a closed (or sealed) index is fetched from or mutated.
+
+    Indexes are closed explicitly (:meth:`InvertedIndex.close
+    <repro.index.inverted.InvertedIndex.close>`) or sealed by the ingestion
+    layer (:meth:`IngestBuffer.seal <repro.ingest.buffer.IngestBuffer.seal>`);
+    either way the object refuses further work with this typed error instead
+    of failing with an incidental ``AttributeError``.
+    """
+
+
 class StorageError(MateError):
     """Raised by storage backends for persistence failures."""
 

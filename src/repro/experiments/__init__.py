@@ -17,15 +17,16 @@ Every function takes an :class:`ExperimentSettings` controlling the scale
 :class:`ExperimentResult` whose ``to_text()`` renders the same rows/series the
 paper reports.
 
-Beyond the paper's own artefacts, eight extension studies use the same
+Beyond the paper's own artefacts, nine extension studies use the same
 harness: corpus-size scaling (:func:`run_scaling`), the simulated disk
 fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_frequency_source`), sharded scale-out discovery
 (:func:`run_sharding`), the prefix-tree related-work comparison
 (:func:`run_related_work`), the short-key-value study
 (:func:`run_short_values`), the batch-discovery serving layer
-(:func:`run_batch_service`), and the columnar posting-layout comparison
-(:func:`run_columnar`).
+(:func:`run_batch_service`), the columnar posting-layout comparison
+(:func:`run_columnar`), and the online-ingestion study
+(:func:`run_ingest`).
 """
 
 from .batch_service import DEFAULT_SERVICE_SHARD_COUNTS, run_batch_service
@@ -40,6 +41,7 @@ from .figure5 import FIGURE5_BARS, run_figure5
 from .figure6 import FIGURE6_SYSTEMS, build_keysize_scenario, run_figure6
 from .frequency_source import FREQUENCY_SOURCES, run_frequency_source
 from .index_stats import run_index_generation
+from .ingest import DEFAULT_INGEST_WORKLOAD, INGEST_STATES, run_ingest
 from .init_column import HEURISTIC_ORDER, run_init_column
 from .related_work import DEFAULT_RELATED_WORK_WORKLOADS, run_related_work
 from .reporting import (
@@ -76,6 +78,7 @@ __all__ = [
     "COLUMNAR_LAYOUTS",
     "DEFAULT_COLUMNAR_WORKLOAD",
     "DEFAULT_FETCH_WORKLOADS",
+    "DEFAULT_INGEST_WORKLOAD",
     "DEFAULT_RELATED_WORK_WORKLOADS",
     "DEFAULT_SCALE_FACTORS",
     "DEFAULT_SERVICE_SHARD_COUNTS",
@@ -89,6 +92,7 @@ __all__ = [
     "FIGURE6_SYSTEMS",
     "FREQUENCY_SOURCES",
     "HEURISTIC_ORDER",
+    "INGEST_STATES",
     "SHORT_VALUE_HASHES",
     "TABLE2_HASHES",
     "TABLE3_HASHES",
@@ -108,6 +112,7 @@ __all__ = [
     "run_figure6",
     "run_frequency_source",
     "run_index_generation",
+    "run_ingest",
     "run_init_column",
     "run_mate",
     "run_related_work",

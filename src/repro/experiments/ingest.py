@@ -1,0 +1,149 @@
+"""Online ingestion study (extension): throughput and latency per compaction state.
+
+The static engines of this repository index the corpus once and serve
+forever; the ingestion subsystem (:mod:`repro.ingest`) accepts the same
+corpus as a *stream* of tables.  This experiment quantifies the cost of that
+flexibility on one Table 1 workload:
+
+* **bulk** — the offline :func:`~repro.index.builder.build_index` baseline
+  (one pass, no WAL, no segments);
+* **buffer** — streaming ingestion into the delta buffer only (never
+  sealed): the write-optimised extreme of the LSM trade-off;
+* **segmented** — streaming with a tight compaction policy, leaving a stack
+  of several columnar segments: the steady state of a serving deployment;
+* **compacted** — the segmented index after full compaction (single
+  segment): the read-optimised extreme, structurally equivalent to bulk.
+
+Per state the experiment reports ingest time and row throughput, the segment
+count, total discovery time of every workload query, and whether the top-k
+results are identical to the bulk baseline — the correctness property the
+subsystem guarantees by construction (same XASH code path, same per-value
+posting order, tombstone-free here since nothing is removed).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..api import DiscoveryRequest, DiscoverySession
+from ..config import ServiceConfig
+from ..datamodel import TableCorpus
+from ..index import build_index
+from ..ingest import CompactionPolicy, Compactor, LiveIndex
+from .runner import ExperimentResult, ExperimentSettings, build_context
+
+#: Workload the ingestion study runs on by default.
+DEFAULT_INGEST_WORKLOAD = "WT_100"
+
+#: Ingestion states under comparison (bulk first: it is the baseline).
+INGEST_STATES: tuple[str, ...] = ("bulk", "buffer", "segmented", "compacted")
+
+
+def run_ingest(
+    settings: ExperimentSettings,
+    workload_name: str = DEFAULT_INGEST_WORKLOAD,
+    seal_every_tables: int = 10,
+) -> ExperimentResult:
+    """Compare bulk indexing against streaming ingestion states.
+
+    ``seal_every_tables`` controls the segmented state's compaction
+    pressure: the buffer is sealed after every that-many ingested tables
+    (row thresholds would make the segment count depend on the corpus
+    scale, which is exactly the knob benchmarks vary).
+    """
+    context = build_context(workload_name, settings)
+    corpus = context.workload.corpus
+    config = context.config(settings.hash_sizes[0] if settings.hash_sizes else 128)
+    tables = list(corpus)
+    total_rows = sum(table.num_rows for table in tables)
+
+    rows: list[list[object]] = []
+    baseline_topk: list[object] | None = None
+    notes: list[str] = []
+
+    def discover_all(session: DiscoverySession, engine: str):
+        started = time.perf_counter()
+        results = [
+            session.discover(
+                DiscoveryRequest(query=query, k=settings.k, engine=engine)
+            )
+            for query in context.queries
+        ]
+        return time.perf_counter() - started, [
+            result.result_tuples() for result in results
+        ]
+
+    for state in INGEST_STATES:
+        if state == "bulk":
+            started = time.perf_counter()
+            index = build_index(corpus, config=config)
+            ingest_seconds = time.perf_counter() - started
+            session = DiscoverySession(
+                corpus, index, config=config,
+                service_config=ServiceConfig(cache_capacity=0),
+            )
+            engine = "mate"
+            segments = 0
+        else:
+            live = LiveIndex(config=config)  # in-memory: isolate CPU cost
+            session = DiscoverySession(
+                TableCorpus(name=f"{corpus.name}-{state}"),
+                live,
+                config=config,
+                service_config=ServiceConfig(cache_capacity=0),
+            )
+            compactor = Compactor(
+                live, CompactionPolicy(max_buffer_rows=1, max_segments=4)
+            )
+            started = time.perf_counter()
+            for position, table in enumerate(tables):
+                session.ingest(table)
+                if state != "buffer" and (position + 1) % seal_every_tables == 0:
+                    live.seal()
+                    if live.num_segments > 4:
+                        compactor.run_once()
+            if state == "compacted":
+                live.compact()
+            ingest_seconds = time.perf_counter() - started
+            engine = "live"
+            segments = live.num_segments
+
+        discover_seconds, topk = discover_all(session, engine)
+        session.close()
+
+        if baseline_topk is None:
+            baseline_topk = topk
+        matched = sum(1 for a, b in zip(baseline_topk, topk) if a == b)
+        throughput = total_rows / ingest_seconds if ingest_seconds > 0 else 0.0
+        rows.append(
+            [
+                state,
+                segments,
+                round(ingest_seconds, 4),
+                round(throughput, 1),
+                round(discover_seconds, 4),
+                f"{matched}/{len(topk)}",
+            ]
+        )
+
+    notes.append(
+        f"{len(tables)} tables / {total_rows} rows streamed; segmented state "
+        f"seals every {seal_every_tables} tables and merges past 4 segments"
+    )
+    notes.append(
+        "top-k column compares each state's results to the bulk baseline "
+        "query for query (the live engine guarantees equality)"
+    )
+    return ExperimentResult(
+        name=f"Online ingestion — {workload_name}",
+        headers=[
+            "state",
+            "segments",
+            "ingest s",
+            "rows/s",
+            "discover s",
+            "top-k identical",
+        ],
+        rows=rows,
+        notes=notes,
+    )

@@ -38,7 +38,7 @@ from collections import defaultdict
 from typing import Iterable, Iterator, Sequence
 
 from ..datamodel import MISSING
-from ..exceptions import IndexError_
+from ..exceptions import IndexClosedError, IndexError_
 from .columnar import (
     LAYOUTS,
     ColumnarPostingList,
@@ -79,6 +79,32 @@ class InvertedIndex:
             self._postings = defaultdict(list)  # type: ignore[assignment]
             self._super_keys = DictSuperKeys()
         self._table_rows: dict[int, set[int]] = defaultdict(set)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called on this index."""
+        return self._closed
+
+    def close(self) -> None:
+        """Refuse all further fetches and mutations (idempotent).
+
+        The ingestion layer seals write buffers this way; any later
+        ``fetch`` / ``fetch_batch`` / mutation raises the typed
+        :class:`~repro.exceptions.IndexClosedError` instead of whatever
+        incidental error a torn-down index would produce.
+        """
+        self._closed = True
+
+    def _ensure_open(self, operation: str) -> None:
+        if self._closed:
+            raise IndexClosedError(
+                f"{operation} on a closed index (layout {self.layout!r}); "
+                "the index was closed or sealed and no longer serves requests"
+            )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -158,6 +184,7 @@ class InvertedIndex:
         self, value: str, table_id: int, column_index: int, row_index: int
     ) -> None:
         """Add a single PL item for ``value``.  Missing values are skipped."""
+        self._ensure_open("add_posting")
         if value == MISSING:
             return
         if self._columnar:
@@ -183,6 +210,7 @@ class InvertedIndex:
         Used by storage backends restoring a packed layout; requires the
         columnar layout.
         """
+        self._ensure_open("set_posting_columns")
         if not self._columnar:
             raise IndexError_(
                 "set_posting_columns requires the columnar layout "
@@ -197,11 +225,13 @@ class InvertedIndex:
 
     def set_super_key(self, table_id: int, row_index: int, super_key: int) -> None:
         """Store (or replace) the super key of a row."""
+        self._ensure_open("set_super_key")
         self._super_keys.set((table_id, row_index), super_key)
         self._table_rows[table_id].add(row_index)
 
     def or_into_super_key(self, table_id: int, row_index: int, value_hash: int) -> int:
         """OR a new value hash into an existing row super key (column insert)."""
+        self._ensure_open("or_into_super_key")
         updated = self._super_keys.or_into((table_id, row_index), value_hash)
         self._table_rows[table_id].add(row_index)
         return updated
@@ -239,6 +269,7 @@ class InvertedIndex:
 
         Returns the number of removed PL items.
         """
+        self._ensure_open("remove_table")
         removed = self._remove_postings_where(
             lambda item_table, _column, _row: item_table != table_id
         )
@@ -248,6 +279,7 @@ class InvertedIndex:
 
     def remove_row(self, table_id: int, row_index: int) -> int:
         """Remove the postings and super key of a single row."""
+        self._ensure_open("remove_row")
         removed = self._remove_postings_where(
             lambda item_table, _column, item_row: not (
                 item_table == table_id and item_row == row_index
@@ -263,6 +295,7 @@ class InvertedIndex:
 
     def remove_column(self, table_id: int, column_index: int) -> int:
         """Remove the postings of one column (super keys must be rebuilt by the caller)."""
+        self._ensure_open("remove_column")
         return self._remove_postings_where(
             lambda item_table, item_column, _row: not (
                 item_table == table_id and item_column == column_index
@@ -281,6 +314,7 @@ class InvertedIndex:
         reuse the memoised super-key columns, so a warm ``fetch_batch`` does
         no per-item work at all.
         """
+        self._ensure_open("fetch_batch")
         if self._columnar:
             blocks: list[FetchBlock] = []
             append = blocks.append
@@ -311,6 +345,7 @@ class InvertedIndex:
         This is ``fetch_PLs`` of Algorithm 1 (line 4).  Duplicate probe values
         are fetched only once.  The output is identical across layouts.
         """
+        self._ensure_open("fetch")
         if not self._columnar:
             fetched: list[FetchedItem] = []
             for value in dict.fromkeys(values):

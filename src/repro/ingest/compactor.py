@@ -1,0 +1,138 @@
+"""Background compaction for the live index.
+
+The :class:`Compactor` keeps a :class:`~repro.ingest.live.LiveIndex` in
+serving shape as writes stream in, following the two classic log-structured
+maintenance moves:
+
+* **seal** — once the mutable delta buffer exceeds the configured size, it
+  is frozen into a new immutable columnar segment (cheap: the buffer already
+  *is* a packed index, sealing is a pointer swap);
+* **merge** — once the segment stack grows past ``max_segments``, the
+  adjacent pair with the smallest combined PL-item count is merged (and
+  tombstoned tables physically purged), keeping per-query fan-out bounded.
+
+Both moves also run synchronously through :meth:`Compactor.run_once` — the
+ingestion loops of the CLI and the benchmarks call it after every table so
+compaction pressure tracks the write rate deterministically; ``start()`` /
+``stop()`` run the same logic on a daemon thread for concurrent serving
+(see ``examples/live_ingest.py``).  Thanks to snapshot isolation, queries
+running during either move observe a consistent pre- or post-compaction
+stack — never a half-swapped one.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+from .live import LiveIndex
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When the compactor seals the buffer and merges segments.
+
+    Parameters
+    ----------
+    max_buffer_rows:
+        Seal the delta buffer once it holds at least this many rows.
+    max_segments:
+        Merge adjacent segments while the stack is deeper than this.
+    interval_seconds:
+        Poll interval of the background thread (ignored by ``run_once``).
+    """
+
+    max_buffer_rows: int = 5_000
+    max_segments: int = 4
+    interval_seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_buffer_rows <= 0:
+            raise ConfigurationError(
+                f"max_buffer_rows must be positive, got {self.max_buffer_rows}"
+            )
+        if self.max_segments <= 0:
+            raise ConfigurationError(
+                f"max_segments must be positive, got {self.max_segments}"
+            )
+        if self.interval_seconds <= 0:
+            raise ConfigurationError(
+                f"interval_seconds must be positive, got {self.interval_seconds}"
+            )
+
+
+class Compactor:
+    """Seals and merges a live index, inline or on a background thread."""
+
+    def __init__(self, live: LiveIndex, policy: CompactionPolicy | None = None):
+        self.live = live
+        self.policy = policy or CompactionPolicy()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        #: Lifetime counters (seals and merges performed by this compactor).
+        self.seals = 0
+        self.merges = 0
+
+    # ------------------------------------------------------------------
+    # Synchronous driving
+    # ------------------------------------------------------------------
+    def run_once(self) -> dict[str, int]:
+        """Apply the policy once; returns the moves made.
+
+        Seals when the buffer is over its row budget, then merges the
+        cheapest adjacent segment pair while the stack is too deep.
+        """
+        sealed = 0
+        merged = 0
+        if self.live.buffer_rows >= self.policy.max_buffer_rows:
+            if self.live.seal() is not None:
+                sealed += 1
+        while self.live.num_segments > self.policy.max_segments:
+            if self._merge_smallest_pair() is None:
+                break
+            merged += 1
+        self.seals += sealed
+        self.merges += merged
+        return {"sealed": sealed, "merged": merged}
+
+    def _merge_smallest_pair(self):
+        """Merge the adjacent segment pair with the fewest combined postings."""
+        sizes = self.live.segment_sizes()
+        if len(sizes) < 2:
+            return None
+        best = min(
+            range(len(sizes) - 1), key=lambda i: sizes[i] + sizes[i + 1]
+        )
+        return self.live.merge(best, best + 2)
+
+    # ------------------------------------------------------------------
+    # Background thread
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background compaction thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="ingest-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the background thread (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.policy.interval_seconds):
+            self.run_once()
+
+    def __enter__(self) -> "Compactor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

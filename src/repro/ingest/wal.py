@@ -1,0 +1,235 @@
+"""Write-ahead log of the online ingestion subsystem.
+
+Every mutation accepted by a :class:`~repro.ingest.live.LiveIndex` is made
+durable *before* it is applied to the in-memory delta buffer: the operation is
+appended to an append-only JSON-lines file (one self-contained record per
+line, flushed — and optionally ``fsync``-ed — per append).  A process that
+crashes mid-ingest therefore recovers its exact buffer state by replaying the
+log over the last sealed manifest.
+
+The record encoding deliberately mirrors the corpus payload of
+:mod:`repro.storage.serialization` (``table_id`` / ``name`` / ``columns`` /
+``rows`` per table), so a WAL is readable with the same mental model as every
+other persisted artifact of the repository.
+
+Two record kinds exist:
+
+* ``add_table`` — carries the full table payload (the replayer must be able
+  to recompute postings *and* XASH super keys from the log alone);
+* ``remove_table`` — carries the removed table id.
+
+Replay is crash-tolerant: a torn final line (the record that was being
+written when the process died) is detected and skipped, matching the
+behaviour of log-structured storage engines.  Anything torn *before* the
+final record is corruption and raises :class:`~repro.exceptions.StorageError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator
+
+from ..datamodel import Row, Table
+from ..exceptions import StorageError
+
+#: Operation names a WAL record may carry.
+WAL_OPS: tuple[str, ...] = ("add_table", "remove_table")
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One replayed log record."""
+
+    #: Operation: ``"add_table"`` or ``"remove_table"``.
+    op: str
+    #: The operation's sequence number (monotonically increasing per index).
+    seq: int
+    #: The ingested table (``add_table`` records only).
+    table: Table | None = None
+    #: The removed table id (``remove_table`` records only).
+    table_id: int | None = None
+
+
+def table_to_record(table: Table) -> dict:
+    """Encode a table as the WAL's JSON payload (serialization.py schema)."""
+    return {
+        "table_id": table.table_id,
+        "name": table.name,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
+def table_from_record(payload: dict) -> Table:
+    """Decode a table from :func:`table_to_record` output."""
+    return Table(
+        table_id=payload["table_id"],
+        name=payload["name"],
+        columns=list(payload["columns"]),
+        rows=[Row(row) for row in payload["rows"]],
+    )
+
+
+class WriteAheadLog:
+    """Append-only, line-oriented durability log.
+
+    Parameters
+    ----------
+    path:
+        The log file (created, with parents, on first append).
+    fsync:
+        Whether every append is ``os.fsync``-ed.  ``True`` (the default)
+        gives crash durability per acknowledged operation; ``False`` trades
+        that for throughput (data survives a process crash via the OS page
+        cache but not a machine crash).
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True):
+        self.path = Path(path)
+        self.fsync = fsync
+        self._handle: IO[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _file(self) -> IO[str]:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        return self._handle
+
+    def _append(self, record: dict) -> None:
+        handle = self._file()
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def append_add_table(self, seq: int, table: Table) -> None:
+        """Log an ``add_table`` operation (full table payload)."""
+        self._append(
+            {"op": "add_table", "seq": seq, "table": table_to_record(table)}
+        )
+
+    def append_remove_table(self, seq: int, table_id: int) -> None:
+        """Log a ``remove_table`` operation."""
+        self._append({"op": "remove_table", "seq": seq, "table_id": table_id})
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def truncate(self) -> None:
+        """Drop every logged record (called after a seal makes them durable
+        elsewhere — the sealed segment plus the manifest supersede the log)."""
+        self.close()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as handle:
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _is_complete_record(line: bytes) -> bool:
+    """Whether one log line parses as a complete, well-formed record."""
+    try:
+        payload = json.loads(line)
+        return (
+            payload.get("op") in WAL_OPS
+            and isinstance(payload.get("seq"), int)
+            and ("table" in payload or "table_id" in payload)
+        )
+    except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+        return False
+
+
+def repair_torn_tail(path: str | Path) -> bool:
+    """Physically drop a torn final record; returns whether one was cut.
+
+    Replay merely *skips* a torn tail, but a recovered process reopens the
+    log for append — a later record written onto the torn fragment's line
+    would merge with it and be lost (or poison the log) at the next replay.
+    Recovery therefore truncates the file back to the last complete record
+    before any new append happens.
+    """
+    path = Path(path)
+    if not path.exists():
+        return False
+    with path.open("rb") as handle:
+        data = handle.read()
+    if not data:
+        return False
+    newline = data.rfind(b"\n")
+    if newline == -1:
+        keep = 0  # a single torn record and nothing else
+    elif newline != len(data) - 1:
+        keep = newline + 1  # bytes after the final newline are in-flight
+    else:
+        # Newline-terminated: torn only if the last full line is malformed
+        # (replay tolerates that solely in final position).
+        previous = data.rfind(b"\n", 0, newline)
+        if _is_complete_record(data[previous + 1 : newline]):
+            return False
+        keep = previous + 1
+    with path.open("r+b") as handle:
+        handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+    return True
+
+
+def replay_wal(path: str | Path) -> Iterator[WalRecord]:
+    """Yield the records of a WAL file in append order.
+
+    A torn *final* line — the in-flight record of a crashed writer — is
+    skipped silently; a torn or malformed record anywhere else raises
+    :class:`~repro.exceptions.StorageError` (the log is corrupt, replaying a
+    prefix would silently lose acknowledged operations).  A missing file
+    replays as empty (a fresh index simply has no log yet).
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for position, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            op = payload["op"]
+            if op not in WAL_OPS:
+                raise StorageError(f"unknown WAL operation {op!r}")
+            seq = int(payload["seq"])
+            if op == "add_table":
+                record = WalRecord(
+                    op=op, seq=seq, table=table_from_record(payload["table"])
+                )
+            else:
+                record = WalRecord(
+                    op=op, seq=seq, table_id=int(payload["table_id"])
+                )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            if position == len(lines) - 1:
+                # The in-flight record of a crashed writer: not yet
+                # acknowledged, safe (and required) to drop.
+                return
+            raise StorageError(
+                f"corrupt WAL record at line {position + 1} of {path}: {exc}"
+            ) from exc
+        yield record

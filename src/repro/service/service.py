@@ -99,8 +99,11 @@ class DiscoveryService:
     index, :class:`~repro.config.MateConfig`,
     :class:`~repro.config.ServiceConfig`, plus engine keyword arguments);
     they are translated into a :class:`~repro.api.session.DiscoverySession`
-    and default :class:`~repro.api.request.DiscoveryRequest` fields.  Use the
-    session directly for engine selection, budgets, streaming, or async
+    and default :class:`~repro.api.request.DiscoveryRequest` fields.  A
+    caller that already owns a session passes it via ``session=`` and the
+    shim routes everything through it — corpus, index, *and* the session's
+    existing posting-list cache (no second cache is ever constructed).  Use
+    the session directly for engine selection, budgets, streaming, or async
     submission.
     """
 
@@ -108,14 +111,15 @@ class DiscoveryService:
 
     def __init__(
         self,
-        corpus: TableCorpus,
-        index,
+        corpus: TableCorpus | None = None,
+        index=None,
         config: MateConfig | None = None,
         service_config: ServiceConfig | None = None,
         hash_function_name: str | None = None,
         column_selector=None,
         row_filter_mode: str = "superkey",
         use_table_filters: bool = True,
+        session=None,
     ):
         warnings.warn(
             "DiscoveryService is deprecated; use repro.DiscoverySession with "
@@ -125,16 +129,54 @@ class DiscoveryService:
         )
         from ..api.request import DiscoveryRequest
         from ..api.session import DiscoverySession
+        from ..exceptions import ConfigurationError
 
-        self.corpus = corpus
-        self.config = config or MateConfig()
-        self.service_config = service_config or ServiceConfig()
-        self._session = DiscoverySession(
-            corpus,
-            index,
-            config=self.config,
-            service_config=self.service_config,
-        )
+        if session is not None:
+            # A supplied session is the single source of truth: its corpus,
+            # index, and cache serve every call, and the constructor refuses
+            # conflicting state instead of silently duplicating it.
+            if corpus is not None and corpus is not session.corpus:
+                raise ConfigurationError(
+                    "DiscoveryService(session=...) does not accept a "
+                    "different corpus; the session's corpus is used"
+                )
+            if index is not None and index not in (
+                session.index, session.base_index
+            ):
+                raise ConfigurationError(
+                    "DiscoveryService(session=...) does not accept a "
+                    "different index; the session's index is used"
+                )
+            if config is not None and config is not session.config:
+                raise ConfigurationError(
+                    "DiscoveryService(session=...) does not accept a "
+                    "different config; the session's config is used"
+                )
+            if (
+                service_config is not None
+                and service_config is not session.service_config
+            ):
+                raise ConfigurationError(
+                    "DiscoveryService(session=...) does not accept a "
+                    "different service_config; the session's is used"
+                )
+            self._session = session
+            self._owns_session = False
+        else:
+            if corpus is None:
+                raise ConfigurationError(
+                    "DiscoveryService requires a corpus (or a session=)"
+                )
+            self._session = DiscoverySession(
+                corpus,
+                index,
+                config=config,
+                service_config=service_config,
+            )
+            self._owns_session = True
+        self.corpus = self._session.corpus
+        self.config = self._session.config
+        self.service_config = self._session.service_config
         # The session's (possibly cache-wrapped, possibly sharded) index —
         # kept as an attribute for backwards compatibility.
         self.index = self._session.index
@@ -152,6 +194,20 @@ class DiscoveryService:
     def session(self):
         """The underlying :class:`~repro.api.session.DiscoverySession`."""
         return self._session
+
+    def close(self) -> None:
+        """Shut down the session — only if this shim constructed it.
+
+        A borrowed ``session=`` stays open: its owner decides its lifetime.
+        """
+        if self._owns_session:
+            self._session.close()
+
+    def __enter__(self) -> "DiscoveryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def _request(self, query: QueryTable, k: int | None):
         return self._request_factory(query=query, k=k, **self._request_defaults)

@@ -237,3 +237,40 @@ class TestSuggestKeyCommand:
         exit_code = main(["suggest-key", str(csv_path)])
         assert exit_code == 1
         assert "no composite-key candidate" in capsys.readouterr().out
+
+
+class TestIngest:
+    def test_ingest_persists_resumes_and_compacts(self, tmp_path, capsys):
+        corpus_path = tmp_path / "corpus.json"
+        live_dir = tmp_path / "live"
+        main([
+            "generate", "WT_10", "--queries", "1", "--scale", "0.05",
+            "--corpus-out", str(corpus_path),
+        ])
+        capsys.readouterr()
+
+        exit_code = main([
+            "ingest", str(corpus_path), "--live-dir", str(live_dir),
+            "--buffer-rows", "20", "--max-segments", "2", "--no-fsync",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ingested" in output and "segments" in output
+        assert (live_dir / "manifest.json").exists()
+        assert (live_dir / "corpus.json").exists()
+
+        # Re-running against the same directory resumes: everything is
+        # already live, nothing is ingested twice.
+        exit_code = main([
+            "ingest", str(corpus_path), "--live-dir", str(live_dir),
+            "--no-fsync", "--compact",
+        ])
+        assert exit_code == 0
+        assert "ingested 0 tables" in capsys.readouterr().out
+
+        from repro import LiveIndex, MateConfig
+
+        live = LiveIndex.open(live_dir, config=MateConfig(hash_size=128))
+        source = load_corpus_json(corpus_path)
+        assert live.indexed_tables() == {t.table_id for t in source}
+        assert live.num_segments == 1  # --compact collapsed the stack

@@ -48,6 +48,7 @@ def test_all_examples_are_covered():
         "similarity_join.py",
         "composite_key_discovery.py",
         "batch_discovery_service.py",
+        "live_ingest.py",
     }
     assert scripts == covered
 
@@ -97,6 +98,13 @@ def test_batch_discovery_service_dedupes_and_matches_sequential():
     assert "2 deduplicated across the batch" in output
     assert "warm cache hit rate: 1.00" in output
     assert "identical to sequential discovery: True" in output
+
+
+def test_live_ingest_streams_and_queries_concurrently():
+    output = run_example("live_ingest.py")
+    assert "ingested 120 tables" in output
+    assert "concurrent top-1 joinability grew monotonically: True" in output
+    assert "final top-3" in output
 
 
 def test_composite_key_discovery_selects_timestamp_location():

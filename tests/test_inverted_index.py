@@ -4,7 +4,7 @@ import pytest
 
 from repro import MateConfig, build_index
 from repro.datamodel import Table, TableCorpus
-from repro.exceptions import IndexError_
+from repro.exceptions import IndexClosedError, IndexError_
 from repro.hashing import SuperKeyGenerator
 from repro.index import (
     FetchedItem,
@@ -167,3 +167,34 @@ class TestStorageReport:
         assert report.super_key_bytes_per_row <= report.super_key_bytes_per_cell
         assert report.total_bytes_per_row_layout <= report.total_bytes_per_cell_layout
         assert report.as_dict()["hash_size"] == 128
+
+
+class TestIndexClose:
+    """A closed index raises the typed IndexClosedError, on either layout."""
+
+    @pytest.mark.parametrize("layout", ["columnar", "legacy"])
+    def test_fetch_after_close_raises_typed_error(self, config, layout):
+        index = build_index(small_corpus(), config=config, layout=layout)
+        assert not index.closed
+        index.close()
+        index.close()  # idempotent
+        assert index.closed
+        with pytest.raises(IndexClosedError):
+            index.fetch(["ada"])
+        with pytest.raises(IndexClosedError):
+            index.fetch_batch(["ada"])
+        with pytest.raises(IndexClosedError):
+            index.fetch_grouped_by_table(["ada"])
+
+    @pytest.mark.parametrize("layout", ["columnar", "legacy"])
+    def test_mutation_after_close_raises_typed_error(self, config, layout):
+        index = build_index(small_corpus(), config=config, layout=layout)
+        index.close()
+        with pytest.raises(IndexClosedError):
+            index.add_posting("new", 5, 0, 0)
+        with pytest.raises(IndexClosedError):
+            index.set_super_key(5, 0, 1)
+
+    def test_closed_error_is_an_index_error(self):
+        # Callers catching the broad IndexError_ keep working.
+        assert issubclass(IndexClosedError, IndexError_)

@@ -17,6 +17,8 @@ import repro
 EXPECTED_EXPORTS = [
     "BatchDiscoveryResult",
     "BatchStats",
+    "CompactionPolicy",
+    "Compactor",
     "ConfigurationError",
     "CorpusError",
     "DEFAULT_CONFIG",
@@ -31,8 +33,11 @@ EXPECTED_EXPORTS = [
     "EngineRegistry",
     "HashingError",
     "IndexBuilder",
+    "IndexClosedError",
     "IndexMaintainer",
+    "IngestBuffer",
     "InvertedIndex",
+    "LiveIndex",
     "MateConfig",
     "MateDiscovery",
     "MateError",

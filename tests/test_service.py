@@ -418,3 +418,77 @@ class TestShardedPersistence:
         with SQLiteBackend(tmp_path / "list.db") as backend:
             backend.save_index("solo", monolithic_index)
             assert backend.list_indexes() == ["solo"]
+
+
+class TestServiceSessionRouting:
+    """The deprecated shim routes everything through a supplied session."""
+
+    def test_supplied_session_is_used_as_is(
+        self, workload, service_config, monolithic_index
+    ):
+        from repro.api import DiscoverySession
+
+        session = DiscoverySession(
+            workload.corpus,
+            monolithic_index,
+            config=service_config,
+            service_config=ServiceConfig(cache_capacity=256),
+        )
+        with pytest.warns(DeprecationWarning):
+            service = DiscoveryService(session=session)
+        # Same session, same index object, same cache — nothing duplicated.
+        assert service.session is session
+        assert service.index is session.index
+        assert service.corpus is session.corpus
+        assert service.cache_counters is session.cache_counters
+        result = service.discover(workload.queries[0])
+        direct = MateDiscovery(
+            workload.corpus, monolithic_index, config=service_config
+        ).discover(workload.queries[0])
+        assert result.result_tuples() == direct.result_tuples()
+        # Cache traffic from the shim landed in the session's cache.
+        assert session.cache_counters.lookups > 0
+        # Closing the shim leaves the borrowed session open for its owner.
+        service.close()
+        assert session.discover_batch([]).stats.num_queries == 0
+        session.close()
+
+    def test_conflicting_corpus_or_index_is_refused(
+        self, workload, service_config, monolithic_index
+    ):
+        from repro.api import DiscoverySession
+        from repro.datamodel import TableCorpus
+
+        session = DiscoverySession(
+            workload.corpus, monolithic_index, config=service_config
+        )
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                DiscoveryService(TableCorpus(name="other"), session=session)
+        other_index = build_index(workload.corpus, config=service_config)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                DiscoveryService(index=other_index, session=session)
+
+    def test_corpus_is_required_without_a_session(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                DiscoveryService()
+
+    def test_precached_index_is_not_double_wrapped(
+        self, workload, service_config, monolithic_index
+    ):
+        from repro.api import DiscoverySession
+
+        cached = CachingIndex(monolithic_index, capacity=128)
+        session = DiscoverySession(
+            workload.corpus,
+            cached,
+            config=service_config,
+            service_config=ServiceConfig(cache_capacity=4096),
+        )
+        # The session adopts the existing cache instead of stacking another.
+        assert session.index is cached
+        assert session.base_index is monolithic_index
+        result = session.discover_batch([])  # touches the cache plumbing
+        assert result.stats.num_queries == 0
