@@ -1,0 +1,48 @@
+"""Benchmark: fixed-seed vs cost-based vs adaptive query plans (extension).
+
+Runs the planner study (`repro.experiments.planner`) on its two skewed
+corpora and asserts the planner's value proposition: cost-based seed
+selection fetches fewer posting lists than the fixed first-column seed on a
+skewed corpus, and adaptive re-planning recovers when the cost estimate is
+wrong — all without changing the exact top-k.  The smoke benchmark the CI
+bench job tracks via ``scripts/export_bench_json.py`` (``BENCH_planner.json``).
+"""
+
+from repro.experiments import run_planner
+
+from .common import bench_settings, publish
+
+
+def test_planner_modes(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(run_planner, settings)
+    publish(result, "planner")
+
+    by_key = {(row["scenario"], row["mode"]): row for row in result.row_dicts()}
+    assert set(by_key) == {
+        (scenario, mode)
+        for scenario in ("skew", "drift")
+        for mode in ("fixed", "cost", "adaptive")
+    }
+
+    # Correctness first: MATE's verification is exact, so every plan mode
+    # must report the same top-k as the fixed-seed baseline.
+    for row in result.row_dicts():
+        assert row["topk"] in ("=", "scores"), (
+            f"{row['scenario']}/{row['mode']} diverged from the fixed baseline"
+        )
+
+    # The headline claim: on the skewed corpus, cost-based seed selection
+    # fetches strictly fewer posting lists than the fixed first-column seed.
+    assert int(by_key[("skew", "cost")]["pl fetched"]) < int(
+        by_key[("skew", "fixed")]["pl fetched"]
+    )
+    assert by_key[("skew", "cost")]["seed"] != by_key[("skew", "fixed")]["seed"]
+
+    # The drift corpus lies to the sampled estimate: pure cost-based
+    # planning walks into the trap column, the adaptive executor re-plans
+    # out of it mid-run and ends up fetching less in total.
+    assert int(by_key[("drift", "adaptive")]["replans"]) >= 1
+    assert int(by_key[("drift", "adaptive")]["pl fetched"]) < int(
+        by_key[("drift", "cost")]["pl fetched"]
+    )

@@ -1,9 +1,11 @@
 #!/usr/bin/env python
 """Docs completeness check (run by CI).
 
-Asserts that ``README.md`` and ``docs/ARCHITECTURE.md`` exist and that each
-of them mentions every subpackage of ``src/repro/`` by name, so the
-documentation cannot silently fall behind the package layout.
+Asserts that ``README.md`` and ``docs/ARCHITECTURE.md`` exist, that each of
+them mentions every subpackage of ``src/repro/`` by name, and that the
+load-bearing sections listed in :data:`REQUIRED_SECTIONS` are present — so
+the documentation cannot silently fall behind the package layout or lose a
+section a subsystem depends on being documented.
 """
 
 from __future__ import annotations
@@ -13,6 +15,12 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = ("README.md", "docs/ARCHITECTURE.md")
+
+#: Headings (exact substrings) each document must contain.
+REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
+    "docs/ARCHITECTURE.md": ("## Query planning",),
+    "README.md": ("--explain",),
+}
 
 
 def subpackages() -> list[str]:
@@ -40,6 +48,13 @@ def main() -> int:
         missing = [name for name in packages if f"repro.{name}" not in text]
         if missing:
             failures.append(f"{doc}: does not mention {', '.join(missing)}")
+        absent = [
+            section
+            for section in REQUIRED_SECTIONS.get(doc, ())
+            if section not in text
+        ]
+        if absent:
+            failures.append(f"{doc}: missing required section {', '.join(absent)}")
     if failures:
         for failure in failures:
             print(f"error: {failure}", file=sys.stderr)

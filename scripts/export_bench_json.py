@@ -38,6 +38,7 @@ from repro.experiments import (  # noqa: E402
     run_batch_service,
     run_columnar,
     run_ingest,
+    run_planner,
 )
 
 
@@ -53,10 +54,15 @@ def _bench_ingest(settings: ExperimentSettings) -> ExperimentResult:
     return run_ingest(settings)
 
 
+def _bench_planner(settings: ExperimentSettings) -> ExperimentResult:
+    return run_planner(settings)
+
+
 #: name -> callable(settings) -> ExperimentResult
 BENCHMARKS = {
     "columnar": _bench_columnar,
     "ingest": _bench_ingest,
+    "planner": _bench_planner,
     "service": _bench_service,
 }
 

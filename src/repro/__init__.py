@@ -16,6 +16,9 @@ self-contained Python library:
   :class:`LiveIndex` (``session.ingest()`` / ``engine="live"``);
 * :mod:`repro.core` — Algorithm 1: initialization, table/row filtering,
   joinability calculation, and sharded scale-out discovery;
+* :mod:`repro.plan` — query planning: the explicit stage pipeline, the
+  cost-based seed-column :class:`Planner`, and the :class:`Executor` with
+  budget enforcement and adaptive re-planning (``DiscoveryRequest.planner``);
 * :mod:`repro.service` — the serving layer: batch discovery with probe-value
   deduplication, an LRU posting-list cache, and worker-pool scheduling;
 * :mod:`repro.baselines` — SCR, MCR, the JOSIE-based adaptations, and the
@@ -106,6 +109,7 @@ from .index import (
     build_sharded_index,
 )
 from .ingest import CompactionPolicy, Compactor, IngestBuffer, LiveIndex
+from .plan import Executor, Planner, PlannerOptions, QueryPlan
 from .service import BatchDiscoveryResult, BatchStats, DiscoveryService
 
 __version__ = "1.0.0"
@@ -127,6 +131,7 @@ __all__ = [
     "DiscoveryResult",
     "EngineNotFoundError",
     "EngineRegistry",
+    "Executor",
     "HashingError",
     "IndexBuilder",
     "IndexClosedError",
@@ -137,6 +142,9 @@ __all__ = [
     "MateConfig",
     "MateDiscovery",
     "MateError",
+    "Planner",
+    "PlannerOptions",
+    "QueryPlan",
     "QueryTable",
     "RequestBudget",
     "Row",

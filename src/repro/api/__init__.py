@@ -29,6 +29,7 @@ from .registry import (
     register_engine,
 )
 from .request import DEFAULT_ENGINE, DiscoveryRequest, RequestBudget
+from ..plan import PlannerOptions
 from .results import SessionBatch, SessionResult
 from .schema import SCHEMA_VERSION, json_envelope
 from .session import DiscoverySession
@@ -40,6 +41,7 @@ __all__ = [
     "DiscoverySession",
     "EngineRegistry",
     "EngineSpec",
+    "PlannerOptions",
     "RequestBudget",
     "SCHEMA_VERSION",
     "SessionBatch",

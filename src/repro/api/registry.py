@@ -53,6 +53,9 @@ class EngineSpec:
     supports_budget: bool = False
     #: Whether the engine exposes ``probe_values`` (cache warm-up eligible).
     supports_probe_values: bool = False
+    #: Whether the engine's ``discover`` accepts ``planner=`` (the
+    #: planner/executor pipeline of :mod:`repro.plan`).
+    supports_planner: bool = False
 
 
 class EngineRegistry:
@@ -69,6 +72,7 @@ class EngineRegistry:
         description: str = "",
         supports_budget: bool = False,
         supports_probe_values: bool = False,
+        supports_planner: bool = False,
         replace: bool = False,
     ) -> EngineSpec:
         """Register ``factory`` under ``name`` and return its spec.
@@ -91,6 +95,7 @@ class EngineRegistry:
             description=description,
             supports_budget=supports_budget,
             supports_probe_values=supports_probe_values,
+            supports_planner=supports_planner,
         )
         self._specs[name] = spec
         return spec
@@ -215,6 +220,7 @@ def _register_builtins(registry: EngineRegistry) -> None:
         description="Algorithm 1 over the session index (the paper's system)",
         supports_budget=True,
         supports_probe_values=True,
+        supports_planner=True,
     )
     registry.register(
         "sharded",
@@ -228,6 +234,7 @@ def _register_builtins(registry: EngineRegistry) -> None:
         description="single-column retrieval baseline (no super key)",
         supports_budget=True,
         supports_probe_values=True,
+        supports_planner=True,
     )
     registry.register(
         "mcr",
@@ -251,6 +258,7 @@ def _register_builtins(registry: EngineRegistry) -> None:
         "LiveIndex (WAL + delta buffer + columnar segments)",
         supports_budget=True,
         supports_probe_values=True,
+        supports_planner=True,
     )
 
 
@@ -266,6 +274,7 @@ def register_engine(
     description: str = "",
     supports_budget: bool = False,
     supports_probe_values: bool = False,
+    supports_planner: bool = False,
     replace: bool = False,
 ) -> EngineSpec:
     """Register an engine in the default registry (entry-point style)."""
@@ -275,6 +284,7 @@ def register_engine(
         description=description,
         supports_budget=supports_budget,
         supports_probe_values=supports_probe_values,
+        supports_planner=supports_planner,
         replace=replace,
     )
 

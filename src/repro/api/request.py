@@ -23,11 +23,12 @@ created per run (requests themselves stay frozen and reusable).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from ..datamodel import QueryTable
 from ..exceptions import DiscoveryError
+from ..plan.options import DEFAULT_PLANNER_OPTIONS, PlannerOptions
 
 #: The default engine of every request (Algorithm 1 over the session index).
 DEFAULT_ENGINE = "mate"
@@ -56,6 +57,13 @@ class DiscoveryRequest:
     max_pl_fetches:
         Optional posting-list fetch budget (must be non-negative; ``0`` means
         "answer without touching the index").
+    planner:
+        The :class:`~repro.plan.options.PlannerOptions` controlling seed
+        selection: the default keeps the classic column selector
+        (byte-identical output), ``mode="cost"`` picks the cheapest
+        initiator column from index statistics, ``mode="adaptive"`` adds
+        mid-run re-planning.  Non-default options are refused on engines
+        that do not run the planner pipeline.
     request_id:
         Optional caller-supplied identifier used for attribution in logs,
         errors, and batch statistics.
@@ -70,6 +78,7 @@ class DiscoveryRequest:
     use_table_filters: bool = True
     deadline_seconds: float | None = None
     max_pl_fetches: int | None = None
+    planner: PlannerOptions = field(default_factory=PlannerOptions)
     request_id: str = ""
 
     def __post_init__(self) -> None:
@@ -97,6 +106,12 @@ class DiscoveryRequest:
                 f"max_pl_fetches must be non-negative, got {self.max_pl_fetches}",
                 request=self,
             )
+        if not isinstance(self.planner, PlannerOptions):
+            raise DiscoveryError(
+                "planner must be a repro.plan.PlannerOptions, got "
+                f"{type(self.planner).__name__}",
+                request=self,
+            )
 
     # ------------------------------------------------------------------
     # Identity / dispatch helpers
@@ -112,6 +127,16 @@ class DiscoveryRequest:
     def limited(self) -> bool:
         """Whether the request carries any per-request limit."""
         return self.deadline_seconds is not None or self.max_pl_fetches is not None
+
+    @property
+    def planner_requested(self) -> bool:
+        """Whether the request carries non-default planner options.
+
+        Only such requests need an engine that runs the planner pipeline;
+        default options mean "behave exactly like the classic engine" and
+        are accepted everywhere.
+        """
+        return self.planner != DEFAULT_PLANNER_OPTIONS
 
     def engine_signature(self) -> tuple:
         """The engine-configuration identity of this request.

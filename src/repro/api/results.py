@@ -65,6 +65,14 @@ class SessionResult:
         """The discovered table ids, best first."""
         return self.response.table_ids()
 
+    def plan_explain(self) -> dict | None:
+        """The executed query plan (seed column, estimates, re-plans).
+
+        ``None`` when the engine ran outside the planner/executor pipeline
+        (baselines) or for streaming snapshots.
+        """
+        return self.response.plan_explain()
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------
@@ -87,6 +95,7 @@ class SessionResult:
                     "k": self.request.k,
                     "deadline_seconds": self.request.deadline_seconds,
                     "max_pl_fetches": self.request.max_pl_fetches,
+                    "planner_mode": self.request.planner.mode,
                 },
                 "engine": self.engine,
                 "system": self.response.system,
@@ -94,6 +103,11 @@ class SessionResult:
                 "complete": self.response.complete,
                 "tables": [entry.as_dict() for entry in self.response.tables],
                 "counters": self.response.counters.as_dict(),
+                # Schema v2 additions: the per-stage breakdown of the
+                # pipeline and the executed query plan (both empty/None for
+                # engines outside the planner pipeline).
+                "stages": self.response.counters.stages_dict(),
+                "plan": self.plan_explain(),
             },
         )
 

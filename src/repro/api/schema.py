@@ -6,7 +6,7 @@ consumers: the CLI's ``--json`` output, the bench-smoke artifacts written by
 :meth:`SessionResult.to_dict <repro.api.results.SessionResult.to_dict>`.
 Each payload is wrapped in the same envelope::
 
-    {"schema_version": 1, "kind": "<payload kind>", ...payload fields...}
+    {"schema_version": 2, "kind": "<payload kind>", ...payload fields...}
 
 Field names are part of the contract: renaming or removing one requires a
 ``SCHEMA_VERSION`` bump (adding fields does not).
@@ -15,7 +15,11 @@ Field names are part of the contract: renaming or removing one requires a
 from __future__ import annotations
 
 #: Version of the JSON envelope and the field names inside it.
-SCHEMA_VERSION = 1
+#:
+#: v2 (planner pipeline): ``discovery_result`` payloads gained the
+#: ``stages`` per-stage breakdown, the ``plan`` execution trace, and
+#: ``request.planner_mode``.  Every v1 field is unchanged.
+SCHEMA_VERSION = 2
 
 #: Envelope kinds currently emitted.
 KIND_DISCOVERY_RESULT = "discovery_result"

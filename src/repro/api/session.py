@@ -256,14 +256,44 @@ class DiscoverySession:
     def _resolve_k(self, request: DiscoveryRequest) -> int:
         return request.k if request.k is not None else self.config.k
 
+    @staticmethod
+    def _run_kwargs(
+        spec: EngineSpec, request: DiscoveryRequest, budget
+    ) -> dict[str, object]:
+        """Per-run keyword arguments, refusing knobs the engine cannot honour.
+
+        Limits and planner options are enforced by engines registered with
+        the matching capability; a request carrying either is refused on any
+        other engine (the session never silently drops a knob it cannot
+        enforce).
+        """
+        kwargs: dict[str, object] = {}
+        if budget is not None:
+            if not spec.supports_budget:
+                raise DiscoveryError(
+                    f"engine {spec.name!r} does not support per-request "
+                    "limits (deadline_seconds / max_pl_fetches)"
+                )
+            kwargs["budget"] = budget
+        if request.planner_requested:
+            if not spec.supports_planner:
+                raise DiscoveryError(
+                    f"engine {spec.name!r} does not support planner options "
+                    "(DiscoveryRequest.planner)"
+                )
+            kwargs["planner"] = request.planner
+        return kwargs
+
     def discover(self, request: DiscoveryRequest) -> SessionResult:
         """Answer one request and return its :class:`SessionResult`.
 
         Per-request limits (``deadline_seconds`` / ``max_pl_fetches``) are
-        enforced by engines registered with ``supports_budget``; a limited
-        request addressed to any other engine is refused (the session never
-        silently drops a limit it cannot enforce).  Errors raised anywhere
-        below this call carry the engine name and request label.
+        enforced by engines registered with ``supports_budget``, and
+        non-default planner options by engines registered with
+        ``supports_planner``; a request carrying either is refused on any
+        other engine (the session never silently drops a knob it cannot
+        enforce).  Errors raised anywhere below this call carry the engine
+        name and request label.
         """
         try:
             spec, engine = self._engine_for(request)
@@ -272,15 +302,8 @@ class DiscoverySession:
         k = self._resolve_k(request)
         budget = request.make_budget()
         try:
-            if budget is not None:
-                if not spec.supports_budget:
-                    raise DiscoveryError(
-                        f"engine {spec.name!r} does not support per-request "
-                        "limits (deadline_seconds / max_pl_fetches)"
-                    )
-                response = engine.discover(request.query, k=k, budget=budget)
-            else:
-                response = engine.discover(request.query, k=k)
+            kwargs = self._run_kwargs(spec, request, budget)
+            response = engine.discover(request.query, k=k, **kwargs)
         except MateError as error:
             raise error.with_context(engine=spec.name, request=request)
         return SessionResult(request=request, engine=spec.name, response=response)
@@ -363,15 +386,18 @@ class DiscoverySession:
         Returns ``(distinct, duplicates)``.  Only cache-eligible requests
         participate: the engine must expose ``probe_values`` and the request
         must be unlimited (warming past a fetch budget would charge the cache
-        for work the run will never do).  Errors during warm-up are deferred
-        to the actual run, where they are attributed properly.
+        for work the run will never do) with default planner options (the
+        cost model may seed from a different column than the selector-based
+        ``probe_values``, making the warmed values dead weight).  Errors
+        during warm-up are deferred to the actual run, where they are
+        attributed properly.
         """
         if not isinstance(self.index, CachingIndex):
             return 0, 0
         total = 0
         merged: dict[str, None] = {}
         for request in requests:
-            if request.limited:
+            if request.limited or request.planner_requested:
                 continue
             try:
                 # Spec lookup first: no engine is built just to learn that
@@ -417,6 +443,12 @@ class DiscoverySession:
                 ).with_context(engine=spec.name, request=request)
             yield self.discover(request)
             return
+        try:
+            # Budget handled below (streams always run with one); this
+            # resolves — and gates — the planner kwargs only.
+            planner_kwargs = self._run_kwargs(spec, request, None)
+        except MateError as error:
+            raise error.with_context(engine=spec.name, request=request)
 
         # Always run with a budget so an abandoned stream can cancel the
         # worker: closing the generator expires the budget, and the engine
@@ -433,7 +465,11 @@ class DiscoverySession:
         def run() -> None:
             try:
                 outcome["result"] = engine.discover(
-                    request.query, k=k, budget=budget, on_snapshot=on_snapshot
+                    request.query,
+                    k=k,
+                    budget=budget,
+                    on_snapshot=on_snapshot,
+                    **planner_kwargs,
                 )
             except BaseException as error:  # noqa: BLE001 - relayed below
                 outcome["error"] = error

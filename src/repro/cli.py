@@ -54,7 +54,8 @@ from pathlib import Path
 
 from . import __version__
 from .api import DiscoveryRequest, DiscoverySession, available_engines
-from .config import MateConfig, ServiceConfig
+from .config import INDEX_LAYOUTS, MateConfig, ServiceConfig
+from .plan import PLANNER_MODES, PlannerOptions
 from .datagen import TABLE1_SPECS, build_workload
 from .datamodel import QueryTable
 from .experiments import (
@@ -68,6 +69,7 @@ from .experiments import (
     run_index_generation,
     run_ingest,
     run_init_column,
+    run_planner,
     run_related_work,
     run_scaling,
     run_sharding,
@@ -103,6 +105,7 @@ EXPERIMENT_RUNNERS = {
     "init_column": run_init_column,
     "index_generation": run_index_generation,
     "ingest": run_ingest,
+    "planner": run_planner,
     "scaling": run_scaling,
     "fetch_cost": run_fetch_cost,
     "frequency_source": run_frequency_source,
@@ -157,6 +160,17 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--json", action="store_true",
                           help="print the result as the versioned JSON "
                           "response document instead of text")
+    discover.add_argument("--planner-mode", choices=PLANNER_MODES,
+                          default="selector",
+                          help="seed-column strategy: the classic column "
+                          "selector (default), the cost model, or cost "
+                          "with adaptive mid-run re-planning")
+    discover.add_argument("--explain", action="store_true",
+                          help="print the executed query plan (seed-column "
+                          "estimates, per-stage timings, re-plans)")
+    discover.add_argument("--layout", choices=INDEX_LAYOUTS, default="columnar",
+                          help="posting-list storage layout when the index "
+                          "is built in-process (ignored with --database)")
 
     experiment = subparsers.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name", choices=sorted(EXPERIMENT_RUNNERS))
@@ -280,9 +294,42 @@ def _command_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_plan_explain(result) -> None:
+    """Render the executed query plan of ``result`` as indented text."""
+    explanation = result.plan_explain()
+    if explanation is None:
+        print("plan: (engine ran outside the planner pipeline)")
+        return
+    print(f"plan: mode={explanation['mode']}, "
+          f"seed column {explanation['executed_seed_column']!r} "
+          f"(planned {explanation['seed_column']!r})")
+    for candidate in [explanation["seed"], *explanation["alternatives"]]:
+        marker = "*" if candidate["column"] == explanation["executed_seed_column"] else " "
+        print(f"  {marker} column {candidate['column']!r}: "
+              f"{candidate['probe_count']} probe values, "
+              f"~{candidate['estimated_postings']:.0f} postings "
+              f"(cost {candidate['cost']:.1f}, "
+              f"sampled {candidate['sampled_values']})")
+    for event in explanation["replans"]:
+        print(f"  replanned {event['from_column']!r} -> {event['to_column']!r} "
+              f"after {event['observed_postings']} postings "
+              f"(estimated {event['estimated_postings']:.0f})")
+    print(f"  fetched {explanation['observed_postings']} PL items "
+          f"({explanation['discarded_postings']} discarded by re-plans)")
+    print("stages:")
+    for name in explanation["stages"]:
+        stats = result.counters.stages.get(name)
+        if stats is None:
+            continue
+        print(f"  {name}: {stats.calls} calls, {stats.seconds * 1000:.2f} ms, "
+              f"{stats.items_in} in / {stats.items_out} out")
+
+
 def _command_discover(args: argparse.Namespace) -> int:
     corpus = load_corpus_json(args.corpus)
-    config = MateConfig(hash_size=args.hash_size, k=args.k)
+    config = MateConfig(
+        hash_size=args.hash_size, k=args.k, index_layout=args.layout
+    )
     if args.database is not None and Path(args.database).exists():
         with SQLiteBackend(args.database) as backend:
             index = backend.load_index("main")
@@ -297,6 +344,7 @@ def _command_discover(args: argparse.Namespace) -> int:
         engine=args.engine,
         deadline_seconds=args.deadline_seconds,
         max_pl_fetches=args.max_pl_fetches,
+        planner=PlannerOptions(mode=args.planner_mode),
     )
     with DiscoverySession(corpus, index, config=config) as session:
         result = session.discover(request)
@@ -314,6 +362,8 @@ def _command_discover(args: argparse.Namespace) -> int:
     if not result.complete:
         reason = "deadline" if counters.deadline_expired else "fetch budget"
         print(f"note: partial result ({reason} limit reached)")
+    if args.explain:
+        _print_plan_explain(result)
     return 0
 
 

@@ -1,26 +1,30 @@
 """The MATE discovery engine: Algorithm 1 of the paper.
 
-:class:`MateDiscovery` wires together the four online phases of Figure 2:
+:class:`MateDiscovery` wires together the four online phases of Figure 2,
+each an explicit operator of the :mod:`repro.plan` pipeline:
 
-1. **Initialization** (Section 6.1): pick the initial query column, fetch its
-   PL items (with super keys) from the index, group and sort the candidate
-   tables, and build the dictionary mapping initial-column values to the
-   aggregated super keys of the query's composite key combinations.
-2. **Table filtering** (Section 6.2): the two coarse-grained pruning rules.
-3. **Row filtering** (Section 6.3): the super-key subsumption check per
-   candidate row.
-4. **Joinability calculation**: exact verification of the surviving rows and
-   the Eq. 2 best-mapping score, feeding the top-k heap.
+1. **Initialization** (Section 6.1): the planner picks the initiator column
+   (classic selector heuristics, or the cost model over index statistics);
+   the candidate-generation stage fetches its PL items (with super keys),
+   groups and sorts the candidate tables, and builds the dictionary mapping
+   initial-column values to the aggregated super keys of the query's
+   composite key combinations.
+2. **Table filtering** (Section 6.2): the two coarse-grained pruning rules
+   (rule 1 in the executor's candidate loop, rule 2 inside the prefilter).
+3. **Row filtering** (Section 6.3): the super-key prefilter stage.
+4. **Joinability calculation**: the row-verification stage's exact check and
+   Eq. 2 best-mapping score, feeding the top-k maintenance stage.
 
 The engine is deliberately configurable along exactly the axes the paper's
 experiments vary: the hash function (Tables 2/3, Figure 5), the row-filter
 mode (SCR baseline, ideal oracle), the initial-column selector
-(Section 7.5.4), ``k`` (Section 7.5.1), and the hash size.
+(Section 7.5.4), ``k`` (Section 7.5.1), and the hash size.  Per-request
+planner behaviour (cost-based seeding, adaptive re-planning) arrives through
+the ``planner`` keyword of :meth:`MateDiscovery.discover`.
 """
 
 from __future__ import annotations
 
-import time
 from collections import defaultdict
 from typing import TYPE_CHECKING, Callable
 
@@ -28,16 +32,14 @@ from ..config import MateConfig
 from ..datamodel import MISSING, QueryTable, TableCorpus
 from ..exceptions import DiscoveryError
 from ..hashing import SuperKeyGenerator
-from ..index import InvertedIndex, TableBlock, fetch_table_blocks
-from ..metrics import DiscoveryCounters
+from ..index import InvertedIndex
 from .column_selection import ColumnSelector, get_column_selector
-from .filters import RowFilter, should_abandon_table, should_prune_table
-from .joinability import joinability_from_matches, row_contains_key
+from .filters import RowFilter
 from .results import DiscoveryResult
-from .topk import TopKHeap
 
 if TYPE_CHECKING:  # pragma: no cover - the budget lives in the api layer
     from ..api.request import RequestBudget
+    from ..plan.options import PlannerOptions
 
 #: Streaming hook: receives the interim (table_id, joinability) ranking,
 #: best first, after every accepted top-k update.
@@ -92,101 +94,51 @@ class MateDiscovery:
         *,
         budget: "RequestBudget | None" = None,
         on_snapshot: "SnapshotCallback | None" = None,
+        planner: "PlannerOptions | None" = None,
     ) -> DiscoveryResult:
         """Return the top-k joinable tables for ``query``.
 
         ``k`` defaults to the configured value.  The result carries the full
-        instrumentation counters of the run.
+        instrumentation counters of the run, including the per-stage
+        breakdown (``counters.stages``) and the plan trace
+        (``result.plan``).
 
         ``budget`` (a :class:`~repro.api.request.RequestBudget`) bounds the
         run: its posting-list fetch budget caps how many probe values the
-        initialization step fetches, and its deadline is checked before the
-        fetch and at every candidate table.  A curtailed run returns the
-        (well-formed, possibly empty) partial top-k with ``complete=False``
-        and the matching ``counters.budget_exhausted`` /
-        ``counters.deadline_expired`` flags.  Without a budget the behaviour
-        is byte-identical to earlier releases.
+        initialization step fetches — across *every* seed attempt, so an
+        adaptive re-plan can never exceed the ledger — and its deadline is
+        checked before each fetch chunk and at every candidate table.  A
+        curtailed run returns the (well-formed, possibly empty) partial
+        top-k with ``complete=False`` and the matching
+        ``counters.budget_exhausted`` / ``counters.deadline_expired`` flags.
+        Without a budget the behaviour is byte-identical to earlier
+        releases.
 
         ``on_snapshot`` is called with the interim ``(table_id, joinability)``
         ranking (best first) every time a candidate table enters or improves
         the top-k — the streaming hook behind
         :meth:`repro.api.session.DiscoverySession.discover_stream`.
+
+        ``planner`` (a :class:`~repro.plan.options.PlannerOptions`) selects
+        the seed-column strategy: the default keeps the engine's classic
+        column selector (byte-identical output to earlier releases), mode
+        ``"cost"`` lets the cost model pick the cheapest initiator column,
+        and ``"adaptive"`` additionally re-plans mid-run when the observed
+        fetch cost blows past the estimate — without losing any results
+        verified so far.
         """
         if k is None:
             k = self.config.k
         if k <= 0:
             raise DiscoveryError(f"k must be positive, got {k}")
-        counters = DiscoveryCounters()
-        started = time.perf_counter()
+        # Imported lazily: repro.plan composes pieces of repro.core, so a
+        # module-level import either way would be circular.
+        from ..plan.executor import Executor
+        from ..plan.planner import Planner
 
-        # ---------------- Initialization (lines 3-6) ----------------
-        initial_column = self.column_selector(query, self.index)
-        if initial_column not in query.key_columns:
-            raise DiscoveryError(
-                f"initial column {initial_column!r} is not a key column of the query"
-            )
-        key_map = self._build_key_super_key_map(query, initial_column)
-        probe_values = list(key_map)
-
-        if budget is not None:
-            # Each probe value costs one posting-list fetch; a short budget
-            # truncates the (deterministically ordered) probe list.  A
-            # pre-expired deadline skips the fetch entirely.
-            if budget.deadline_expired():
-                probe_values = []
-            else:
-                granted = budget.take_pl_fetches(len(probe_values))
-                probe_values = probe_values[:granted]
-
-        # Columnar fetch: struct-of-arrays blocks per candidate table instead
-        # of per-item FetchedItem tuples (the packed hot path of this repo).
-        grouped = fetch_table_blocks(self.index, probe_values)
-        counters.pl_items_fetched = sum(len(block) for block in grouped.values())
-        counters.candidate_tables = len(grouped)
-        counters.extra["initial_column_cardinality"] = float(len(probe_values))
-
-        # Sort candidate tables by decreasing PL-item count (line 5).
-        candidates = sorted(
-            grouped.items(), key=lambda entry: (-len(entry[1]), entry[0])
-        )
-
-        topk = TopKHeap(k)
-        mappings: dict[int, tuple[int, ...] | None] = {}
-
-        # ---------------- Candidate-table loop (lines 7-22) ----------------
-        for position, (table_id, block) in enumerate(candidates):
-            if budget is not None and budget.deadline_expired():
-                break
-            if self.use_table_filters and should_prune_table(len(block), topk):
-                counters.tables_pruned_by_rule1 += len(candidates) - position
-                break
-            joinability, mapping = self._evaluate_table(
-                table_id, block, key_map, topk, counters
-            )
-            counters.tables_evaluated += 1
-            if topk.update(table_id, joinability):
-                mappings[table_id] = mapping
-                if on_snapshot is not None:
-                    on_snapshot(topk.result_tuples())
-
-        complete = True
-        if budget is not None:
-            counters.budget_exhausted = int(budget.exhausted)
-            counters.deadline_expired = int(budget.expired)
-            complete = budget.complete
-        counters.runtime_seconds = time.perf_counter() - started
-        names = {
-            table_id: self.corpus.get_table(table_id).name
-            for table_id, _ in topk.result_tuples()
-        }
-        return DiscoveryResult.from_ranked(
-            system=self.system_name,
-            k=k,
-            ranked=topk.results(),
-            counters=counters,
-            mappings=mappings,
-            names=names,
-            complete=complete,
+        plan = Planner(self, planner).plan(query)
+        return Executor(self, planner).execute(
+            plan, query, k, budget=budget, on_snapshot=on_snapshot
         )
 
     # ------------------------------------------------------------------
@@ -242,78 +194,3 @@ class MateDiscovery:
             key_super_key = self.super_key_generator.key_super_key(key_tuple)
             key_map[probe_value].append((key_tuple, key_super_key))
         return dict(key_map)
-
-    # ------------------------------------------------------------------
-    # Per-table evaluation (row filtering + joinability calculation)
-    # ------------------------------------------------------------------
-    def _evaluate_table(
-        self,
-        table_id: int,
-        block: TableBlock,
-        key_map: dict[str, list[tuple[tuple[str, ...], int]]],
-        topk: TopKHeap,
-        counters: DiscoveryCounters,
-    ) -> tuple[int, tuple[int, ...] | None]:
-        """Evaluate one candidate table and return (joinability, mapping).
-
-        Iterates the table block's parallel columns directly (Algorithm 1
-        lines 4-9): no per-item record is ever constructed on this path.
-        """
-        posting_count = len(block)
-        rows_checked = 0
-        rows_matched = 0
-        surviving: list[tuple[int, tuple[str, ...]]] = []
-
-        use_table_filters = self.use_table_filters
-        key_map_get = key_map.get
-        get_row = self.corpus.get_row
-        passes = self.row_filter.passes
-        for value, row_index, super_key in zip(
-            block.values, block.row_indexes, block.super_keys
-        ):
-            if use_table_filters and should_abandon_table(
-                posting_count, rows_checked, rows_matched, topk
-            ):
-                counters.tables_pruned_by_rule2 += 1
-                break
-            rows_checked += 1
-            counters.rows_checked += 1
-            row = get_row(table_id, row_index)
-            row_survived = False
-            for key_tuple, key_super_key in key_map_get(value, ()):
-                if passes(super_key, key_super_key, row, key_tuple, counters):
-                    surviving.append((row_index, key_tuple))
-                    row_survived = True
-            if row_survived:
-                rows_matched += 1
-
-        joinability, mapping = self._calculate_joinability(
-            table_id, surviving, counters
-        )
-        return joinability, mapping
-
-    def _calculate_joinability(
-        self,
-        table_id: int,
-        surviving: list[tuple[int, tuple[str, ...]]],
-        counters: DiscoveryCounters,
-    ) -> tuple[int, tuple[int, ...] | None]:
-        """Exact verification of surviving rows and Eq. 2 scoring (line 21)."""
-        verified: list[tuple[tuple[str, ...], tuple[str, ...]]] = []
-        row_outcome: dict[tuple[int, int], bool] = {}
-        for row_index, key_tuple in surviving:
-            row = self.corpus.get_row(table_id, row_index)
-            counters.value_comparisons += len(row) * len(key_tuple)
-            location = (table_id, row_index)
-            if row_contains_key(row, key_tuple):
-                verified.append((row, key_tuple))
-                row_outcome[location] = True
-            else:
-                row_outcome.setdefault(location, False)
-
-        counters.rows_passed_filter += len(row_outcome)
-        counters.true_positive_rows += sum(1 for hit in row_outcome.values() if hit)
-        counters.false_positive_rows += sum(
-            1 for hit in row_outcome.values() if not hit
-        )
-        return joinability_from_matches(verified)

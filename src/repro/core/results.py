@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..metrics import DiscoveryCounters
 from .topk import RankedTable
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..plan.planner import PlanReport
 
 
 @dataclass(frozen=True)
@@ -42,6 +46,15 @@ class DiscoveryResult:
     #: :mod:`repro.api.request`) stopped the run early; the exact pruning
     #: rules of Algorithm 1 never clear this flag.
     complete: bool = True
+    #: Execution trace of the planner/executor pipeline (seed column,
+    #: estimates, re-plans); ``None`` for engines outside that pipeline.
+    plan: "PlanReport | None" = None
+
+    def plan_explain(self) -> dict[str, object] | None:
+        """The plan's JSON-facing explanation, or ``None`` without a plan."""
+        if self.plan is None:
+            return None
+        return self.plan.as_dict()
 
     @property
     def runtime_seconds(self) -> float:
@@ -78,6 +91,7 @@ class DiscoveryResult:
         mappings: dict[int, tuple[int, ...] | None] | None = None,
         names: dict[int, str] | None = None,
         complete: bool = True,
+        plan: "PlanReport | None" = None,
     ) -> "DiscoveryResult":
         """Build a result object from the top-k heap contents."""
         mappings = mappings or {}
@@ -92,5 +106,10 @@ class DiscoveryResult:
             for entry in ranked
         ]
         return cls(
-            system=system, k=k, tables=tables, counters=counters, complete=complete
+            system=system,
+            k=k,
+            tables=tables,
+            counters=counters,
+            complete=complete,
+            plan=plan,
         )

@@ -26,7 +26,8 @@ fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_short_values`), the batch-discovery serving layer
 (:func:`run_batch_service`), the columnar posting-layout comparison
 (:func:`run_columnar`), and the online-ingestion study
-(:func:`run_ingest`).
+(:func:`run_ingest`), and the query-planner study
+(:func:`run_planner`).
 """
 
 from .batch_service import DEFAULT_SERVICE_SHARD_COUNTS, run_batch_service
@@ -43,6 +44,7 @@ from .frequency_source import FREQUENCY_SOURCES, run_frequency_source
 from .index_stats import run_index_generation
 from .ingest import DEFAULT_INGEST_WORKLOAD, INGEST_STATES, run_ingest
 from .init_column import HEURISTIC_ORDER, run_init_column
+from .planner import PLANNER_MODES_UNDER_TEST, run_planner
 from .related_work import DEFAULT_RELATED_WORK_WORKLOADS, run_related_work
 from .reporting import (
     format_ratio,
@@ -115,6 +117,7 @@ __all__ = [
     "run_ingest",
     "run_init_column",
     "run_mate",
+    "run_planner",
     "run_related_work",
     "run_scaling",
     "run_sharding",

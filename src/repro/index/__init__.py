@@ -19,8 +19,11 @@ from .sharded import ShardedInvertedIndex, build_sharded_index, shard_of_value
 from .statistics import (
     IndexStorageReport,
     JOSIE_BYTES_PER_ENTRY,
+    PostingVolumeEstimate,
     SCR_BYTES_PER_ENTRY,
     bits_to_bytes,
+    estimate_posting_volume,
+    sample_positions,
     storage_report,
 )
 
@@ -42,11 +45,14 @@ __all__ = [
     "InvertedIndex",
     "JOSIE_BYTES_PER_ENTRY",
     "PostingListItem",
+    "PostingVolumeEstimate",
     "SCR_BYTES_PER_ENTRY",
     "ShardedInvertedIndex",
     "bits_to_bytes",
     "build_index",
     "build_sharded_index",
+    "estimate_posting_volume",
+    "sample_positions",
     "shard_of_value",
     "storage_report",
 ]

@@ -505,20 +505,45 @@ class TableBlock:
 
 def group_into_table_blocks(
     blocks: Iterable[FetchBlock],
+    into: dict[int, TableBlock] | None = None,
 ) -> dict[int, TableBlock]:
     """Regroup per-value fetch blocks into per-table blocks (line 5 of Alg. 1).
 
     Preserves the fetch order exactly: per probed value in first-seen order,
     per posting in insertion order — the grouping the legacy
     ``fetch_grouped_by_table`` produced, minus the per-item records.
+    ``into`` merges incrementally into an existing grouping (the chunked
+    fetch path of the adaptive executor); blocks must then arrive in probe
+    order for the result to equal a single-shot call.
     """
-    grouped: dict[int, TableBlock] = {}
+    grouped: dict[int, TableBlock] = {} if into is None else into
     for block in blocks:
         for table_id, start, end in block.runs:
             table_block = grouped.get(table_id)
             if table_block is None:
                 table_block = grouped[table_id] = TableBlock(table_id)
             table_block.extend_run(block, start, end)
+    return grouped
+
+
+def group_items_into_table_blocks(
+    items: Iterable[FetchedItem],
+    into: dict[int, TableBlock] | None = None,
+) -> dict[int, TableBlock]:
+    """Per-item fallback of :func:`group_into_table_blocks`.
+
+    Used when an index only exposes the classic ``fetch`` surface (no
+    struct-of-arrays ``fetch_batch``); same ordering contract.
+    """
+    grouped: dict[int, TableBlock] = {} if into is None else into
+    for item in items:
+        table_block = grouped.get(item.table_id)
+        if table_block is None:
+            table_block = grouped[item.table_id] = TableBlock(item.table_id)
+        table_block.values.append(item.value)
+        table_block.column_indexes.append(item.column_index)
+        table_block.row_indexes.append(item.row_index)
+        table_block.super_keys.append(item.super_key)
     return grouped
 
 
@@ -533,13 +558,4 @@ def fetch_table_blocks(index, values: Iterable[str]) -> dict[int, TableBlock]:
     fetch_batch = getattr(index, "fetch_batch", None)
     if fetch_batch is not None:
         return group_into_table_blocks(fetch_batch(values))
-    grouped: dict[int, TableBlock] = {}
-    for item in index.fetch(values):
-        table_block = grouped.get(item.table_id)
-        if table_block is None:
-            table_block = grouped[item.table_id] = TableBlock(item.table_id)
-        table_block.values.append(item.value)
-        table_block.column_indexes.append(item.column_index)
-        table_block.row_indexes.append(item.row_index)
-        table_block.super_keys.append(item.super_key)
-    return grouped
+    return group_items_into_table_blocks(index.fetch(values))

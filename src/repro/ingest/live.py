@@ -689,6 +689,17 @@ class LiveIndex:
         """Visible PL items the given probe values would fetch."""
         return self.snapshot().posting_count_for_values(values)
 
+    def posting_lengths(self, values: Sequence[str]) -> list[int]:
+        """Per-value visible PL-item counts, all read off *one* snapshot.
+
+        The batched statistics read behind the query planner's cost model
+        (:func:`repro.index.statistics.estimate_posting_volume`): sampling
+        posting-list lengths value by value would pin one generation per
+        lookup and could straddle a concurrent compaction; this pins one.
+        """
+        snapshot = self.snapshot()
+        return [snapshot.posting_list_length(value) for value in values]
+
     def super_key(self, table_id: int, row_index: int) -> int:
         """Super key of a visible row."""
         return self.snapshot().super_key(table_id, row_index)

@@ -2,12 +2,13 @@
 
 from .counters import CacheCounters, DiscoveryCounters
 from .precision import PrecisionSummary, precision, summarize_precision
-from .timing import Stopwatch, timed
+from .timing import StageStats, Stopwatch, timed
 
 __all__ = [
     "CacheCounters",
     "DiscoveryCounters",
     "PrecisionSummary",
+    "StageStats",
     "Stopwatch",
     "precision",
     "summarize_precision",

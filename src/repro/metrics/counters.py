@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .timing import StageStats
+
 
 @dataclass
 class CacheCounters:
@@ -111,6 +113,10 @@ class DiscoveryCounters:
     runtime_seconds: float = 0.0
     #: Extra, system-specific counters (e.g. per-column PL counts).
     extra: dict[str, float] = field(default_factory=dict)
+    #: Per-stage wall-clock and volume accounting, keyed by stage name.
+    #: Populated by the planner/executor pipeline (:mod:`repro.plan`);
+    #: engines outside that pipeline leave it empty.
+    stages: dict[str, "StageStats"] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -161,6 +167,28 @@ class DiscoveryCounters:
         self.runtime_seconds += other.runtime_seconds
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0.0) + value
+        for name, stats in other.stages.items():
+            mine = self.stages.get(name)
+            if mine is None:
+                self.stages[name] = StageStats(
+                    calls=stats.calls,
+                    seconds=stats.seconds,
+                    items_in=stats.items_in,
+                    items_out=stats.items_out,
+                )
+            else:
+                mine.merge(stats)
+
+    def stage_stats(self, name: str) -> "StageStats":
+        """Return (creating on first use) the stats bucket for one stage."""
+        stats = self.stages.get(name)
+        if stats is None:
+            stats = self.stages[name] = StageStats()
+        return stats
+
+    def stages_dict(self) -> dict[str, dict[str, float]]:
+        """Return the per-stage stats as nested plain dictionaries."""
+        return {name: stats.as_dict() for name, stats in self.stages.items()}
 
     def as_dict(self) -> dict[str, float]:
         """Return all counters (plus derived metrics) as a dictionary."""

@@ -1,0 +1,49 @@
+"""Query planning: explicit pipeline stages, cost-based seed selection.
+
+The :mod:`repro.plan` package decomposes Algorithm 1 into four composable
+operators with a uniform ``run(PlanContext) -> StageResult`` contract
+(:mod:`~repro.plan.stages`), a :class:`Planner` that picks the cheapest
+initiator column from index statistics, and an :class:`Executor` that runs
+the plan under budget/deadline enforcement with optional adaptive
+re-planning.  :class:`~repro.core.discovery.MateDiscovery` (and through it
+the sharded, SCR, and live engines) is a thin shell over this pipeline.
+"""
+
+from .context import PlanContext, StageResult
+from .executor import Executor
+from .options import DEFAULT_PLANNER_OPTIONS, PLANNER_MODES, PlannerOptions
+from .planner import (
+    PIPELINE_STAGES,
+    PlanReport,
+    Planner,
+    QueryPlan,
+    ReplanEvent,
+    SeedCandidate,
+)
+from .stages import (
+    CandidateGeneration,
+    PlanStage,
+    RowVerification,
+    SuperKeyPrefilter,
+    TopKMaintenance,
+)
+
+__all__ = [
+    "CandidateGeneration",
+    "DEFAULT_PLANNER_OPTIONS",
+    "Executor",
+    "PIPELINE_STAGES",
+    "PLANNER_MODES",
+    "PlanContext",
+    "PlanReport",
+    "PlanStage",
+    "Planner",
+    "PlannerOptions",
+    "QueryPlan",
+    "ReplanEvent",
+    "RowVerification",
+    "SeedCandidate",
+    "StageResult",
+    "SuperKeyPrefilter",
+    "TopKMaintenance",
+]

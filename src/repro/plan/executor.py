@@ -1,0 +1,111 @@
+"""The plan executor: runs the stage pipeline with budget enforcement.
+
+The :class:`Executor` owns the control flow the stages deliberately do not:
+the candidate-table loop with its deadline checks and table-filtering rule 1
+(the sorted-order early exit), the completeness flags, and the final result
+assembly.  Running the pipeline with re-planning disabled is byte-identical
+to the pre-refactor monolithic ``MateDiscovery.discover`` loop; enabling
+adaptive re-planning only changes *which* posting lists get fetched — the
+exact verification stages keep every reported score correct regardless of
+the seed column.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+from ..core.filters import should_prune_table
+from ..core.results import DiscoveryResult
+from ..metrics import DiscoveryCounters
+from .context import PlanContext
+from .options import PlannerOptions
+from .planner import PlanReport, QueryPlan
+from .stages import (
+    CandidateGeneration,
+    RowVerification,
+    SuperKeyPrefilter,
+    TopKMaintenance,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..api.request import RequestBudget
+    from ..datamodel import QueryTable
+
+
+class Executor:
+    """Runs a :class:`~repro.plan.planner.QueryPlan` to a result."""
+
+    def __init__(self, engine, options: PlannerOptions | None = None):
+        self.engine = engine
+        self.options = options or PlannerOptions()
+        self.candidate_generation = CandidateGeneration()
+        self.superkey_prefilter = SuperKeyPrefilter()
+        self.row_verification = RowVerification()
+        self.topk_maintenance = TopKMaintenance()
+
+    def execute(
+        self,
+        plan: QueryPlan,
+        query: "QueryTable",
+        k: int,
+        *,
+        budget: "RequestBudget | None" = None,
+        on_snapshot: Callable[[list[tuple[int, int]]], None] | None = None,
+    ) -> DiscoveryResult:
+        """Run the pipeline and assemble the :class:`DiscoveryResult`."""
+        engine = self.engine
+        counters = DiscoveryCounters()
+        started = time.perf_counter()
+        context = PlanContext(
+            engine=engine,
+            query=query,
+            k=k,
+            plan=plan,
+            options=self.options,
+            budget=budget,
+            on_snapshot=on_snapshot,
+            counters=counters,
+            report=PlanReport(plan=plan, seed_column=plan.seed.column),
+        )
+
+        # ---------------- Initialization (lines 3-6) ----------------
+        self.candidate_generation.run(context)
+
+        # ---------------- Candidate-table loop (lines 7-22) ----------------
+        for position, (table_id, block) in enumerate(context.candidates):
+            if budget is not None and budget.deadline_expired():
+                break
+            if engine.use_table_filters and should_prune_table(
+                len(block), context.topk
+            ):
+                counters.tables_pruned_by_rule1 += (
+                    len(context.candidates) - position
+                )
+                break
+            context.set_current(table_id, block)
+            self.superkey_prefilter.run(context)
+            self.row_verification.run(context)
+            counters.tables_evaluated += 1
+            self.topk_maintenance.run(context)
+
+        complete = True
+        if budget is not None:
+            counters.budget_exhausted = int(budget.exhausted)
+            counters.deadline_expired = int(budget.expired)
+            complete = budget.complete
+        counters.runtime_seconds = time.perf_counter() - started
+        names = {
+            table_id: engine.corpus.get_table(table_id).name
+            for table_id, _ in context.topk.result_tuples()
+        }
+        return DiscoveryResult.from_ranked(
+            system=engine.system_name,
+            k=k,
+            ranked=context.topk.results(),
+            counters=counters,
+            mappings=context.mappings,
+            names=names,
+            complete=complete,
+            plan=context.report,
+        )

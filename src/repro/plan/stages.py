@@ -1,0 +1,337 @@
+"""The four pipeline operators discovery decomposes into.
+
+Each stage implements the uniform ``run(PlanContext) -> StageResult``
+contract and accumulates its own wall-clock / volume accounting under
+``counters.stages[<name>]``:
+
+* :class:`CandidateGeneration` — seed-column posting fetch (Section 6.1):
+  builds ``superkey_map_Q``, charges the request budget, fetches the seed
+  column's posting lists (in one shot, or chunked with adaptive re-planning),
+  and groups + sorts the candidate tables;
+* :class:`SuperKeyPrefilter` — the XASH reject (Section 6.3): scans one
+  candidate table's packed block, applying table-filtering rule 2 and the
+  super-key subsumption check per row;
+* :class:`RowVerification` — exact verification of the surviving rows and
+  the Eq. 2 best-mapping score;
+* :class:`TopKMaintenance` — offers the scored table to the top-k heap and
+  fires the streaming snapshot hook on accepted updates.
+
+The composition of these stages under the
+:class:`~repro.plan.executor.Executor` is line-for-line equivalent to the
+pre-refactor monolithic loop when re-planning is disabled — the equivalence
+the plan-equivalence test suite pins down byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from ..core.filters import should_abandon_table
+from ..core.joinability import joinability_from_matches, row_contains_key
+from ..index.columnar import (
+    TableBlock,
+    fetch_table_blocks,
+    group_into_table_blocks,
+    group_items_into_table_blocks,
+)
+from .context import PlanContext, StageResult
+from .planner import (
+    ReplanEvent,
+    STAGE_CANDIDATE_GENERATION,
+    STAGE_ROW_VERIFICATION,
+    STAGE_SUPERKEY_PREFILTER,
+    STAGE_TOPK_MAINTENANCE,
+)
+
+
+class PlanStage:
+    """Base operator: timing + volume accounting around ``_execute``."""
+
+    name = "stage"
+
+    def run(self, context: PlanContext) -> StageResult:
+        """Run the stage once, recording wall clock and item counts.
+
+        Timing is inlined (no context manager): the per-table stages run
+        once per candidate table, so wrapper cost is hot-path cost.
+        """
+        stats = context.counters.stage_stats(self.name)
+        stats.calls += 1
+        started = perf_counter()
+        try:
+            result = self._execute(context)
+        finally:
+            stats.seconds += perf_counter() - started
+        stats.items_in += result.items_in
+        stats.items_out += result.items_out
+        return result
+
+    def _execute(self, context: PlanContext) -> StageResult:
+        raise NotImplementedError
+
+
+class CandidateGeneration(PlanStage):
+    """Fetch the seed column's posting lists and group candidate tables."""
+
+    name = STAGE_CANDIDATE_GENERATION
+
+    def _execute(self, context: PlanContext) -> StageResult:
+        if context.options.adaptive and context.plan.alternatives:
+            values_charged, seed_values, detail = self._generate_adaptive(context)
+        else:
+            values_charged = seed_values = self._generate(
+                context, context.plan.seed.column
+            )
+            detail = ""
+        counters = context.counters
+        counters.candidate_tables = len(context.candidates)
+        # Legacy semantics: the (truncated) probe-list cardinality of the
+        # *executed* seed column.  The stage's items_in additionally covers
+        # the probe values charged for abandoned seed attempts.
+        counters.extra["initial_column_cardinality"] = float(seed_values)
+        return StageResult(
+            self.name,
+            items_in=values_charged,
+            items_out=sum(len(block) for _, block in context.candidates),
+            detail=detail,
+        )
+
+    # ------------------------------------------------------------------
+    # One-shot path (modes "selector" and "cost"): the legacy fetch.
+    # ------------------------------------------------------------------
+    def _generate(self, context: PlanContext, column: str) -> int:
+        engine = context.engine
+        budget = context.budget
+        context.key_map = engine._build_key_super_key_map(context.query, column)
+        probe_values = list(context.key_map)
+
+        if budget is not None:
+            # Each probe value costs one posting-list fetch; a short budget
+            # truncates the (deterministically ordered) probe list.  A
+            # pre-expired deadline skips the fetch entirely.
+            if budget.deadline_expired():
+                probe_values = []
+            else:
+                granted = budget.take_pl_fetches(len(probe_values))
+                probe_values = probe_values[:granted]
+
+        grouped = fetch_table_blocks(engine.index, probe_values)
+        fetched = sum(len(block) for block in grouped.values())
+        context.counters.pl_items_fetched = fetched
+        context.report.seed_column = column
+        context.report.observed_postings += fetched
+        self._sort_candidates(context, grouped)
+        return len(probe_values)
+
+    # ------------------------------------------------------------------
+    # Adaptive path: chunked fetch with mid-run seed switching.
+    # ------------------------------------------------------------------
+    def _generate_adaptive(self, context: PlanContext) -> tuple[int, int, str]:
+        engine = context.engine
+        budget = context.budget
+        options = context.options
+        report = context.report
+        attempts = [context.plan.seed, *context.plan.alternatives]
+        attempt_index = 0
+        total_observed = 0
+        total_charged = 0
+
+        while True:
+            candidate = attempts[attempt_index]
+            column = candidate.column
+            context.key_map = engine._build_key_super_key_map(
+                context.query, column
+            )
+            probe_values = list(context.key_map)
+            grouped: dict[int, TableBlock] = {}
+            observed = 0
+            values_fetched = 0
+            replanned = False
+            curtailed = False
+
+            for start in range(0, len(probe_values), options.replan_check_every):
+                chunk = probe_values[start : start + options.replan_check_every]
+                if budget is not None:
+                    if budget.deadline_expired():
+                        curtailed = True
+                        break
+                    granted = budget.take_pl_fetches(len(chunk))
+                    if granted < len(chunk):
+                        curtailed = True
+                    chunk = chunk[:granted]
+                observed += self._fetch_into(engine.index, chunk, grouped)
+                values_fetched += len(chunk)
+                total_charged += len(chunk)
+                if curtailed:
+                    # The ledger is spent: answer from what this column
+                    # fetched — a re-plan could not pay for fresh fetches.
+                    break
+                remaining = attempts[attempt_index + 1 :]
+                if start + options.replan_check_every < len(probe_values) and remaining:
+                    # The noise floor of one posting per probe value keeps a
+                    # near-zero estimate from triggering pointless switches.
+                    prorated = candidate.estimate.scaled(values_fetched)
+                    threshold = (
+                        max(prorated, float(values_fetched)) * options.replan_factor
+                    )
+                    if observed > threshold:
+                        report.replans.append(
+                            ReplanEvent(
+                                from_column=column,
+                                to_column=remaining[0].column,
+                                observed_postings=observed,
+                                estimated_postings=prorated,
+                                values_fetched=values_fetched,
+                            )
+                        )
+                        report.discarded_postings += observed
+                        total_observed += observed
+                        attempt_index += 1
+                        replanned = True
+                        break
+            if replanned:
+                continue
+
+            total_observed += observed
+            context.counters.pl_items_fetched = total_observed
+            report.seed_column = column
+            report.observed_postings = total_observed
+            if report.replans:
+                context.counters.extra["replans"] = float(len(report.replans))
+                context.counters.extra["discarded_pl_items"] = float(
+                    report.discarded_postings
+                )
+            self._sort_candidates(context, grouped)
+            return (
+                total_charged,
+                values_fetched,
+                "replanned" if report.replans else "",
+            )
+
+    @staticmethod
+    def _fetch_into(
+        index, values: list[str], grouped: dict[int, TableBlock]
+    ) -> int:
+        """Fetch one chunk and merge it into the per-table grouping.
+
+        Chunks arrive in probe order, so the accumulated grouping is
+        identical to a single-shot :func:`fetch_table_blocks` over the same
+        final value list.  Returns the number of PL items fetched.
+        """
+        if not values:
+            return 0
+        fetch_batch = getattr(index, "fetch_batch", None)
+        if fetch_batch is not None:
+            blocks = fetch_batch(values)
+            group_into_table_blocks(blocks, into=grouped)
+            return sum(len(block) for block in blocks)
+        items = index.fetch(values)
+        group_items_into_table_blocks(items, into=grouped)
+        return len(items)
+
+    @staticmethod
+    def _sort_candidates(
+        context: PlanContext, grouped: dict[int, TableBlock]
+    ) -> None:
+        # Sort candidate tables by decreasing PL-item count (line 5).
+        context.candidates = sorted(
+            grouped.items(), key=lambda entry: (-len(entry[1]), entry[0])
+        )
+
+
+class SuperKeyPrefilter(PlanStage):
+    """Row filtering of one candidate table (lines 14-19 of Algorithm 1)."""
+
+    name = STAGE_SUPERKEY_PREFILTER
+
+    def _execute(self, context: PlanContext) -> StageResult:
+        engine = context.engine
+        counters = context.counters
+        topk = context.topk
+        table_id = context.current_table_id
+        block = context.current_block
+        posting_count = len(block)
+        rows_checked = 0
+        rows_matched = 0
+        surviving: list[tuple[int, tuple[str, ...]]] = []
+        detail = ""
+
+        use_table_filters = engine.use_table_filters
+        key_map_get = context.key_map.get
+        get_row = engine.corpus.get_row
+        passes = engine.row_filter.passes
+        for value, row_index, super_key in zip(
+            block.values, block.row_indexes, block.super_keys
+        ):
+            if use_table_filters and should_abandon_table(
+                posting_count, rows_checked, rows_matched, topk
+            ):
+                counters.tables_pruned_by_rule2 += 1
+                detail = "abandoned"
+                break
+            rows_checked += 1
+            counters.rows_checked += 1
+            row = get_row(table_id, row_index)
+            row_survived = False
+            for key_tuple, key_super_key in key_map_get(value, ()):
+                if passes(super_key, key_super_key, row, key_tuple, counters):
+                    surviving.append((row_index, key_tuple))
+                    row_survived = True
+            if row_survived:
+                rows_matched += 1
+
+        context.surviving = surviving
+        return StageResult(
+            self.name,
+            items_in=posting_count,
+            items_out=len(surviving),
+            detail=detail,
+        )
+
+
+class RowVerification(PlanStage):
+    """Exact verification of surviving rows and Eq. 2 scoring (line 21)."""
+
+    name = STAGE_ROW_VERIFICATION
+
+    def _execute(self, context: PlanContext) -> StageResult:
+        engine = context.engine
+        counters = context.counters
+        table_id = context.current_table_id
+        verified: list[tuple[tuple[str, ...], tuple[str, ...]]] = []
+        row_outcome: dict[tuple[int, int], bool] = {}
+        for row_index, key_tuple in context.surviving:
+            row = engine.corpus.get_row(table_id, row_index)
+            counters.value_comparisons += len(row) * len(key_tuple)
+            location = (table_id, row_index)
+            if row_contains_key(row, key_tuple):
+                verified.append((row, key_tuple))
+                row_outcome[location] = True
+            else:
+                row_outcome.setdefault(location, False)
+
+        counters.rows_passed_filter += len(row_outcome)
+        counters.true_positive_rows += sum(1 for hit in row_outcome.values() if hit)
+        counters.false_positive_rows += sum(
+            1 for hit in row_outcome.values() if not hit
+        )
+        context.joinability, context.mapping = joinability_from_matches(verified)
+        return StageResult(
+            self.name,
+            items_in=len(context.surviving),
+            items_out=len(verified),
+        )
+
+
+class TopKMaintenance(PlanStage):
+    """Offer the scored table to the heap; fire the streaming hook."""
+
+    name = STAGE_TOPK_MAINTENANCE
+
+    def _execute(self, context: PlanContext) -> StageResult:
+        kept = context.topk.update(context.current_table_id, context.joinability)
+        if kept:
+            context.mappings[context.current_table_id] = context.mapping
+            if context.on_snapshot is not None:
+                context.on_snapshot(context.topk.result_tuples())
+        return StageResult(self.name, items_in=1, items_out=int(kept))

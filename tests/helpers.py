@@ -2,6 +2,162 @@
 
 from __future__ import annotations
 
+import time
+
+
+def legacy_discover(engine, query, k=None, *, budget=None, on_snapshot=None):
+    """The pre-planner ``MateDiscovery.discover`` loop, kept verbatim.
+
+    This is the byte-identity oracle of the plan-equivalence suite: the
+    monolithic Algorithm 1 loop exactly as it shipped before the
+    planner/executor refactor, driven through the *current* engine's
+    components (corpus, index, selector, row filter).  The executor with
+    re-planning disabled must reproduce its output byte for byte.
+    """
+    from repro.core.filters import should_abandon_table, should_prune_table
+    from repro.core.joinability import joinability_from_matches, row_contains_key
+    from repro.core.results import DiscoveryResult
+    from repro.core.topk import TopKHeap
+    from repro.exceptions import DiscoveryError
+    from repro.index import fetch_table_blocks
+    from repro.metrics import DiscoveryCounters
+
+    def evaluate_table(table_id, block, key_map, topk, counters):
+        posting_count = len(block)
+        rows_checked = 0
+        rows_matched = 0
+        surviving = []
+        use_table_filters = engine.use_table_filters
+        key_map_get = key_map.get
+        get_row = engine.corpus.get_row
+        passes = engine.row_filter.passes
+        for value, row_index, super_key in zip(
+            block.values, block.row_indexes, block.super_keys
+        ):
+            if use_table_filters and should_abandon_table(
+                posting_count, rows_checked, rows_matched, topk
+            ):
+                counters.tables_pruned_by_rule2 += 1
+                break
+            rows_checked += 1
+            counters.rows_checked += 1
+            row = get_row(table_id, row_index)
+            row_survived = False
+            for key_tuple, key_super_key in key_map_get(value, ()):
+                if passes(super_key, key_super_key, row, key_tuple, counters):
+                    surviving.append((row_index, key_tuple))
+                    row_survived = True
+            if row_survived:
+                rows_matched += 1
+
+        verified = []
+        row_outcome = {}
+        for row_index, key_tuple in surviving:
+            row = engine.corpus.get_row(table_id, row_index)
+            counters.value_comparisons += len(row) * len(key_tuple)
+            location = (table_id, row_index)
+            if row_contains_key(row, key_tuple):
+                verified.append((row, key_tuple))
+                row_outcome[location] = True
+            else:
+                row_outcome.setdefault(location, False)
+        counters.rows_passed_filter += len(row_outcome)
+        counters.true_positive_rows += sum(1 for hit in row_outcome.values() if hit)
+        counters.false_positive_rows += sum(
+            1 for hit in row_outcome.values() if not hit
+        )
+        return joinability_from_matches(verified)
+
+    if k is None:
+        k = engine.config.k
+    if k <= 0:
+        raise DiscoveryError(f"k must be positive, got {k}")
+    counters = DiscoveryCounters()
+    started = time.perf_counter()
+
+    initial_column = engine.column_selector(query, engine.index)
+    if initial_column not in query.key_columns:
+        raise DiscoveryError(
+            f"initial column {initial_column!r} is not a key column of the query"
+        )
+    key_map = engine._build_key_super_key_map(query, initial_column)
+    probe_values = list(key_map)
+
+    if budget is not None:
+        if budget.deadline_expired():
+            probe_values = []
+        else:
+            granted = budget.take_pl_fetches(len(probe_values))
+            probe_values = probe_values[:granted]
+
+    grouped = fetch_table_blocks(engine.index, probe_values)
+    counters.pl_items_fetched = sum(len(block) for block in grouped.values())
+    counters.candidate_tables = len(grouped)
+    counters.extra["initial_column_cardinality"] = float(len(probe_values))
+
+    candidates = sorted(grouped.items(), key=lambda entry: (-len(entry[1]), entry[0]))
+
+    topk = TopKHeap(k)
+    mappings = {}
+    for position, (table_id, block) in enumerate(candidates):
+        if budget is not None and budget.deadline_expired():
+            break
+        if engine.use_table_filters and should_prune_table(len(block), topk):
+            counters.tables_pruned_by_rule1 += len(candidates) - position
+            break
+        joinability, mapping = evaluate_table(
+            table_id, block, key_map, topk, counters
+        )
+        counters.tables_evaluated += 1
+        if topk.update(table_id, joinability):
+            mappings[table_id] = mapping
+            if on_snapshot is not None:
+                on_snapshot(topk.result_tuples())
+
+    complete = True
+    if budget is not None:
+        counters.budget_exhausted = int(budget.exhausted)
+        counters.deadline_expired = int(budget.expired)
+        complete = budget.complete
+    counters.runtime_seconds = time.perf_counter() - started
+    names = {
+        table_id: engine.corpus.get_table(table_id).name
+        for table_id, _ in topk.result_tuples()
+    }
+    return DiscoveryResult.from_ranked(
+        system=engine.system_name,
+        k=k,
+        ranked=topk.results(),
+        counters=counters,
+        mappings=mappings,
+        names=names,
+        complete=complete,
+    )
+
+
+def assert_results_byte_identical(result, oracle) -> None:
+    """Assert two discovery results agree byte for byte.
+
+    Compares the ranked tables (ids, scores, mappings, names), the
+    completeness flag, and every counter except wall-clock time and the
+    per-stage breakdown (the legacy loop has no stages by construction).
+    """
+    assert result.system == oracle.system
+    assert result.k == oracle.k
+    assert result.complete == oracle.complete
+    assert [
+        (t.table_id, t.joinability, t.column_mapping, t.table_name)
+        for t in result.tables
+    ] == [
+        (t.table_id, t.joinability, t.column_mapping, t.table_name)
+        for t in oracle.tables
+    ]
+    mine = result.counters.as_dict()
+    theirs = oracle.counters.as_dict()
+    mine.pop("runtime_seconds")
+    theirs.pop("runtime_seconds")
+    assert mine == theirs
+
 
 def assert_topk_equivalent(result, truth) -> None:
     """Result must match the brute-force top-k up to ties at the cut-off score.

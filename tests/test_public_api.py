@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import repro
 
-#: The public surface of ``repro`` as of schema version 1.  Update this list
+#: The public surface of ``repro`` as of schema version 2.  Update this list
 #: (and the README's Public API section, and ``SCHEMA_VERSION`` if response
 #: field names changed) in the same commit as any export change.
 EXPECTED_EXPORTS = [
@@ -31,6 +31,7 @@ EXPECTED_EXPORTS = [
     "DiscoverySession",
     "EngineNotFoundError",
     "EngineRegistry",
+    "Executor",
     "HashingError",
     "IndexBuilder",
     "IndexClosedError",
@@ -41,6 +42,9 @@ EXPECTED_EXPORTS = [
     "MateConfig",
     "MateDiscovery",
     "MateError",
+    "Planner",
+    "PlannerOptions",
+    "QueryPlan",
     "QueryTable",
     "RequestBudget",
     "Row",
