@@ -32,6 +32,12 @@ def test_planner_modes(run_once):
             f"{row['scenario']}/{row['mode']} diverged from the fixed baseline"
         )
 
+    # Every executed plan reports its prefilter-stage wall clock (the
+    # stage-stats column the bench JSON artifacts track per commit).
+    for row in result.row_dicts():
+        assert float(row["prefilter s"]) >= 0.0
+        assert float(row["prefilter s"]) <= float(row["runtime s"])
+
     # The headline claim: on the skewed corpus, cost-based seed selection
     # fetches strictly fewer posting lists than the fixed first-column seed.
     assert int(by_key[("skew", "cost")]["pl fetched"]) < int(

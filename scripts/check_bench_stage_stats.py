@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Validate the stage statistics in exported ``BENCH_*.json`` artifacts.
+
+Run by the CI ``bench-smoke`` job after ``scripts/export_bench_json.py``:
+asserts that the benchmark JSON actually carries the prefilter stage
+columns the performance trajectory is tracked by, and enforces the
+kernel-vs-loop regression guard — the vectorized prefilter
+(``repro.index.kernels``) must beat the per-row loop on the prefilter
+stage of ``BENCH_columnar.json``.
+
+The speedup bound is deliberately lenient (CI runners are noisy and the
+smoke corpus is tiny); locally the kernels win by ~4-6x at benchmark
+scale.
+
+Usage::
+
+    python scripts/check_bench_stage_stats.py --dir bench-artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: The prefilter kernels must be at least this much faster than the loop.
+MIN_KERNEL_SPEEDUP = 1.5
+
+
+def _load(directory: Path, name: str) -> dict:
+    path = directory / f"BENCH_{name}.json"
+    if not path.is_file():
+        raise AssertionError(f"missing artifact {path}")
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def check_columnar(directory: Path) -> list[str]:
+    payload = _load(directory, "columnar")
+    rows = {row["layout"]: row for row in payload["row_dicts"]}
+    problems = []
+    expected = {"legacy", "columnar", "columnar/loop"}
+    if not expected <= set(rows):
+        return [
+            f"BENCH_columnar.json rows {sorted(rows)} are missing "
+            f"{sorted(expected - set(rows))}"
+        ]
+    for layout in expected:
+        for column in ("prefilter s", "discover s"):
+            try:
+                value = float(rows[layout][column])
+            except (KeyError, ValueError) as exc:
+                problems.append(
+                    f"BENCH_columnar.json {layout!r} lacks a numeric "
+                    f"{column!r} column: {exc}"
+                )
+                continue
+            if value < 0:
+                problems.append(
+                    f"BENCH_columnar.json {layout!r} {column!r} is negative"
+                )
+    if problems:
+        return problems
+    kernel = float(rows["columnar"]["prefilter s"])
+    loop = float(rows["columnar/loop"]["prefilter s"])
+    if loop < MIN_KERNEL_SPEEDUP * kernel:
+        problems.append(
+            f"prefilter kernel regression: kernel {kernel:.4f}s vs loop "
+            f"{loop:.4f}s is below the {MIN_KERNEL_SPEEDUP}x guard"
+        )
+    return problems
+
+
+def check_planner(directory: Path) -> list[str]:
+    payload = _load(directory, "planner")
+    problems = []
+    if "prefilter s" not in payload["headers"]:
+        return ["BENCH_planner.json headers lack 'prefilter s'"]
+    for row in payload["row_dicts"]:
+        label = f"{row.get('scenario')}/{row.get('mode')}"
+        try:
+            prefilter = float(row["prefilter s"])
+            runtime = float(row["runtime s"])
+        except (KeyError, ValueError) as exc:
+            problems.append(
+                f"BENCH_planner.json {label} lacks numeric stage columns: {exc}"
+            )
+            continue
+        if not 0.0 <= prefilter <= max(runtime, 0.0001):
+            problems.append(
+                f"BENCH_planner.json {label}: prefilter {prefilter}s "
+                f"outside [0, runtime={runtime}s]"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding the BENCH_*.json artifacts",
+    )
+    args = parser.parse_args(argv)
+    problems = check_columnar(args.dir) + check_planner(args.dir)
+    if problems:
+        for problem in problems:
+            print(f"error: {problem}", file=sys.stderr)
+        return 1
+    print("bench stage stats OK: prefilter columns present, kernel beats loop")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

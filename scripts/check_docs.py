@@ -18,8 +18,8 @@ DOCS = ("README.md", "docs/ARCHITECTURE.md")
 
 #: Headings (exact substrings) each document must contain.
 REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
-    "docs/ARCHITECTURE.md": ("## Query planning",),
-    "README.md": ("--explain",),
+    "docs/ARCHITECTURE.md": ("## Query planning", "## Vectorized execution"),
+    "README.md": ("--explain", "MATE_KERNEL", "Mmap-backed segments"),
 }
 
 

@@ -102,6 +102,17 @@ class StorageError(MateError):
     """Raised by storage backends for persistence failures."""
 
 
+class SegmentFormatError(StorageError):
+    """Raised when a binary ``.seg`` segment file is malformed.
+
+    Covers every structural defect :func:`repro.storage.paged.load_segment`
+    can detect — missing or wrong magic numbers, a truncated or torn file,
+    a directory checksum mismatch, or region offsets pointing outside the
+    file — so callers can distinguish "corrupt segment" from ordinary I/O
+    errors and fall back to recovery instead of crashing mid-open.
+    """
+
+
 class HashingError(MateError):
     """Raised when a hash function is misconfigured or misused."""
 

@@ -7,14 +7,25 @@ is indexed once per layout, the initialization-step fetch (Algorithm 1 lines
 passes, and the full engine runs every query on both layouts.  Correctness is
 part of the experiment: the two layouts must produce identical top-k results
 for every query, which the benchmark asserts.
+
+The study also isolates the vectorized prefilter kernels
+(:mod:`repro.index.kernels`): a third row re-runs discovery on the *same*
+columnar index with kernels switched off, so the ``prefilter s`` column
+directly compares the batched reject test against the legacy per-row loop on
+identical blocks and identical top-k output.  To exercise the regime the
+kernels are built for — long per-table posting runs, as produced by popular
+values in web-scale corpora — the corpus is augmented with a handful of
+*deep-posting* tables whose rows draw from the queries' probe values.
 """
 
 from __future__ import annotations
 
+import random
 import time
 
 from ..core import MateDiscovery
-from ..index import build_index, fetch_table_blocks
+from ..datamodel import Table
+from ..index import active_kernel, build_index, fetch_table_blocks, use_kernel
 from .runner import ExperimentResult, ExperimentSettings, build_context
 
 #: Workload the layout comparison runs on by default.
@@ -22,6 +33,57 @@ DEFAULT_COLUMNAR_WORKLOAD = "WT_100"
 
 #: Layouts under comparison (legacy first: it is the baseline).
 COLUMNAR_LAYOUTS: tuple[str, ...] = ("legacy", "columnar")
+
+#: Deep-posting augmentation: tables whose rows repeat query probe values,
+#: giving per-table posting runs of a few hundred rows (the regime where the
+#: paper's corpora live and where vectorized filtering pays off).
+DEEP_POSTING_TABLES = 24
+DEEP_POSTING_ROWS = 1000
+
+
+def _add_deep_posting_tables(corpus, queries, seed: int) -> None:
+    """Plant tables with long per-table posting runs of the query values."""
+    pool = sorted(
+        {
+            value
+            for query in queries
+            for key_tuple in query.key_tuples()
+            for value in key_tuple
+        }
+    )
+    if not pool:
+        return
+    rng = random.Random(seed * 7919 + 13)
+    for i in range(DEEP_POSTING_TABLES):
+        # A few values per table, so each (table, value) posting run is
+        # hundreds of rows long — the shape popular values produce.
+        subset = rng.sample(pool, min(4, len(pool)))
+        rows = [
+            [rng.choice(subset), rng.choice(subset), f"deep_{i}_{r}"]
+            for r in range(DEEP_POSTING_ROWS)
+        ]
+        corpus.add_table(
+            Table(
+                corpus.next_table_id(),
+                f"deep_posting_{i}",
+                ["k1", "k2", "payload"],
+                rows,
+            )
+        )
+
+
+def _timed_discovery(engine, queries):
+    """Run every query; total wall clock, prefilter stage seconds, top-k."""
+    prefilter_seconds = 0.0
+    started = time.perf_counter()
+    results = [engine.discover(query) for query in queries]
+    discover_seconds = time.perf_counter() - started
+    for result in results:
+        stage = result.counters.stages.get("superkey_prefilter")
+        if stage is not None:
+            prefilter_seconds += stage.seconds
+    topk = [result.result_tuples() for result in results]
+    return discover_seconds, prefilter_seconds, topk
 
 
 def run_columnar(
@@ -34,11 +96,15 @@ def run_columnar(
     Per layout: index build time, total time of ``fetch_repeats`` repeated
     initialization-step fetches over every query's probe values (the serving
     pattern — hot values recur, so warm fetches dominate), total discovery
-    time across all queries, and whether the top-k results match the legacy
-    baseline query for query.
+    time across all queries, the prefilter stage's share of it, and whether
+    the top-k results match the legacy baseline query for query.  The extra
+    ``columnar/loop`` row re-runs the columnar index with the vectorized
+    kernels disabled — the prefilter-stage ratio between the two columnar
+    rows is the kernel speedup on byte-identical output.
     """
     context = build_context(workload_name, settings)
     corpus = context.workload.corpus
+    _add_deep_posting_tables(corpus, context.queries, settings.seed)
     config = context.config(settings.hash_sizes[0] if settings.hash_sizes else 128)
 
     rows: list[list[object]] = []
@@ -63,11 +129,10 @@ def run_columnar(
                 items_fetched += sum(len(block) for block in blocks.values())
         fetch_seconds = time.perf_counter() - started
 
-        started = time.perf_counter()
-        results = [engine.discover(query) for query in context.queries]
-        discover_seconds = time.perf_counter() - started
+        discover_seconds, prefilter_seconds, topk = _timed_discovery(
+            engine, context.queries
+        )
 
-        topk = [result.result_tuples() for result in results]
         if baseline_topk is None:
             baseline_topk = topk
             baseline_fetch = fetch_seconds
@@ -80,6 +145,7 @@ def run_columnar(
                 round(fetch_seconds, 4),
                 items_fetched,
                 round(discover_seconds, 4),
+                round(prefilter_seconds, 4),
                 f"{matched}/{len(topk)}",
             ]
         )
@@ -95,9 +161,38 @@ def run_columnar(
                     f"{baseline_discover / discover_seconds:.2f}x"
                 )
 
+            # Same index, same queries, kernels off: the per-row loop
+            # baseline for the prefilter stage.
+            with use_kernel("off"):
+                discover_loop, prefilter_loop, topk_loop = _timed_discovery(
+                    engine, context.queries
+                )
+            matched_loop = sum(
+                1 for a, b in zip(baseline_topk, topk_loop) if a == b
+            )
+            rows.append(
+                [
+                    f"{layout}/loop",
+                    round(build_seconds, 4),
+                    round(fetch_seconds, 4),
+                    items_fetched,
+                    round(discover_loop, 4),
+                    round(prefilter_loop, 4),
+                    f"{matched_loop}/{len(topk_loop)}",
+                ]
+            )
+            if prefilter_seconds > 0:
+                notes.append(
+                    f"prefilter kernel ({active_kernel() or 'off'}) speedup "
+                    f"over per-row loop: "
+                    f"{prefilter_loop / prefilter_seconds:.2f}x"
+                )
+
     notes.append(
         f"fetch column: {fetch_repeats} repeated initialization-step fetches "
-        f"over {len(context.queries)} queries of {workload_name}"
+        f"over {len(context.queries)} queries of {workload_name} "
+        f"(+{DEEP_POSTING_TABLES} deep-posting tables of "
+        f"{DEEP_POSTING_ROWS} rows)"
     )
     return ExperimentResult(
         name=f"Columnar posting layout — {workload_name}",
@@ -107,6 +202,7 @@ def run_columnar(
             "fetch s",
             "PL items / pass",
             "discover s",
+            "prefilter s",
             "top-k identical",
         ],
         rows=rows,

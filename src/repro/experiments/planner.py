@@ -161,6 +161,7 @@ def run_planner(settings: ExperimentSettings) -> ExperimentResult:
         "replans",
         "tables",
         "topk",
+        "prefilter s",
         "runtime s",
     ]
     rows: list[list[object]] = []
@@ -188,6 +189,7 @@ def run_planner(settings: ExperimentSettings) -> ExperimentResult:
                     topk = "scores"
                 else:
                     topk = "DIFF"
+                prefilter = result.counters.stages.get("superkey_prefilter")
                 rows.append(
                     [
                         scenario,
@@ -198,6 +200,7 @@ def run_planner(settings: ExperimentSettings) -> ExperimentResult:
                         len(explanation["replans"]),
                         result.counters.candidate_tables,
                         topk,
+                        f"{prefilter.seconds if prefilter else 0.0:.4f}",
                         f"{result.counters.runtime_seconds:.4f}",
                     ]
                 )

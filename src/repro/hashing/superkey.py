@@ -70,6 +70,20 @@ class SuperKeyGenerator:
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
+    @property
+    def length_segment_shift(self) -> int | None:
+        """Bit position where XASH's length segment starts (``None`` otherwise).
+
+        The vectorized prefilter kernels replicate the short-circuit length
+        pre-check of :meth:`covers_with_short_circuit` by masking the bits
+        at and above this position; non-XASH hash functions have no length
+        segment, so the kernels skip the pre-check exactly like the scalar
+        path does.
+        """
+        if not self._is_xash:
+            return None
+        return self.hash_function.char_region_bits
+
     def covers(self, row_super_key: int, key_super_key: int) -> bool:
         """Return ``True`` iff the row super key masks the key super key.
 

@@ -46,6 +46,35 @@ LAYOUTS: tuple[str, ...] = INDEX_LAYOUTS
 #: ``(table_id, start, end)`` half-open positions into the packed columns.
 TableRun = tuple[int, int, int]
 
+#: A run of consecutive postings that share a probe value:
+#: ``(value, start, end)`` half-open positions into a table block's columns.
+ValueRun = tuple[str, int, int]
+
+
+def pack_super_keys(super_keys: Iterable[int], width_bytes: int) -> bytes | None:
+    """Pack integer super keys into one fixed-width big-endian buffer.
+
+    Returns ``None`` when any key does not fit ``width_bytes`` (oversize or
+    negative) — callers then stay on the per-integer path; correctness never
+    depends on the declared width.
+    """
+    out = bytearray()
+    try:
+        for super_key in super_keys:
+            out += super_key.to_bytes(width_bytes, "big")
+    except (AttributeError, OverflowError):
+        return None
+    return bytes(out)
+
+
+def unpack_super_keys(packed, width_bytes: int) -> list[int]:
+    """Materialise a packed super-key buffer back into a list of integers."""
+    from_bytes = int.from_bytes
+    return [
+        from_bytes(packed[position : position + width_bytes], "big")
+        for position in range(0, len(packed), width_bytes)
+    ]
+
 
 def compute_table_runs(table_ids: Sequence[int]) -> list[TableRun]:
     """Return the maximal runs of equal consecutive table ids.
@@ -121,6 +150,17 @@ class DictSuperKeys:
         """Return the super keys of the given rows (0 when absent), in order."""
         get = self._entries.get
         return [get(key, 0) for key in zip(table_ids, row_indexes)]
+
+    def get_many_packed(
+        self, table_ids: Sequence[int], row_indexes: Sequence[int]
+    ) -> bytes | None:
+        """Packed column of the given rows — always ``None`` here.
+
+        The dictionary store has no declared key width, so there is nothing
+        to pack zero-copy; consumers that want a packed buffer pack the
+        integer column themselves (:func:`pack_super_keys`).
+        """
+        return None
 
 
 class PackedSuperKeys:
@@ -231,6 +271,35 @@ class PackedSuperKeys:
                 append(from_bytes(buffer[offset : offset + width], "big"))
         return out
 
+    def get_many_packed(
+        self, table_ids: Sequence[int], row_indexes: Sequence[int]
+    ) -> bytes | None:
+        """Return the packed super-key column of the given rows, in order.
+
+        One ``width_bytes`` big-endian slot per row (zeros when absent),
+        assembled with C-level slice copies from the shared buffer — the
+        input of the vectorized prefilter kernels.  ``None`` when any
+        requested row spilled (a key wider than the configured hash size):
+        the packed representation would be lossy, so consumers fall back to
+        the integer column.
+        """
+        width = self.width_bytes
+        slots = self._slots
+        spill = self._spill
+        buffer = self._buffer
+        out = bytearray(len(table_ids) * width)
+        position = 0
+        for key in zip(table_ids, row_indexes):
+            slot = slots.get(key)
+            if slot is None:
+                if spill and key in spill:
+                    return None
+            else:
+                offset = slot * width
+                out[position : position + width] = buffer[offset : offset + width]
+            position += width
+        return bytes(out)
+
 
 class ColumnarPostingList:
     """The postings of one value as three parallel packed integer arrays.
@@ -249,6 +318,7 @@ class ColumnarPostingList:
         "row_indexes",
         "_runs_cache",
         "_super_keys_cache",
+        "_packed_cache",
     )
 
     def __init__(self) -> None:
@@ -257,6 +327,7 @@ class ColumnarPostingList:
         self.row_indexes = array("q")
         self._runs_cache: tuple[int, list[TableRun]] | None = None
         self._super_keys_cache: tuple[object, int, int, list[int]] | None = None
+        self._packed_cache: tuple[object, int, int, bytes | None] | None = None
 
     def __len__(self) -> int:
         return len(self.table_ids)
@@ -270,6 +341,7 @@ class ColumnarPostingList:
         self.table_ids, self.column_indexes, self.row_indexes = state
         self._runs_cache = None
         self._super_keys_cache = None
+        self._packed_cache = None
 
     def append(self, table_id: int, column_index: int, row_index: int) -> None:
         """Append one posting to the packed columns."""
@@ -324,6 +396,28 @@ class ColumnarPostingList:
         column = store.get_many(self.table_ids, self.row_indexes)
         self._super_keys_cache = (store, store.epoch, count, column)
         return column
+
+    def super_key_packed(self, store: DictSuperKeys | PackedSuperKeys):
+        """The memoised *packed* super-key column of this list under ``store``.
+
+        ``None`` when the store cannot pack (legacy dictionary store, or a
+        spilled oversize key) — the negative answer is memoised too, so
+        cache-wrapped indexes re-serving the same block never re-materialise
+        the column, and the kernel path always sees one stable buffer per
+        (posting list, store, epoch) triple.
+        """
+        count = len(self.table_ids)
+        cached = self._packed_cache
+        if (
+            cached is not None
+            and cached[0] is store
+            and cached[1] == store.epoch
+            and cached[2] == count
+        ):
+            return cached[3]
+        packed = store.get_many_packed(self.table_ids, self.row_indexes)
+        self._packed_cache = (store, store.epoch, count, packed)
+        return packed
 
     def filtered(
         self, keep: Callable[[int, int, int], bool]
@@ -383,10 +477,17 @@ class FetchBlock:
     table runs used to regroup the block by candidate table.  Blocks are
     snapshots: index mutations invalidate them (callers such as the
     posting-list cache drop blocks on mutation).
+
+    When the index's super-key store can pack, the block instead carries the
+    fixed-width buffer (``super_key_bytes`` / ``key_width``) that the
+    vectorized prefilter kernels consume directly; the integer
+    ``super_keys`` column is then materialised lazily on first access, so
+    the kernel hot path never converts a single key.
     """
 
     __slots__ = ("value", "table_ids", "column_indexes", "row_indexes",
-                 "super_keys", "runs")
+                 "_super_keys", "super_key_bytes", "key_width", "runs",
+                 "_cov_cache")
 
     def __init__(
         self,
@@ -394,18 +495,90 @@ class FetchBlock:
         table_ids: Sequence[int],
         column_indexes: Sequence[int],
         row_indexes: Sequence[int],
-        super_keys: Sequence[int],
+        super_keys: Sequence[int] | None,
         runs: Sequence[TableRun],
+        *,
+        super_key_bytes=None,
+        key_width: int | None = None,
     ):
         self.value = value
         self.table_ids = table_ids
         self.column_indexes = column_indexes
         self.row_indexes = row_indexes
-        self.super_keys = super_keys
+        if super_keys is None and super_key_bytes is None:
+            raise ValueError(
+                "a FetchBlock needs super_keys or a packed super_key_bytes buffer"
+            )
+        self._super_keys = super_keys
+        self.super_key_bytes = super_key_bytes
+        self.key_width = key_width
         self.runs = runs
+        self._cov_cache: dict | None = None
+
+    def entry_coverage(
+        self, key_super_key: int, length_shift: int | None, kernel: str
+    ) -> tuple[bytes, bytes | None]:
+        """Memoised :func:`~repro.index.kernels.entry_coverage` of this block.
+
+        The vector pass over the whole posting column runs once per
+        ``(key entry, kernel)`` and every per-table block spliced out of
+        this fetch block reuses the bitmaps — that amortisation is what
+        makes the kernel path beat the row loop even on few-row candidate
+        tables.  Requires the packed buffer (``super_key_bytes``).
+        """
+        cache = self._cov_cache
+        if cache is None:
+            cache = self._cov_cache = {}
+        token = (key_super_key, length_shift, kernel)
+        hit = cache.get(token)
+        if hit is None:
+            from .kernels import entry_coverage
+
+            hit = cache[token] = entry_coverage(
+                self.super_key_bytes,
+                self.key_width,
+                key_super_key,
+                length_shift,
+                kernel,
+            )
+        return hit
+
+    def query_coverage(
+        self, entries, length_shift: int | None, kernel: str
+    ) -> list[tuple[bytes, bytes | None]]:
+        """All of a query value's entry bitmaps, memoised as one list.
+
+        ``entries`` is the query key map's entry list for this block's value;
+        the memo keeps a reference to it and matches by identity (safe: a
+        held reference cannot be recycled), so the per-run cost inside one
+        query drops to a single dict hit even for multi-entry values.
+        """
+        cache = self._cov_cache
+        if cache is None:
+            cache = self._cov_cache = {}
+        token = ("query", length_shift, kernel)
+        hit = cache.get(token)
+        if hit is not None and hit[0] is entries:
+            return hit[1]
+        per_level = [
+            self.entry_coverage(key_super_key, length_shift, kernel)
+            for _key_tuple, key_super_key in entries
+        ]
+        cache[token] = (entries, per_level)
+        return per_level
+
+    @property
+    def super_keys(self) -> Sequence[int]:
+        """The integer super-key column (materialised lazily when packed)."""
+        column = self._super_keys
+        if column is None:
+            column = self._super_keys = unpack_super_keys(
+                self.super_key_bytes, self.key_width
+            )
+        return column
 
     def __len__(self) -> int:
-        return len(self.super_keys)
+        return len(self.row_indexes)
 
     def __iter__(self) -> Iterator[FetchedItem]:
         value = self.value
@@ -471,27 +644,104 @@ class TableBlock:
     4-9) iterates: ``zip(values, row_indexes, super_keys)`` touches no
     per-item objects.  Blocks are assembled run-by-run with slice copies from
     the packed fetch blocks.
+
+    For the vectorized prefilter kernels the block additionally tracks
+    ``value_runs`` (maximal runs of equal consecutive probe values, known
+    for free at assembly time) and — when every contributing fetch block
+    carries one — the packed fixed-width super-key buffer
+    (``super_key_bytes`` / ``key_width``), spliced together with slice
+    copies.  The integer ``super_keys`` column is materialised lazily, so
+    the kernel path never converts keys it does not read.
     """
 
     __slots__ = ("table_id", "values", "column_indexes", "row_indexes",
-                 "super_keys")
+                 "value_runs", "key_width", "super_key_bytes",
+                 "_super_keys", "_sk_sources", "cov_sources")
 
     def __init__(self, table_id: int):
         self.table_id = table_id
         self.values: list[str] = []
         self.column_indexes: list[int] = []
         self.row_indexes: list[int] = []
-        self.super_keys: list[int] = []
+        #: Maximal runs of equal consecutive probe values.
+        self.value_runs: list[ValueRun] = []
+        self.key_width: int | None = None
+        #: Packed super-key buffer; degrades to ``None`` once any
+        #: contributing block lacks one (or widths disagree).
+        self.super_key_bytes: bytearray | None = bytearray()
+        self._super_keys: list[int] | None = None
+        self._sk_sources: list[tuple[FetchBlock, int, int]] = []
+        #: Provenance of every appended run — ``(fetch block, fetch start,
+        #: table start, count)`` — for the coverage-splicing prefilter path;
+        #: degrades to ``None`` when a run arrives without a packed source
+        #: (spilled keys, per-item bridge).
+        self.cov_sources: list[tuple[FetchBlock, int, int, int]] | None = []
 
     def __len__(self) -> int:
         return len(self.values)
 
+    @property
+    def super_keys(self) -> list[int]:
+        """The integer super-key column (materialised lazily on first use)."""
+        column = self._super_keys
+        if column is None:
+            column = []
+            for block, start, end in self._sk_sources:
+                column.extend(block.super_keys[start:end])
+            self._super_keys = column
+            self._sk_sources = []
+        return column
+
+    def _note_run(self, value: str, position: int, count: int) -> None:
+        runs = self.value_runs
+        if runs and runs[-1][0] == value and runs[-1][2] == position:
+            runs[-1] = (value, runs[-1][1], position + count)
+        else:
+            runs.append((value, position, position + count))
+
     def extend_run(self, block: FetchBlock, start: int, end: int) -> None:
         """Append one table run of ``block`` (C-level slice copies)."""
-        self.values.extend(repeat(block.value, end - start))
+        count = end - start
+        position = len(self.row_indexes)
+        self.values.extend(repeat(block.value, count))
         self.column_indexes.extend(block.column_indexes[start:end])
         self.row_indexes.extend(block.row_indexes[start:end])
-        self.super_keys.extend(block.super_keys[start:end])
+        self._note_run(block.value, position, count)
+        if self.cov_sources is not None:
+            if block.super_key_bytes is not None:
+                self.cov_sources.append((block, start, position, count))
+            else:
+                self.cov_sources = None
+        packed = self.super_key_bytes
+        if packed is not None:
+            source = block.super_key_bytes
+            width = block.key_width
+            if source is not None and (
+                self.key_width is None or self.key_width == width
+            ):
+                self.key_width = width
+                packed += source[start * width : end * width]
+            else:
+                self.super_key_bytes = None
+                self.key_width = None
+        if self._super_keys is not None:
+            self._super_keys.extend(block.super_keys[start:end])
+        else:
+            self._sk_sources.append((block, start, end))
+
+    def append_item(
+        self, value: str, column_index: int, row_index: int, super_key: int
+    ) -> None:
+        """Append one classic per-item posting (the legacy-``fetch`` bridge)."""
+        position = len(self.row_indexes)
+        self.values.append(value)
+        self.column_indexes.append(column_index)
+        self.row_indexes.append(row_index)
+        self._note_run(value, position, 1)
+        self.super_key_bytes = None
+        self.key_width = None
+        self.cov_sources = None
+        self.super_keys.append(super_key)
 
     def items(self) -> list[FetchedItem]:
         """Materialise the block as classic per-item fetch records."""
@@ -540,10 +790,9 @@ def group_items_into_table_blocks(
         table_block = grouped.get(item.table_id)
         if table_block is None:
             table_block = grouped[item.table_id] = TableBlock(item.table_id)
-        table_block.values.append(item.value)
-        table_block.column_indexes.append(item.column_index)
-        table_block.row_indexes.append(item.row_index)
-        table_block.super_keys.append(item.super_key)
+        table_block.append_item(
+            item.value, item.column_index, item.row_index, item.super_key
+        )
     return grouped
 
 

@@ -326,16 +326,34 @@ class InvertedIndex:
                 columns = postings.get(value)
                 if columns is None or not len(columns):
                     continue
-                append(
-                    FetchBlock(
-                        value,
-                        columns.table_ids,
-                        columns.column_indexes,
-                        columns.row_indexes,
-                        columns.super_key_column(store),
-                        columns.runs(),
+                # Prefer the memoised packed super-key buffer (the kernel
+                # input); the integer column is only built when the store
+                # cannot pack (legacy dict store / spilled oversize key).
+                packed = columns.super_key_packed(store)
+                if packed is not None:
+                    append(
+                        FetchBlock(
+                            value,
+                            columns.table_ids,
+                            columns.column_indexes,
+                            columns.row_indexes,
+                            None,
+                            columns.runs(),
+                            super_key_bytes=packed,
+                            key_width=store.width_bytes,
+                        )
                     )
-                )
+                else:
+                    append(
+                        FetchBlock(
+                            value,
+                            columns.table_ids,
+                            columns.column_indexes,
+                            columns.row_indexes,
+                            columns.super_key_column(store),
+                            columns.runs(),
+                        )
+                    )
             return blocks
         return blocks_from_fetch(self.fetch(values))
 

@@ -290,16 +290,31 @@ class ShardedInvertedIndex:
                 value_columns = columns.get(value)
                 if value_columns is None or not len(value_columns):
                     continue
-                blocks.append(
-                    FetchBlock(
-                        value,
-                        value_columns.table_ids,
-                        value_columns.column_indexes,
-                        value_columns.row_indexes,
-                        value_columns.super_key_column(store),
-                        value_columns.runs(),
+                packed = value_columns.super_key_packed(store)
+                if packed is not None:
+                    blocks.append(
+                        FetchBlock(
+                            value,
+                            value_columns.table_ids,
+                            value_columns.column_indexes,
+                            value_columns.row_indexes,
+                            None,
+                            value_columns.runs(),
+                            super_key_bytes=packed,
+                            key_width=store.width_bytes,
+                        )
                     )
-                )
+                else:
+                    blocks.append(
+                        FetchBlock(
+                            value,
+                            value_columns.table_ids,
+                            value_columns.column_indexes,
+                            value_columns.row_indexes,
+                            value_columns.super_key_column(store),
+                            value_columns.runs(),
+                        )
+                    )
             return blocks
 
         postings: dict[str, list[PostingListItem]] = {}

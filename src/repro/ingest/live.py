@@ -42,7 +42,8 @@ from ..config import MateConfig
 from ..datamodel import MISSING, Table
 from ..exceptions import IndexClosedError, IndexError_, StorageError
 from ..index import FetchBlock, FetchedItem, InvertedIndex, compute_table_runs
-from ..storage.serialization import load_index_json, save_index_json
+from ..storage.paged import SEGMENT_SUFFIX, load_segment, write_segment
+from ..storage.serialization import load_index_json
 from .buffer import IngestBuffer
 from .segments import Segment, merge_segments
 from .wal import WriteAheadLog, repair_torn_tail, replay_wal
@@ -56,7 +57,21 @@ WAL_FILE = "wal.jsonl"
 
 
 def _segment_file(generation: int) -> str:
-    return f"segment-{generation:06d}.json"
+    """File name of a newly persisted segment (binary mmap format)."""
+    return f"segment-{generation:06d}{SEGMENT_SUFFIX}"
+
+
+def _load_segment_index(path: Path) -> InvertedIndex:
+    """Open one persisted segment: mmap ``.seg``, legacy JSON otherwise.
+
+    Directories written before the binary format keep loading — the
+    manifest records each segment's file name, so mixed stacks (old
+    ``.json`` next to new ``.seg``) recover fine and convert to ``.seg``
+    at the next seal or merge touching them.
+    """
+    if path.suffix == SEGMENT_SUFFIX:
+        return load_segment(path)
+    return load_index_json(path)
 
 
 def _fsync_path(path: Path) -> None:
@@ -69,10 +84,18 @@ def _fsync_path(path: Path) -> None:
 
 
 def _filter_block(block: FetchBlock, masked: frozenset[int]) -> FetchBlock | None:
-    """Drop the runs of masked tables from a fetch block (``None`` if empty)."""
+    """Drop the runs of masked tables from a fetch block (``None`` if empty).
+
+    When the source block carries a packed super-key buffer, the filtered
+    block keeps a packed buffer too (slice copies), so the vectorized
+    prefilter kernels stay engaged across the live index's masking path.
+    """
     table_ids: list[int] = []
     column_indexes: list[int] = []
     row_indexes: list[int] = []
+    width = block.key_width
+    source = block.super_key_bytes
+    packed: bytearray | None = bytearray() if source is not None else None
     super_keys: list[int] = []
     for table_id, start, end in block.runs:
         if table_id in masked:
@@ -80,7 +103,10 @@ def _filter_block(block: FetchBlock, masked: frozenset[int]) -> FetchBlock | Non
         table_ids.extend(block.table_ids[start:end])
         column_indexes.extend(block.column_indexes[start:end])
         row_indexes.extend(block.row_indexes[start:end])
-        super_keys.extend(block.super_keys[start:end])
+        if packed is not None:
+            packed += source[start * width : end * width]
+        else:
+            super_keys.extend(block.super_keys[start:end])
     if not table_ids:
         return None
     return FetchBlock(
@@ -88,29 +114,47 @@ def _filter_block(block: FetchBlock, masked: frozenset[int]) -> FetchBlock | Non
         table_ids,
         column_indexes,
         row_indexes,
-        super_keys,
+        None if packed is not None else super_keys,
         compute_table_runs(table_ids),
+        super_key_bytes=bytes(packed) if packed is not None else None,
+        key_width=width if packed is not None else None,
     )
 
 
 def _concat_blocks(value: str, blocks: Sequence[FetchBlock]) -> FetchBlock:
-    """Concatenate the per-component blocks of one value (component order)."""
+    """Concatenate the per-component blocks of one value (component order).
+
+    The packed super-key buffer survives concatenation when every component
+    block carries one of the same width; otherwise the merged block degrades
+    to the integer column.
+    """
     table_ids: list[int] = []
     column_indexes: list[int] = []
     row_indexes: list[int] = []
+    widths = {block.key_width for block in blocks}
+    packable = len(widths) == 1 and all(
+        block.super_key_bytes is not None for block in blocks
+    )
+    width = widths.pop() if packable else None
+    packed: bytearray | None = bytearray() if packable else None
     super_keys: list[int] = []
     for block in blocks:
         table_ids.extend(block.table_ids)
         column_indexes.extend(block.column_indexes)
         row_indexes.extend(block.row_indexes)
-        super_keys.extend(block.super_keys)
+        if packed is not None:
+            packed += block.super_key_bytes
+        else:
+            super_keys.extend(block.super_keys)
     return FetchBlock(
         value,
         table_ids,
         column_indexes,
         row_indexes,
-        super_keys,
+        None if packed is not None else super_keys,
         compute_table_runs(table_ids),
+        super_key_bytes=bytes(packed) if packed is not None else None,
+        key_width=width,
     )
 
 
@@ -318,9 +362,13 @@ class LiveIndex:
         Hash function for per-row super keys (default XASH).
     directory:
         Optional persistence root.  When given, mutations are written ahead
-        to ``wal.jsonl``, sealed segments are saved as versioned index JSON,
-        and ``manifest.json`` records the stack — reopening the directory
-        recovers the exact pre-crash state (manifest + WAL replay).
+        to ``wal.jsonl``, sealed segments are saved as binary mmap ``.seg``
+        files (:func:`repro.storage.paged.write_segment`), and
+        ``manifest.json`` records the stack — reopening the directory
+        recovers the exact pre-crash state (manifest + WAL replay) with
+        near-zero startup cost: segments are mapped, not parsed, and their
+        pages are shared with any other process mapping the same files.
+        Legacy JSON segments from older directories keep loading.
         ``None`` runs fully in memory (no durability).
     fsync:
         Whether WAL appends fsync (see :class:`~repro.ingest.wal.WriteAheadLog`).
@@ -572,9 +620,7 @@ class LiveIndex:
                 # truncation — the log may only shrink once its records are
                 # fully represented on disk elsewhere.
                 path = self.directory / _segment_file(segment.generation)
-                save_index_json(segment.index, path)
-                if self._fsync:
-                    _fsync_path(path)
+                write_segment(segment.index, path, fsync=self._fsync)
                 self._write_manifest_locked()
                 assert self._wal is not None
                 self._wal.truncate()
@@ -614,13 +660,17 @@ class LiveIndex:
                 # Merged segment durable first, then the manifest that
                 # references it; only then may the superseded files go.
                 path = self.directory / _segment_file(merged.generation)
-                save_index_json(merged.index, path)
-                if self._fsync:
-                    _fsync_path(path)
+                write_segment(merged.index, path, fsync=self._fsync)
                 self._write_manifest_locked()
                 for segment in slice_:
-                    stale = self.directory / _segment_file(segment.generation)
-                    stale.unlink(missing_ok=True)
+                    # The superseded file may predate the binary format;
+                    # unlinking a still-mapped .seg is safe (POSIX keeps
+                    # the pages alive for snapshots that pin the segment).
+                    base = f"segment-{segment.generation:06d}"
+                    for suffix in (SEGMENT_SUFFIX, ".json"):
+                        (self.directory / f"{base}{suffix}").unlink(
+                            missing_ok=True
+                        )
             return merged
 
     def compact(self) -> int:
@@ -796,7 +846,7 @@ class LiveIndex:
                 }
                 segments = []
                 for entry in payload.get("segments", []):
-                    index = load_index_json(self.directory / entry["file"])
+                    index = _load_segment_index(self.directory / entry["file"])
                     segments.append(
                         Segment(
                             index=index,

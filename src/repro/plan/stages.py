@@ -28,11 +28,13 @@ from time import perf_counter
 
 from ..core.filters import should_abandon_table
 from ..core.joinability import joinability_from_matches, row_contains_key
+from ..index import kernels
 from ..index.columnar import (
     TableBlock,
     fetch_table_blocks,
     group_into_table_blocks,
     group_items_into_table_blocks,
+    pack_super_keys,
 )
 from .context import PlanContext, StageResult
 from .planner import (
@@ -240,11 +242,125 @@ class CandidateGeneration(PlanStage):
 
 
 class SuperKeyPrefilter(PlanStage):
-    """Row filtering of one candidate table (lines 14-19 of Algorithm 1)."""
+    """Row filtering of one candidate table (lines 14-19 of Algorithm 1).
+
+    The hot path runs as a vectorized kernel
+    (:mod:`repro.index.kernels`) directly over the block's packed
+    super-key buffer — one batched reject test per distinct probe value
+    instead of a Python iteration per PL item — and falls back to the
+    verbatim per-row loop (:meth:`_execute_rows`) when kernels are off,
+    the row-filter mode needs corpus rows (``oracle``), or the block's
+    super keys cannot be packed.  Both paths produce bit-identical
+    survivors, counters, and stage statistics (pinned by the differential
+    kernel suite).
+    """
 
     name = STAGE_SUPERKEY_PREFILTER
 
     def _execute(self, context: PlanContext) -> StageResult:
+        mode = context.engine.row_filter.mode
+        if mode != "oracle" and kernels.active_kernel() is not None:
+            result = self._execute_kernel(context, mode)
+            if result is not None:
+                return result
+        return self._execute_rows(context)
+
+    def _execute_kernel(
+        self, context: PlanContext, mode: str
+    ) -> StageResult | None:
+        """Kernel path; ``None`` when the block cannot be packed."""
+        engine = context.engine
+        block = context.current_block
+        packed = None
+        width = 0
+        length_shift = None
+        if mode == "superkey":
+            generator = engine.row_filter.super_key_generator
+            packed = block.super_key_bytes
+            width = block.key_width or 0
+            length_shift = generator.length_segment_shift
+        topk = context.topk
+        min_joinability = (
+            topk.min_joinability()
+            if engine.use_table_filters and topk.is_full
+            else None
+        )
+        result = None
+        if mode == "superkey":
+            result = self._prefilter_mapped(
+                context, block, length_shift, min_joinability
+            )
+        if result is None:
+            if mode == "superkey" and packed is None:
+                width = max(1, (generator.hash_size + 7) // 8)
+                packed = pack_super_keys(block.super_keys, width)
+                if packed is None:
+                    return None
+            result = kernels.prefilter_block(
+                values=block.values,
+                row_indexes=block.row_indexes,
+                key_map=context.key_map,
+                posting_count=len(block),
+                value_runs=getattr(block, "value_runs", None),
+                packed=packed,
+                width=width,
+                mode=mode,
+                length_shift=length_shift,
+                min_joinability=min_joinability,
+            )
+        counters = context.counters
+        counters.rows_checked += result.rows_checked
+        counters.superkey_checks += result.superkey_checks
+        counters.short_circuit_hits += result.short_circuit_hits
+        detail = ""
+        if result.abandoned:
+            counters.tables_pruned_by_rule2 += 1
+            detail = "abandoned"
+        context.surviving = result.surviving
+        return StageResult(
+            self.name,
+            items_in=len(block),
+            items_out=len(result.surviving),
+            detail=detail,
+        )
+
+    @staticmethod
+    def _prefilter_mapped(
+        context: PlanContext,
+        block,
+        length_shift: int | None,
+        min_joinability: int | None,
+    ) -> "kernels.PrefilterResult | None":
+        """Coverage-splicing fast path; ``None`` without run provenance.
+
+        The reject test runs once per ``(probe value, key entry)`` over the
+        *whole* per-value fetch block (memoised there) and this table's
+        slice of the resulting bitmaps is evaluated with plain byte
+        operations — so the vector pass is amortised across every candidate
+        table sharing the value, which is what beats the row loop on the
+        few-row blocks per-table grouping produces.
+        """
+        sources = getattr(block, "cov_sources", None)
+        if sources is None:
+            return None
+        kernel = kernels.active_kernel() or "fallback"
+        key_map_get = context.key_map.get
+        run_cov = []
+        for source, fetch_start, table_start, count in sources:
+            entries = key_map_get(source.value, ())
+            if not entries:
+                continue
+            per_level = source.query_coverage(entries, length_shift, kernel)
+            run_cov.append((table_start, fetch_start, count, entries, per_level))
+        return kernels.prefilter_table_block(
+            row_indexes=block.row_indexes,
+            run_cov=run_cov,
+            posting_count=len(block),
+            min_joinability=min_joinability,
+        )
+
+    def _execute_rows(self, context: PlanContext) -> StageResult:
+        """The scalar per-row loop, kept verbatim (the kernels' oracle)."""
         engine = context.engine
         counters = context.counters
         topk = context.topk

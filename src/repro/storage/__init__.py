@@ -3,9 +3,16 @@
 from .backend import StorageBackend
 from .memory import InMemoryBackend
 from .paged import (
+    SEGMENT_FORMAT_VERSION,
+    SEGMENT_MAGIC,
+    SEGMENT_SUFFIX,
     FetchAccounting,
     FetchCostModel,
+    MappedSegmentIndex,
+    MappedSuperKeys,
     PagedPostingStore,
+    load_segment,
+    write_segment,
 )
 from .sharded import (
     list_sharded_indexes,
@@ -35,10 +42,17 @@ __all__ = [
     "FetchCostModel",
     "INDEX_FORMAT_VERSION",
     "InMemoryBackend",
+    "MappedSegmentIndex",
+    "MappedSuperKeys",
     "PagedPostingStore",
+    "SEGMENT_FORMAT_VERSION",
+    "SEGMENT_MAGIC",
+    "SEGMENT_SUFFIX",
     "SQLiteBackend",
     "StorageBackend",
     "SUPPORTED_INDEX_FORMAT_VERSIONS",
+    "load_segment",
+    "write_segment",
     "corpus_from_json",
     "corpus_to_json",
     "index_from_payload",

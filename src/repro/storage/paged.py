@@ -1,34 +1,62 @@
-"""Paged posting-list storage with a simulated buffer pool and fetch-cost model.
+"""Paged posting-list storage: mmap-backed segments and the fetch-cost model.
 
 The paper excludes index *fetch* time from the runtime comparison but notes
 that it "can vary between 1 and 40 seconds when the data and the index has to
 be retrieved from disk" (Section 7.2) — DWTC does not fit in memory.  The
-authors' deployment keeps the index in Vertica; neither that column store nor
-a 250 GB corpus are available here, so this module models the relevant
-behaviour instead:
+authors' deployment keeps the index in Vertica; this module provides the two
+storage layers the reproduction uses in its place:
 
-* :class:`PagedPostingStore` lays the posting lists of an
-  :class:`~repro.index.InvertedIndex` out on fixed-size pages (values in
-  sorted order, long posting lists spanning several pages) and serves fetches
-  through an LRU buffer pool, counting page hits and misses;
-* :class:`FetchCostModel` converts the page-miss count into an estimated
-  fetch latency (seek cost + per-page transfer cost), so the fetch-cost
-  experiment can report how the initial-column choice and the corpus profile
-  drive the 1-40 s range the paper mentions.
-
-The store is a *model*: it never bypasses the in-memory index for actual data
-access, it only accounts for what a disk-resident layout would have had to
-read.
+* **Binary mmap segments** — :func:`write_segment` persists a columnar
+  :class:`~repro.index.InvertedIndex` into a single ``.seg`` file whose
+  packed posting columns and super-key buffers are laid out 8-byte-aligned,
+  and :func:`load_segment` maps that file back with :mod:`mmap`:
+  :class:`MappedSegmentIndex` serves the full read surface of
+  :class:`~repro.index.InvertedIndex` through zero-copy
+  :class:`memoryview` casts into the mapping, so opening a multi-GB index
+  costs only the directory parse (pages fault in on demand and are shared
+  between processes mapping the same file).  :class:`MappedSuperKeys` backs
+  per-row super-key lookups by binary search over the mapped row table.
+* **The simulated paged store** — :class:`PagedPostingStore` lays posting
+  lists out on fixed-size pages served through an LRU buffer pool, and
+  :class:`FetchCostModel` converts page misses into an estimated fetch
+  latency, so the fetch-cost experiment can report how the initial-column
+  choice drives the 1-40 s range the paper mentions.  (The store is a
+  *model*: it only accounts for what a disk-resident layout would read.)
 """
 
 from __future__ import annotations
 
+import json
+import mmap
+import os
+import struct
+import sys
+from array import array
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+from zlib import crc32
 
-from ..exceptions import StorageError
-from ..index import FetchBlock, FetchedItem, InvertedIndex
+from ..exceptions import IndexError_, SegmentFormatError, StorageError
+from ..index import ColumnarPostingList, FetchBlock, FetchedItem, InvertedIndex
+
+#: File suffix of binary mmap segment files.
+SEGMENT_SUFFIX = ".seg"
+
+#: Leading magic of a segment file (8 bytes, also its alignment unit).
+SEGMENT_MAGIC = b"MATESEG1"
+
+#: Trailing magic inside the fixed-size footer; a torn write loses it.
+SEGMENT_FOOTER_MAGIC = b"MSG1"
+
+#: Version of the on-disk segment format this module reads and writes.
+SEGMENT_FORMAT_VERSION: int = 1
+
+#: Footer layout: directory offset, directory length, CRC32 of the
+#: directory bytes, trailing magic.  Fixed-size so the loader can find the
+#: directory from the end of the file without scanning the payload.
+_SEGMENT_FOOTER = struct.Struct("<QQI4s")
 
 #: Bytes a single PL item occupies on disk: table id, column id, row id as
 #: three 64-bit integers (matches repro.index.statistics.SCR_BYTES_PER_ENTRY).
@@ -271,3 +299,510 @@ class PagedPostingStore:
         """Clear the accumulated accounting and empty the buffer pool."""
         self.accounting = FetchAccounting()
         self._buffer.clear()
+
+
+# ----------------------------------------------------------------------
+# Binary mmap segments
+# ----------------------------------------------------------------------
+def _write_region(handle, data) -> int:
+    """Write one 8-byte-aligned region; return its file offset."""
+    position = handle.tell()
+    padding = (-position) % 8
+    if padding:
+        handle.write(b"\x00" * padding)
+        position += padding
+    handle.write(data)
+    return position
+
+
+def _column_bytes(column, typecode: str) -> bytes:
+    """Native-order raw bytes of a posting column (any backing container)."""
+    if isinstance(column, array) and column.typecode == typecode:
+        return column.tobytes()
+    if isinstance(column, memoryview) and column.format == typecode:
+        return bytes(column)
+    return array(typecode, column).tobytes()
+
+
+def write_segment(
+    index: InvertedIndex, path: str | Path, fsync: bool = True
+) -> Path:
+    """Persist a columnar index as one binary mmap-able ``.seg`` file.
+
+    Layout: leading :data:`SEGMENT_MAGIC`, then 8-byte-aligned raw regions —
+    per value the three posting columns (native byte order) plus, when every
+    row's key fits the configured width, the packed big-endian super-key
+    column (exactly the vectorized prefilter kernels' input); then one
+    global row table ((table_id, row_index) pairs sorted ascending, with a
+    parallel packed key buffer) for point lookups; then a JSON directory
+    naming every region, and the CRC-protected fixed footer.  Oversize
+    (spilled) super keys travel in the directory as hex strings.
+
+    The file is written to a temporary sibling and atomically renamed, so a
+    crash mid-write never leaves a half-segment under the target name.
+    """
+    if index.layout != "columnar":
+        raise SegmentFormatError(
+            f"segment files require the columnar layout (got {index.layout!r})"
+        )
+    # The packed store behind the index (intra-package by design: the
+    # segment format *is* the store's wire format).
+    store = index._super_keys
+    width = getattr(store, "width_bytes", 0) or max(1, (index.hash_size + 7) // 8)
+    limit = 1 << (8 * width)
+
+    pairs = array("q")
+    packed_rows = bytearray()
+    spill: list[list[object]] = []
+    for table_id, row_index, super_key in sorted(index.iter_super_keys()):
+        if 0 <= super_key < limit:
+            pairs.append(table_id)
+            pairs.append(row_index)
+            packed_rows += super_key.to_bytes(width, "big")
+        else:
+            spill.append([table_id, row_index, format(super_key, "x")])
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(SEGMENT_MAGIC)
+        values: list[list[object]] = []
+        for value in index.values():
+            columns = index.posting_columns(value)
+            if columns is None or not len(columns):
+                continue
+            packed = columns.super_key_packed(store)
+            entry: list[object] = [
+                value,
+                len(columns),
+                _write_region(handle, _column_bytes(columns.table_ids, "q")),
+                _write_region(
+                    handle, _column_bytes(columns.column_indexes, "i")
+                ),
+                _write_region(handle, _column_bytes(columns.row_indexes, "q")),
+                None if packed is None else _write_region(handle, bytes(packed)),
+            ]
+            values.append(entry)
+        pairs_offset = _write_region(handle, pairs.tobytes())
+        keys_offset = _write_region(handle, bytes(packed_rows))
+        directory = json.dumps(
+            {
+                "format_version": SEGMENT_FORMAT_VERSION,
+                "byteorder": sys.byteorder,
+                "hash_function": index.hash_function_name,
+                "hash_size": index.hash_size,
+                "key_width": width,
+                "values": values,
+                "rows": [len(pairs) // 2, pairs_offset, keys_offset],
+                "spill": spill,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        directory_offset = _write_region(handle, directory)
+        handle.write(
+            _SEGMENT_FOOTER.pack(
+                directory_offset,
+                len(directory),
+                crc32(directory) & 0xFFFFFFFF,
+                SEGMENT_FOOTER_MAGIC,
+            )
+        )
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    tmp.replace(path)
+    if fsync:
+        fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+    return path
+
+
+def load_segment(path: str | Path) -> "MappedSegmentIndex":
+    """Map a ``.seg`` file written by :func:`write_segment` (read-only).
+
+    Startup cost is the JSON directory parse only: posting columns and
+    super-key buffers stay in the mapping and are served through zero-copy
+    :class:`memoryview` casts, so a multi-GB segment opens in milliseconds
+    and its pages are shared between processes mapping the same file.
+    Structural damage — wrong magic, torn footer, checksum mismatch, region
+    offsets outside the file — raises
+    :class:`~repro.exceptions.SegmentFormatError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StorageError(f"segment file does not exist: {path}")
+    size = path.stat().st_size
+    if size < len(SEGMENT_MAGIC) + _SEGMENT_FOOTER.size:
+        raise SegmentFormatError(
+            f"segment file {path} is truncated ({size} bytes; a valid "
+            f"segment needs at least "
+            f"{len(SEGMENT_MAGIC) + _SEGMENT_FOOTER.size})"
+        )
+    with path.open("rb") as handle:
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        if mapping[: len(SEGMENT_MAGIC)] != SEGMENT_MAGIC:
+            raise SegmentFormatError(
+                f"segment file {path} has a wrong leading magic "
+                f"(not a segment file?)"
+            )
+        directory_offset, directory_length, checksum, trailer = (
+            _SEGMENT_FOOTER.unpack(mapping[size - _SEGMENT_FOOTER.size :])
+        )
+        if trailer != SEGMENT_FOOTER_MAGIC:
+            raise SegmentFormatError(
+                f"segment file {path} has a torn footer (missing trailing "
+                f"magic); the file was truncated or the write never finished"
+            )
+        if (
+            directory_offset < len(SEGMENT_MAGIC)
+            or directory_offset + directory_length > size - _SEGMENT_FOOTER.size
+        ):
+            raise SegmentFormatError(
+                f"segment file {path} directory points outside the file"
+            )
+        directory = mapping[
+            directory_offset : directory_offset + directory_length
+        ]
+        if crc32(directory) & 0xFFFFFFFF != checksum:
+            raise SegmentFormatError(
+                f"segment file {path} directory checksum mismatch "
+                f"(corrupt or torn file)"
+            )
+        try:
+            payload = json.loads(directory.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SegmentFormatError(
+                f"segment file {path} has an unparsable directory: {exc}"
+            ) from exc
+        return MappedSegmentIndex(path, mapping, payload, directory_offset)
+    except BaseException:
+        mapping.close()
+        raise
+
+
+class MappedSuperKeys:
+    """Read-only per-row super keys over one segment's mapped row table.
+
+    Point lookups binary-search the sorted ``(table_id, row_index)`` pair
+    column; packed columns are assembled with slice copies from the mapped
+    key buffer.  The store is immutable, so its ``epoch`` is forever 0 and
+    every memoised column computed from it stays valid for the life of the
+    mapping.  Oversize (spilled) keys live in a small plain dictionary.
+    """
+
+    __slots__ = ("width_bytes", "epoch", "_pairs", "_keys", "_count", "_spill")
+
+    def __init__(self, pairs, keys, count: int, width_bytes: int, spill: dict):
+        self.width_bytes = width_bytes
+        self.epoch = 0
+        self._pairs = pairs
+        self._keys = keys
+        self._count = count
+        self._spill = spill
+
+    def __len__(self) -> int:
+        return self._count + len(self._spill)
+
+    def _slot(self, table_id: int, row_index: int) -> int:
+        pairs = self._pairs
+        low, high = 0, self._count
+        while low < high:
+            mid = (low + high) // 2
+            position = 2 * mid
+            if (pairs[position], pairs[position + 1]) < (table_id, row_index):
+                low = mid + 1
+            else:
+                high = mid
+        position = 2 * low
+        if (
+            low < self._count
+            and pairs[position] == table_id
+            and pairs[position + 1] == row_index
+        ):
+            return low
+        return -1
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._spill or self._slot(*key) >= 0
+
+    def get(self, key: tuple[int, int], default: int | None = 0) -> int | None:
+        """Return the super key stored under ``key`` (or ``default``)."""
+        slot = self._slot(*key)
+        if slot < 0:
+            return self._spill.get(key, default)
+        width = self.width_bytes
+        offset = slot * width
+        return int.from_bytes(self._keys[offset : offset + width], "big")
+
+    def set(self, key: tuple[int, int], value: int) -> None:
+        raise IndexError_(
+            "mapped segments are read-only; rewrite the segment file to "
+            "change super keys"
+        )
+
+    def or_into(self, key: tuple[int, int], value_hash: int) -> int:
+        raise IndexError_(
+            "mapped segments are read-only; rewrite the segment file to "
+            "change super keys"
+        )
+
+    def pop(self, key: tuple[int, int]) -> None:
+        raise IndexError_(
+            "mapped segments are read-only; rewrite the segment file to "
+            "change super keys"
+        )
+
+    def items(self) -> Iterator[tuple[tuple[int, int], int]]:
+        """Iterate over ``((table_id, row_index), super_key)`` pairs."""
+        pairs = self._pairs
+        keys = self._keys
+        width = self.width_bytes
+        from_bytes = int.from_bytes
+        for slot in range(self._count):
+            position = 2 * slot
+            offset = slot * width
+            yield (
+                (pairs[position], pairs[position + 1]),
+                from_bytes(keys[offset : offset + width], "big"),
+            )
+        yield from self._spill.items()
+
+    def get_many(
+        self, table_ids: Sequence[int], row_indexes: Sequence[int]
+    ) -> list[int]:
+        """Return the super keys of the given rows (0 when absent), in order."""
+        get = self.get
+        return [get(key, 0) for key in zip(table_ids, row_indexes)]
+
+    def get_many_packed(
+        self, table_ids: Sequence[int], row_indexes: Sequence[int]
+    ) -> bytes | None:
+        """Packed key column of the given rows (``None`` on any spilled key).
+
+        The hot path never reaches this method: every value's packed column
+        is stored in the segment and pre-memoised at load time; this slow
+        per-row assembly only serves ad-hoc row sets.
+        """
+        width = self.width_bytes
+        keys = self._keys
+        spill = self._spill
+        out = bytearray(len(table_ids) * width)
+        position = 0
+        for key in zip(table_ids, row_indexes):
+            slot = self._slot(*key)
+            if slot < 0:
+                if spill and key in spill:
+                    return None
+            else:
+                offset = slot * width
+                out[position : position + width] = keys[offset : offset + width]
+            position += width
+        return bytes(out)
+
+    def table_ids_present(self) -> set[int]:
+        """Distinct table ids owning at least one row (pairs are sorted)."""
+        tables: set[int] = set()
+        pairs = self._pairs
+        for position in range(0, 2 * self._count, 2):
+            tables.add(pairs[position])
+        tables.update(table_id for table_id, _row in self._spill)
+        return tables
+
+    def detach(self) -> None:
+        """Drop the mapped views (the owning index is closing)."""
+        pairs = self._pairs
+        keys = self._keys
+        self._pairs = array("q")
+        self._keys = b""
+        self._count = 0
+        self._spill = {}
+        for view in (pairs, keys):
+            if isinstance(view, memoryview):
+                view.release()
+
+
+class MappedSegmentIndex(InvertedIndex):
+    """A read-only :class:`~repro.index.InvertedIndex` over one mapped file.
+
+    Serves the full read surface — ``fetch`` / ``fetch_batch`` /
+    ``posting_columns`` / ``super_key`` / iteration — with posting columns
+    that are :class:`memoryview` casts straight into the mapping (zero
+    copy); per-value packed super-key columns come pre-memoised from the
+    file, so the first ``fetch_batch`` is as warm as a repeated one.
+    Mutations raise :class:`~repro.exceptions.IndexError_`; :meth:`close`
+    unmaps the file, after which any fetch raises
+    :class:`~repro.exceptions.IndexClosedError`.
+    """
+
+    def __init__(self, path: Path, mapping: mmap.mmap, payload: dict, data_end: int):
+        try:
+            version = int(payload["format_version"])
+            if version != SEGMENT_FORMAT_VERSION:
+                raise SegmentFormatError(
+                    f"segment file {path} has unsupported format version "
+                    f"{version} (supported: {SEGMENT_FORMAT_VERSION})"
+                )
+            byteorder = payload["byteorder"]
+            if byteorder not in ("little", "big"):
+                raise SegmentFormatError(
+                    f"segment file {path} declares unknown byte order "
+                    f"{byteorder!r}"
+                )
+            super().__init__(
+                hash_function_name=payload["hash_function"],
+                hash_size=int(payload["hash_size"]),
+                layout="columnar",
+            )
+            self.path = path
+            self._mm: mmap.mmap | None = mapping
+            self._data: memoryview | None = memoryview(mapping)
+            self._data_end = data_end
+            # Cross-endian segments load through a byteswapped copy; the
+            # zero-copy fast path requires matching native order.
+            swap = byteorder != sys.byteorder
+            width = int(payload["key_width"])
+            if width <= 0:
+                raise SegmentFormatError(
+                    f"segment file {path} declares invalid key width {width}"
+                )
+            count, pairs_offset, keys_offset = payload["rows"]
+            count = int(count)
+            store = MappedSuperKeys(
+                self._int_column(pairs_offset, 2 * count, "q", swap),
+                self._region(keys_offset, count * width, "row key buffer"),
+                count,
+                width,
+                {
+                    (int(table_id), int(row_index)): int(key_hex, 16)
+                    for table_id, row_index, key_hex in payload["spill"]
+                },
+            )
+            self._super_keys = store
+            for value, n, tids, cols, rows, keys in payload["values"]:
+                n = int(n)
+                columns = ColumnarPostingList()
+                columns.table_ids = self._int_column(tids, n, "q", swap)
+                columns.column_indexes = self._int_column(cols, n, "i", swap)
+                columns.row_indexes = self._int_column(rows, n, "q", swap)
+                columns._packed_cache = (
+                    store,
+                    0,
+                    n,
+                    None
+                    if keys is None
+                    else self._region(keys, n * width, "super-key column"),
+                )
+                self._postings[value] = columns
+        except SegmentFormatError:
+            raise
+        except (KeyError, TypeError, ValueError, struct.error) as exc:
+            raise SegmentFormatError(
+                f"segment file {path} has a malformed directory: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Region access
+    # ------------------------------------------------------------------
+    def _region(self, offset, length: int, what: str) -> memoryview:
+        offset = int(offset)
+        if (
+            offset < len(SEGMENT_MAGIC)
+            or length < 0
+            or offset + length > self._data_end
+        ):
+            raise SegmentFormatError(
+                f"segment file {self.path}: {what} region "
+                f"[{offset}, {offset + length}) lies outside the payload"
+            )
+        assert self._data is not None
+        return self._data[offset : offset + length]
+
+    def _int_column(self, offset, n: int, typecode: str, swap: bool):
+        itemsize = array(typecode).itemsize
+        view = self._region(offset, n * itemsize, f"'{typecode}' column")
+        if not swap:
+            return view.cast(typecode)
+        column = array(typecode)
+        column.frombytes(bytes(view))
+        column.byteswap()
+        return column
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the segment file (idempotent).
+
+        Any later ``fetch`` / ``fetch_batch`` raises
+        :class:`~repro.exceptions.IndexClosedError`.  Fetch blocks handed
+        out earlier keep their buffers alive: the OS unmaps the pages when
+        the last exported view is released.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._postings = {}
+        self._table_rows = {}
+        store = self._super_keys
+        if isinstance(store, MappedSuperKeys):
+            store.detach()
+        data = self._data
+        self._data = None
+        if data is not None:
+            data.release()
+        mapping = self._mm
+        self._mm = None
+        if mapping is not None:
+            try:
+                mapping.close()
+            except BufferError:
+                # Still-exported buffers (live fetch blocks) pin the
+                # mapping; it goes away with their last reference.
+                pass
+
+    # ------------------------------------------------------------------
+    # Read-only surface adjustments
+    # ------------------------------------------------------------------
+    def indexed_tables(self) -> set[int]:
+        """Return the ids of all tables with at least one indexed row."""
+        store = self._super_keys
+        if isinstance(store, MappedSuperKeys):
+            return store.table_ids_present()
+        return super().indexed_tables()
+
+    def _read_only(self, operation: str) -> None:
+        self._ensure_open(operation)
+        raise IndexError_(
+            f"{operation} on the read-only mapped segment {self.path}; "
+            "rebuild and rewrite the file to change it"
+        )
+
+    def add_posting(self, *args, **kwargs) -> None:
+        self._read_only("add_posting")
+
+    def set_posting_columns(self, *args, **kwargs) -> None:
+        self._read_only("set_posting_columns")
+
+    def set_super_key(self, *args, **kwargs) -> None:
+        self._read_only("set_super_key")
+
+    def or_into_super_key(self, *args, **kwargs) -> int:
+        self._read_only("or_into_super_key")
+        raise AssertionError("unreachable")
+
+    def remove_table(self, *args, **kwargs) -> int:
+        self._read_only("remove_table")
+        raise AssertionError("unreachable")
+
+    def remove_row(self, *args, **kwargs) -> int:
+        self._read_only("remove_row")
+        raise AssertionError("unreachable")
+
+    def remove_column(self, *args, **kwargs) -> int:
+        self._read_only("remove_column")
+        raise AssertionError("unreachable")

@@ -5,6 +5,22 @@ from __future__ import annotations
 import time
 
 
+def available_kernel_modes() -> list[str]:
+    """Prefilter kernel modes exercisable in this environment.
+
+    Always contains ``"off"`` (the per-row loop) and ``"fallback"`` (the
+    pure-stdlib kernel); ``"numpy"`` is appended when numpy is importable.
+    Parametrizing over this list keeps the equivalence suites meaningful on
+    the no-numpy CI entry instead of erroring out.
+    """
+    from repro.index import numpy_available
+
+    modes = ["off", "fallback"]
+    if numpy_available():
+        modes.append("numpy")
+    return modes
+
+
 def legacy_discover(engine, query, k=None, *, budget=None, on_snapshot=None):
     """The pre-planner ``MateDiscovery.discover`` loop, kept verbatim.
 

@@ -1,0 +1,374 @@
+"""Lifecycle tests for mmap-backed ``.seg`` segments (repro.storage.paged).
+
+Covers the whole contract of the persisted columnar segment format:
+
+* write / load round trip — fetch output, super keys, and discovery results
+  byte-identical to the in-memory index the segment was written from, with
+  the packed kernel input served as zero-copy views into the mapping;
+* a *second process* mapping the same file sees identical postings (the
+  shared-page claim, proven with a real subprocess);
+* explicit close semantics — reads after :meth:`close` raise
+  :class:`~repro.exceptions.IndexClosedError`, close is idempotent;
+* read-only semantics — every mutation raises ``IndexError_``;
+* structural damage — truncation, wrong magic, torn footer, checksum
+  mismatch — raises the typed
+  :class:`~repro.exceptions.SegmentFormatError`, never garbage output;
+* oversize (spilled) super keys survive the round trip;
+* the live-index directory: seal persists ``.seg`` files, reopening
+  recovers identical fetches, and legacy JSON segment files keep loading.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import struct
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import LiveIndex, MateConfig, MateDiscovery, Table, TableCorpus, build_index
+from repro.datamodel import QueryTable
+from repro.exceptions import (
+    IndexClosedError,
+    IndexError_,
+    SegmentFormatError,
+    StorageError,
+)
+from repro.storage import (
+    SEGMENT_MAGIC,
+    SEGMENT_SUFFIX,
+    MappedSegmentIndex,
+    load_segment,
+    write_segment,
+)
+from repro.storage.serialization import save_index_json
+
+CONFIG = MateConfig(
+    hash_size=128, k=3, expected_unique_values=1000, index_layout="columnar"
+)
+
+COLUMNS = ["name", "city", "team"]
+
+PROBES = [f"n{i}" for i in range(13)] + [f"c{i}" for i in range(13)] + ["absent"]
+
+
+def make_corpus(seed: int = 7, num_tables: int = 6) -> TableCorpus:
+    rng = random.Random(seed)
+    corpus = TableCorpus(name="seg")
+    for table_id in range(num_tables):
+        rows = [
+            [f"n{rng.randint(0, 12)}", f"c{rng.randint(0, 12)}", f"t{rng.randint(0, 12)}"]
+            for _ in range(rng.randint(2, 8))
+        ]
+        corpus.add_table(
+            Table(table_id=table_id, name=f"t{table_id}", columns=COLUMNS, rows=rows)
+        )
+    return corpus
+
+
+def make_query(seed: int = 3) -> QueryTable:
+    rng = random.Random(seed)
+    table = Table(
+        table_id=9_999,
+        name="q",
+        columns=["name", "city"],
+        rows=[[f"n{rng.randint(0, 12)}", f"c{rng.randint(0, 12)}"] for _ in range(5)],
+    )
+    return QueryTable(table=table, key_columns=["name", "city"])
+
+
+def fetch_signature(index) -> list:
+    """Order-preserving, JSON-able dump of everything a fetch can see."""
+    return [
+        [
+            item.value,
+            item.table_id,
+            item.column_index,
+            item.row_index,
+            item.super_key,
+        ]
+        for item in index.fetch(PROBES)
+    ]
+
+
+@pytest.fixture()
+def segment(tmp_path):
+    corpus = make_corpus()
+    index = build_index(corpus, config=CONFIG)
+    path = write_segment(index, tmp_path / f"seg-0001{SEGMENT_SUFFIX}", fsync=False)
+    return corpus, index, path
+
+
+class TestRoundTrip:
+    def test_fetch_identity(self, segment):
+        _corpus, index, path = segment
+        mapped = load_segment(path)
+        try:
+            assert isinstance(mapped, MappedSegmentIndex)
+            assert mapped.hash_function_name == index.hash_function_name
+            assert mapped.hash_size == index.hash_size
+            assert fetch_signature(mapped) == fetch_signature(index)
+            assert sorted(mapped.iter_super_keys()) == sorted(
+                index.iter_super_keys()
+            )
+            assert mapped.indexed_tables() == index.indexed_tables()
+        finally:
+            mapped.close()
+
+    def test_blocks_carry_zero_copy_packed_views(self, segment):
+        _corpus, _index, path = segment
+        mapped = load_segment(path)
+        try:
+            blocks = mapped.fetch_batch(PROBES)
+            assert blocks
+            for block in blocks:
+                # The kernels' input: packed big-endian keys, zero copy.
+                assert isinstance(block.super_key_bytes, memoryview)
+                assert block.key_width == CONFIG.hash_size // 8
+                assert isinstance(block.table_ids, memoryview)
+        finally:
+            mapped.close()
+
+    def test_discovery_results_identical(self, segment):
+        corpus, index, path = segment
+        mapped = load_segment(path)
+        try:
+            query = make_query()
+            live = MateDiscovery(corpus, index, config=CONFIG).discover(query)
+            cold = MateDiscovery(corpus, mapped, config=CONFIG).discover(query)
+            assert cold.result_tuples() == live.result_tuples()
+            mine = cold.counters.as_dict()
+            theirs = live.counters.as_dict()
+            for volatile in ("runtime_seconds", "stages"):
+                mine.pop(volatile, None)
+                theirs.pop(volatile, None)
+            assert mine == theirs
+        finally:
+            mapped.close()
+
+    def test_second_process_sees_identical_postings(self, segment):
+        _corpus, index, path = segment
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        script = (
+            "import json, sys\n"
+            f"sys.path.insert(0, {src_dir!r})\n"
+            "from repro.storage import load_segment\n"
+            f"index = load_segment({str(path)!r})\n"
+            f"probes = {PROBES!r}\n"
+            "items = [[i.value, i.table_id, i.column_index, i.row_index,"
+            " i.super_key] for i in index.fetch(probes)]\n"
+            "print(json.dumps(items))\n"
+            "index.close()\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert json.loads(completed.stdout) == fetch_signature(index)
+
+    def test_oversize_spilled_key_round_trip(self, tmp_path):
+        corpus = make_corpus(seed=1, num_tables=2)
+        index = build_index(corpus, config=CONFIG)
+        wide = 1 << 300  # far beyond the 128-bit packed slots
+        index.set_super_key(0, 0, wide)
+        path = write_segment(index, tmp_path / f"wide{SEGMENT_SUFFIX}", fsync=False)
+        mapped = load_segment(path)
+        try:
+            assert sorted(mapped.iter_super_keys()) == sorted(
+                index.iter_super_keys()
+            )
+            assert fetch_signature(mapped) == fetch_signature(index)
+        finally:
+            mapped.close()
+
+
+class TestCloseSemantics:
+    def test_reads_after_close_raise_typed_error(self, segment):
+        _corpus, _index, path = segment
+        mapped = load_segment(path)
+        mapped.close()
+        with pytest.raises(IndexClosedError):
+            mapped.fetch(["n1"])
+        with pytest.raises(IndexClosedError):
+            mapped.fetch_batch(["n1"])
+        with pytest.raises(IndexClosedError):
+            mapped.add_posting("n1", 0, 0, 0)
+
+    def test_close_is_idempotent(self, segment):
+        _corpus, _index, path = segment
+        mapped = load_segment(path)
+        mapped.close()
+        mapped.close()
+
+    def test_close_with_outstanding_blocks(self, segment):
+        # A fetched block pins mapping buffers; close() must still succeed
+        # (the mapping is released when the last view dies).
+        _corpus, _index, path = segment
+        mapped = load_segment(path)
+        blocks = mapped.fetch_batch(PROBES)
+        assert blocks
+        mapped.close()
+        assert len(blocks[0]) > 0  # the snapshot stays readable
+
+    def test_unlink_while_mapped_keeps_serving(self, segment):
+        # POSIX semantics the live index's compaction relies on: unlinking
+        # a mapped segment must not disturb readers of the open mapping.
+        _corpus, index, path = segment
+        mapped = load_segment(path)
+        try:
+            Path(path).unlink()
+            assert fetch_signature(mapped) == fetch_signature(index)
+        finally:
+            mapped.close()
+
+
+class TestReadOnly:
+    def test_every_mutation_raises(self, segment):
+        _corpus, _index, path = segment
+        mapped = load_segment(path)
+        try:
+            with pytest.raises(IndexError_):
+                mapped.add_posting("n1", 0, 0, 0)
+            with pytest.raises(IndexError_):
+                mapped.set_super_key(0, 0, 1)
+            with pytest.raises(IndexError_):
+                mapped.or_into_super_key(0, 0, 1)
+            with pytest.raises(IndexError_):
+                mapped.remove_table(0)
+            with pytest.raises(IndexError_):
+                mapped.remove_row(0, 0)
+            with pytest.raises(IndexError_):
+                mapped.remove_column(0, 0)
+        finally:
+            mapped.close()
+
+
+class TestStructuralDamage:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_segment(tmp_path / "nope.seg")
+
+    def test_too_small_file(self, tmp_path):
+        path = tmp_path / "tiny.seg"
+        path.write_bytes(b"x")
+        with pytest.raises(SegmentFormatError, match="truncated"):
+            load_segment(path)
+
+    def test_wrong_leading_magic(self, segment, tmp_path):
+        _corpus, _index, path = segment
+        data = bytearray(Path(path).read_bytes())
+        data[:8] = b"NOTASEGM"
+        bad = tmp_path / "magic.seg"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(SegmentFormatError, match="leading magic"):
+            load_segment(bad)
+
+    def test_truncated_file_is_a_torn_footer(self, segment, tmp_path):
+        _corpus, _index, path = segment
+        data = Path(path).read_bytes()
+        torn = tmp_path / "torn.seg"
+        torn.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SegmentFormatError):
+            load_segment(torn)
+
+    def test_flipped_directory_byte_fails_checksum(self, segment, tmp_path):
+        _corpus, _index, path = segment
+        data = bytearray(Path(path).read_bytes())
+        footer = struct.Struct("<QQI4s")
+        directory_offset, _length, _crc, _magic = footer.unpack(
+            bytes(data[-footer.size :])
+        )
+        data[directory_offset] ^= 0xFF
+        bad = tmp_path / "crc.seg"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(SegmentFormatError, match="checksum"):
+            load_segment(bad)
+
+    def test_magic_prefix_alone_is_rejected(self, tmp_path):
+        path = tmp_path / "husk.seg"
+        path.write_bytes(SEGMENT_MAGIC + b"\x00" * 64)
+        with pytest.raises(SegmentFormatError):
+            load_segment(path)
+
+
+class TestLiveIndexSegments:
+    def make_table(self, table_id: int, seed: int) -> Table:
+        rng = random.Random(seed)
+        rows = [
+            [f"n{rng.randint(0, 12)}", f"c{rng.randint(0, 12)}", f"t{rng.randint(0, 12)}"]
+            for _ in range(rng.randint(2, 6))
+        ]
+        return Table(
+            table_id=table_id, name=f"t{table_id}", columns=COLUMNS, rows=rows
+        )
+
+    def test_seal_persists_binary_segments(self, tmp_path):
+        live = LiveIndex(config=CONFIG, directory=tmp_path, fsync=False)
+        live.add_table(self.make_table(1, 11))
+        live.seal()
+        live.close()
+        seg_files = sorted(tmp_path.glob(f"*{SEGMENT_SUFFIX}"))
+        assert len(seg_files) == 1
+        assert seg_files[0].read_bytes()[:8] == SEGMENT_MAGIC
+        assert not list(tmp_path.glob("segment-*.json"))
+
+    def test_reopened_directory_serves_identical_fetches(self, tmp_path):
+        live = LiveIndex(config=CONFIG, directory=tmp_path, fsync=False)
+        for table_id in (1, 2, 3):
+            live.add_table(self.make_table(table_id, table_id))
+            if table_id != 3:
+                live.seal()
+        expected = [list(map(list, live.fetch([probe]))) for probe in PROBES]
+        live.close()
+        reopened = LiveIndex(config=CONFIG, directory=tmp_path, fsync=False)
+        try:
+            assert [
+                list(map(list, reopened.fetch([probe]))) for probe in PROBES
+            ] == expected
+        finally:
+            reopened.close()
+
+    def test_merge_drops_stale_segment_files(self, tmp_path):
+        live = LiveIndex(config=CONFIG, directory=tmp_path, fsync=False)
+        for table_id in (1, 2):
+            live.add_table(self.make_table(table_id, table_id))
+            live.seal()
+        assert len(list(tmp_path.glob(f"*{SEGMENT_SUFFIX}"))) == 2
+        assert live.merge(0, None) is not None
+        assert len(list(tmp_path.glob(f"*{SEGMENT_SUFFIX}"))) == 1
+        live.close()
+
+    def test_legacy_json_segment_still_loads(self, tmp_path):
+        live = LiveIndex(config=CONFIG, directory=tmp_path, fsync=False)
+        live.add_table(self.make_table(1, 5))
+        live.seal()
+        expected = [list(map(list, live.fetch([probe]))) for probe in PROBES]
+        live.close()
+
+        # Rewrite the directory the way a pre-binary-format process left it:
+        # a JSON segment file, referenced by name from the manifest.
+        (seg_path,) = tmp_path.glob(f"*{SEGMENT_SUFFIX}")
+        mapped = load_segment(seg_path)
+        json_path = seg_path.with_suffix(".json")
+        save_index_json(mapped, json_path)
+        mapped.close()
+        seg_path.unlink()
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["segments"][0]["file"] = json_path.name
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+
+        reopened = LiveIndex(config=CONFIG, directory=tmp_path, fsync=False)
+        try:
+            assert [
+                list(map(list, reopened.fetch([probe]))) for probe in PROBES
+            ] == expected
+        finally:
+            reopened.close()
