@@ -1,0 +1,31 @@
+"""Benchmark: process-pool serving study (extension).
+
+Validates the deployment contract of :mod:`repro.serve`: the process-per-
+shard pool (plain and hedged) answers every query byte-identically to the
+in-process thread engine, and reports the latency distribution plus the
+scatter/gather stage seconds a serving deployment would watch.
+"""
+
+from repro.experiments import run_serving
+
+from .common import bench_settings, publish
+
+
+def test_serve(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(run_serving, settings, workload_name="WT_100", num_shards=2)
+    publish(result, "serve")
+
+    rows = result.row_dicts()
+    modes = {row["mode"] for row in rows}
+    assert modes == {"threads", "process", "process+hedge"}
+    for row in rows:
+        # Serving correctness: every mode reproduces the thread engine's
+        # top-k exactly — the property the whole pool design rests on.
+        assert row["identical"] == "yes"
+        assert row["p50 ms"] >= 0
+        assert row["p99 ms"] >= row["p50 ms"]
+        if row["mode"] != "threads":
+            # The pool attaches scatter/gather stage stats to every result.
+            assert row["scatter s"] >= 0
+            assert row["gather s"] > 0

@@ -94,6 +94,45 @@ def check_planner(directory: Path) -> list[str]:
     return problems
 
 
+def check_serve(directory: Path) -> list[str]:
+    payload = _load(directory, "serve")
+    problems = []
+    for column in ("scatter s", "gather s", "identical"):
+        if column not in payload["headers"]:
+            problems.append(f"BENCH_serve.json headers lack {column!r}")
+    if problems:
+        return problems
+    rows = {row["mode"]: row for row in payload["row_dicts"]}
+    expected = {"threads", "process", "process+hedge"}
+    if not expected <= set(rows):
+        return [
+            f"BENCH_serve.json rows {sorted(rows)} are missing "
+            f"{sorted(expected - set(rows))}"
+        ]
+    for mode in expected:
+        row = rows[mode]
+        # The serving contract: every mode's top-k matched the thread engine.
+        if row["identical"] != "yes":
+            problems.append(
+                f"BENCH_serve.json {mode!r}: top-k diverged from the thread "
+                "engine ('identical' is not 'yes')"
+            )
+        for column in ("scatter s", "gather s"):
+            try:
+                value = float(row[column])
+            except (KeyError, ValueError) as exc:
+                problems.append(
+                    f"BENCH_serve.json {mode!r} lacks a numeric "
+                    f"{column!r} column: {exc}"
+                )
+                continue
+            if value < 0:
+                problems.append(
+                    f"BENCH_serve.json {mode!r} {column!r} is negative"
+                )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -103,12 +142,17 @@ def main(argv: list[str] | None = None) -> int:
         help="directory holding the BENCH_*.json artifacts",
     )
     args = parser.parse_args(argv)
-    problems = check_columnar(args.dir) + check_planner(args.dir)
+    problems = (
+        check_columnar(args.dir) + check_planner(args.dir) + check_serve(args.dir)
+    )
     if problems:
         for problem in problems:
             print(f"error: {problem}", file=sys.stderr)
         return 1
-    print("bench stage stats OK: prefilter columns present, kernel beats loop")
+    print(
+        "bench stage stats OK: prefilter columns present, kernel beats "
+        "loop, serving top-k identical"
+    )
     return 0
 
 

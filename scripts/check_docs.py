@@ -18,8 +18,17 @@ DOCS = ("README.md", "docs/ARCHITECTURE.md")
 
 #: Headings (exact substrings) each document must contain.
 REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
-    "docs/ARCHITECTURE.md": ("## Query planning", "## Vectorized execution"),
-    "README.md": ("--explain", "MATE_KERNEL", "Mmap-backed segments"),
+    "docs/ARCHITECTURE.md": (
+        "## Query planning",
+        "## Vectorized execution",
+        "## Process-parallel serving",
+    ),
+    "README.md": (
+        "--explain",
+        "MATE_KERNEL",
+        "Mmap-backed segments",
+        "## Serving",
+    ),
 }
 
 

@@ -39,6 +39,7 @@ from repro.experiments import (  # noqa: E402
     run_columnar,
     run_ingest,
     run_planner,
+    run_serving,
 )
 
 
@@ -58,11 +59,16 @@ def _bench_planner(settings: ExperimentSettings) -> ExperimentResult:
     return run_planner(settings)
 
 
+def _bench_serve(settings: ExperimentSettings) -> ExperimentResult:
+    return run_serving(settings, num_shards=2)
+
+
 #: name -> callable(settings) -> ExperimentResult
 BENCHMARKS = {
     "columnar": _bench_columnar,
     "ingest": _bench_ingest,
     "planner": _bench_planner,
+    "serve": _bench_serve,
     "service": _bench_service,
 }
 

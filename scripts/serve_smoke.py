@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""HTTP serving smoke test (run by the CI ``serving`` job).
+
+Boots the real thing — ``python -m repro.cli serve`` with the process-pool
+execution mode — as a subprocess on an ephemeral port, then verifies the
+deployment contract end to end over actual sockets:
+
+* concurrent ``POST /v1/discover`` requests (process-pool ``sharded``
+  engine) return top-k results byte-identical to an in-process session on
+  the same corpus;
+* a zero-capacity instance answers 429 with a ``Retry-After`` header
+  (backpressure is visible to clients, not just internal);
+* SIGTERM drains gracefully: the server prints its drain banner and exits 0.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--queries 4]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro import DiscoveryRequest, DiscoverySession, MateConfig  # noqa: E402
+from repro.datagen import build_workload  # noqa: E402
+from repro.storage import save_corpus_json  # noqa: E402
+
+SERVE_BANNER = "serving on http://"
+NUM_SHARDS = 2
+K = 5
+
+
+def launch_server(corpus_path: Path, extra_args: list[str]) -> tuple:
+    """Start ``repro.cli serve`` and wait for its listening banner."""
+    env = dict(os.environ, PYTHONPATH=str(_SRC))
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            str(corpus_path),
+            "--port",
+            "0",
+            "--execution",
+            "process",
+            "--shards",
+            str(NUM_SHARDS),
+            *extra_args,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 120
+    base_url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited during startup (rc={process.poll()})"
+            )
+        print(f"  [server] {line.rstrip()}")
+        if SERVE_BANNER in line:
+            base_url = line.split(SERVE_BANNER, 1)[1].strip()
+            return process, f"http://{base_url}"
+    raise AssertionError("server never printed its listening banner")
+
+
+def post_discover(base_url: str, body: dict) -> tuple:
+    request = urllib.request.Request(
+        f"{base_url}/v1/discover",
+        data=json.dumps(body).encode("utf-8"),
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.load(response), dict(response.headers)
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read() or b"{}"), dict(error.headers)
+
+
+def discover_body(query) -> dict:
+    return {
+        "query": {
+            "name": query.table.name,
+            "columns": list(query.table.columns),
+            "rows": [list(row) for row in query.table.rows],
+        },
+        "key_columns": list(query.key_columns),
+        "k": K,
+        "engine": "sharded",
+    }
+
+
+def shutdown(process: subprocess.Popen) -> tuple[int, str]:
+    process.send_signal(signal.SIGTERM)
+    try:
+        remainder = process.communicate(timeout=60)[0] or ""
+    except subprocess.TimeoutExpired:
+        process.kill()
+        raise AssertionError("server did not exit within 60s of SIGTERM")
+    return process.returncode, remainder
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--queries", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    workload = build_workload(
+        "WT_100", seed=31, num_queries=args.queries, corpus_scale=0.3
+    )
+    queries = workload.queries
+
+    # The in-process reference: same corpus, same config the CLI builds.
+    print("building in-process reference results ...")
+    config = MateConfig(hash_size=128)
+    with DiscoverySession(workload.corpus, config=config) as session:
+        reference = [
+            json.loads(
+                json.dumps(
+                    session.discover(
+                        DiscoveryRequest(query=query, k=K, engine="sharded")
+                    ).to_dict()
+                )
+            )["tables"]
+            for query in queries
+        ]
+
+    with tempfile.TemporaryDirectory(prefix="mate-serve-smoke-") as tmp:
+        corpus_path = save_corpus_json(workload.corpus, Path(tmp) / "corpus.json")
+
+        print("launching process-pool server ...")
+        process, base_url = launch_server(corpus_path, extra_args=[])
+        try:
+            with ThreadPoolExecutor(max_workers=len(queries)) as pool:
+                responses = list(
+                    pool.map(
+                        lambda query: post_discover(base_url, discover_body(query)),
+                        queries,
+                    )
+                )
+            for query_index, (status, envelope, _) in enumerate(responses):
+                assert status == 200, f"query {query_index}: HTTP {status}"
+                served = envelope["tables"]
+                expected = reference[query_index]
+                assert served == expected, (
+                    f"query {query_index}: served top-k diverged from the "
+                    f"in-process session\n  served:   {served}\n"
+                    f"  expected: {expected}"
+                )
+            print(f"OK: {len(queries)} concurrent queries byte-identical")
+        finally:
+            returncode, remainder = shutdown(process)
+        assert returncode == 0, f"server exited {returncode} on SIGTERM"
+        assert "drained" in remainder, (
+            f"server did not print its drain banner; tail: {remainder[-500:]}"
+        )
+        print("OK: SIGTERM drained gracefully, exit 0")
+
+        print("launching zero-capacity server for the backpressure path ...")
+        process, base_url = launch_server(
+            corpus_path, extra_args=["--max-pending", "0"]
+        )
+        try:
+            status, envelope, headers = post_discover(
+                base_url, discover_body(queries[0])
+            )
+            assert status == 429, f"expected 429 at zero capacity, got {status}"
+            assert "Retry-After" in headers, "429 response lacks Retry-After"
+            print(
+                "OK: zero-capacity server rejected with 429, "
+                f"Retry-After={headers['Retry-After']}"
+            )
+        finally:
+            returncode, _ = shutdown(process)
+        assert returncode == 0, f"server exited {returncode} on SIGTERM"
+
+    print("serve smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,10 @@ self-contained Python library:
   budget enforcement and adaptive re-planning (``DiscoveryRequest.planner``);
 * :mod:`repro.service` — the serving layer: batch discovery with probe-value
   deduplication, an LRU posting-list cache, and worker-pool scheduling;
+* :mod:`repro.serve` — process-parallel serving: one worker process per
+  shard over mmap'd segments (``DiscoverySession(execution="process")``),
+  hedged shard requests, and the HTTP front end with admission control and
+  per-tenant quotas (the ``serve`` CLI subcommand);
 * :mod:`repro.baselines` — SCR, MCR, the JOSIE-based adaptations, and the
   prefix-tree related-work baseline;
 * :mod:`repro.lake` — data-lake ingestion (CSV / DWTC-style JSON), corpus
@@ -110,11 +114,19 @@ from .index import (
 )
 from .ingest import CompactionPolicy, Compactor, IngestBuffer, LiveIndex
 from .plan import Executor, Planner, PlannerOptions, QueryPlan
+from .serve import (
+    AdmissionController,
+    DiscoveryHTTPServer,
+    ProcessShardPool,
+    ServeConfig,
+    TenantQuota,
+)
 from .service import BatchDiscoveryResult, BatchStats, DiscoveryService
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
     "BatchDiscoveryResult",
     "BatchStats",
     "CompactionPolicy",
@@ -128,6 +140,7 @@ __all__ = [
     "DataLake",
     "DataModelError",
     "DiscoveryError",
+    "DiscoveryHTTPServer",
     "DiscoveryResult",
     "EngineNotFoundError",
     "EngineRegistry",
@@ -144,11 +157,13 @@ __all__ = [
     "MateError",
     "Planner",
     "PlannerOptions",
+    "ProcessShardPool",
     "QueryPlan",
     "QueryTable",
     "RequestBudget",
     "Row",
     "SCHEMA_VERSION",
+    "ServeConfig",
     "ServiceConfig",
     "SessionBatch",
     "SessionResult",
@@ -159,6 +174,7 @@ __all__ = [
     "Table",
     "TableCorpus",
     "TableResult",
+    "TenantQuota",
     "XashHashFunction",
     "available_engines",
     "available_hash_functions",

@@ -141,6 +141,27 @@ def _build_mate(session: "DiscoverySession", request: "DiscoveryRequest"):
 def _build_sharded(session: "DiscoverySession", request: "DiscoveryRequest"):
     # Builds its own per-shard indexes from the corpus (the engine's design:
     # one index per worker); the session's central index is not consulted.
+    # The session's execution mode picks the worker topology: "thread" runs
+    # the shards on a thread pool in-process, "process" hands each shard to
+    # a worker process over mmap'd segments (same partitioning, same merge,
+    # byte-identical top-k).
+    if getattr(session, "execution", "thread") == "process":
+        from ..serve.pool import ProcessShardPool, ServeConfig
+
+        serve_config = session.serve_config
+        if serve_config is None:
+            serve_config = ServeConfig(
+                num_shards=session.service_config.num_shards
+            )
+        return ProcessShardPool(
+            session.corpus,
+            config=session.config,
+            hash_function_name=request.hash_function or "xash",
+            column_selector=request.column_selector,
+            row_filter_mode=request.row_filter_mode,
+            use_table_filters=request.use_table_filters,
+            serve_config=serve_config,
+        )
     from ..core.parallel import ShardedMateDiscovery
 
     return ShardedMateDiscovery(

@@ -217,6 +217,18 @@ class RequestBudget:
             self.expired = True
         return self.expired
 
+    def remaining_seconds(self) -> float | None:
+        """Wall-clock allowance left, or ``None`` when there is no deadline.
+
+        Clamped at ``0.0`` once the deadline has passed (without latching
+        :attr:`expired` — this is a read, not a check).  The process-pool
+        scatter path uses it to forward the *remaining* allowance to shard
+        workers, whose ledgers start their own clocks on arrival.
+        """
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - self._clock())
+
     def cancel(self) -> None:
         """Expire the budget immediately (thread-safe, latched).
 

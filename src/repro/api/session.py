@@ -44,7 +44,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 from ..config import MateConfig, ServiceConfig
 from ..core.results import DiscoveryResult, TableResult
 from ..datamodel import Table, TableCorpus
-from ..exceptions import DiscoveryError, MateError
+from ..exceptions import ConfigurationError, DiscoveryError, MateError
 from ..index import InvertedIndex, ShardedInvertedIndex, build_index
 from ..metrics import CacheCounters, DiscoveryCounters
 from ..service.cache import CachingIndex
@@ -78,6 +78,16 @@ class DiscoverySession:
     registry:
         The engine registry to resolve request engine names against;
         defaults to the process-wide registry of :mod:`repro.api.registry`.
+    execution:
+        How the ``"sharded"`` engine runs its shards: ``"thread"`` (default,
+        in-process thread pool) or ``"process"`` — one worker process per
+        shard over mmap'd ``.seg`` segments
+        (:class:`~repro.serve.pool.ProcessShardPool`), byte-identical top-k,
+        true parallelism, and per-request budget support.
+    serve_config:
+        Process-pool knobs (:class:`~repro.serve.pool.ServeConfig`) for
+        ``execution="process"``; ``None`` derives the shard count from
+        ``service_config.num_shards``.
     """
 
     def __init__(
@@ -87,11 +97,19 @@ class DiscoverySession:
         config: MateConfig | None = None,
         service_config: ServiceConfig | None = None,
         registry: EngineRegistry | None = None,
+        execution: str = "thread",
+        serve_config=None,
     ):
+        if execution not in ("thread", "process"):
+            raise ConfigurationError(
+                f'execution must be "thread" or "process", got {execution!r}'
+            )
         self.corpus = corpus
         self.config = config or MateConfig()
         self.service_config = service_config or ServiceConfig()
         self.registry = registry or DEFAULT_REGISTRY
+        self.execution = execution
+        self.serve_config = serve_config
         if index is None:
             index = build_index(corpus, config=self.config)
         # Only a monolithic InvertedIndex can be partitioned here; sharded,
@@ -135,11 +153,20 @@ class DiscoverySession:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut down the session's scheduler (idempotent)."""
+        """Shut down the session's scheduler and cached engines (idempotent)."""
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        # Engines owning external resources (the process pool's workers and
+        # segment files) expose close(); in-process engines do not.
+        with self._engines_lock:
+            engines = list(self._engines.values())
+            self._engines.clear()
+        for _spec, engine in engines:
+            closer = getattr(engine, "close", None)
+            if callable(closer):
+                closer()
 
     def __enter__(self) -> "DiscoverySession":
         return self
@@ -170,6 +197,16 @@ class DiscoverySession:
     def engines(self) -> list[str]:
         """Names of the engines requests can address in this session."""
         return self.registry.names()
+
+    def cached_engines(self) -> list[object]:
+        """The engine instances built so far (one per request signature).
+
+        Introspection for serving layers: a stats endpoint walks these for
+        engines exposing ``statistics()`` (the process pool's scatter/gather
+        and hedge counters) without forcing any engine to be built.
+        """
+        with self._engines_lock:
+            return [engine for _spec, engine in self._engines.values()]
 
     # ------------------------------------------------------------------
     # Online ingestion (engine="live" sessions)
@@ -251,6 +288,13 @@ class DiscoverySession:
         built = (spec, spec.factory(self, request))
         with self._engines_lock:
             cached = self._engines.setdefault(signature, built)
+        if cached is not built:
+            # Lost the build race: another thread's engine is the cached one.
+            # Dispose of ours — engines can own real resources (the process
+            # pool holds worker processes and mmap'd segments).
+            closer = getattr(built[1], "close", None)
+            if callable(closer):
+                closer()
         return cached
 
     def _resolve_k(self, request: DiscoveryRequest) -> int:
@@ -258,18 +302,25 @@ class DiscoverySession:
 
     @staticmethod
     def _run_kwargs(
-        spec: EngineSpec, request: DiscoveryRequest, budget
+        spec: EngineSpec, request: DiscoveryRequest, budget, engine=None
     ) -> dict[str, object]:
         """Per-run keyword arguments, refusing knobs the engine cannot honour.
 
         Limits and planner options are enforced by engines registered with
         the matching capability; a request carrying either is refused on any
         other engine (the session never silently drops a knob it cannot
-        enforce).
+        enforce).  Capability can also be instance-level: one registered
+        name may build engines of different capability (the ``"sharded"``
+        spec builds a thread engine without budget support or a process
+        pool with it), so a truthy ``engine.supports_budget`` attribute
+        counts too.
         """
         kwargs: dict[str, object] = {}
         if budget is not None:
-            if not spec.supports_budget:
+            if not (
+                spec.supports_budget
+                or getattr(engine, "supports_budget", False)
+            ):
                 raise DiscoveryError(
                     f"engine {spec.name!r} does not support per-request "
                     "limits (deadline_seconds / max_pl_fetches)"
@@ -302,7 +353,7 @@ class DiscoverySession:
         k = self._resolve_k(request)
         budget = request.make_budget()
         try:
-            kwargs = self._run_kwargs(spec, request, budget)
+            kwargs = self._run_kwargs(spec, request, budget, engine)
             response = engine.discover(request.query, k=k, **kwargs)
         except MateError as error:
             raise error.with_context(engine=spec.name, request=request)
@@ -437,7 +488,11 @@ class DiscoverySession:
         if not spec.supports_budget:
             # Engines outside the MateDiscovery family expose neither the
             # budget nor the snapshot hook; stream degenerates to one item.
-            if request.limited:
+            # (Budget-capable instances — the process pool — still enforce
+            # limits inside discover(), they just cannot stream snapshots.)
+            if request.limited and not getattr(
+                engine, "supports_budget", False
+            ):
                 raise DiscoveryError(
                     f"engine {spec.name!r} does not support per-request limits"
                 ).with_context(engine=spec.name, request=request)

@@ -20,6 +20,12 @@ Four sub-commands cover the typical workflow:
     extension studies (scaling, fetch_cost, frequency_source, sharding,
     related_work, short_values, batch_service, ingest); print the resulting
     table and optionally save it as text/CSV/JSON via ``--out``.
+``serve``
+    Serve discovery requests over HTTP
+    (:class:`~repro.serve.http.DiscoveryHTTPServer`): bounded admission with
+    429 + Retry-After backpressure, per-tenant quotas, graceful drain on
+    SIGINT/SIGTERM, and ``--execution process`` for the process-per-shard
+    pool (scatter/gather over mmap'd segments, optional ``--hedge-after``).
 ``serve-batch``
     Answer a batch of query tables through a
     :class:`~repro.api.session.DiscoverySession`: a value-sharded index, an
@@ -72,6 +78,7 @@ from .experiments import (
     run_planner,
     run_related_work,
     run_scaling,
+    run_serving,
     run_sharding,
     run_short_values,
     run_table1,
@@ -109,6 +116,7 @@ EXPERIMENT_RUNNERS = {
     "scaling": run_scaling,
     "fetch_cost": run_fetch_cost,
     "frequency_source": run_frequency_source,
+    "serving": run_serving,
     "sharding": run_sharding,
     "related_work": run_related_work,
     "short_values": run_short_values,
@@ -215,6 +223,49 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="print the batch as the versioned JSON response "
                        "document instead of text")
+
+    serve_http = subparsers.add_parser(
+        "serve", help="serve discovery requests over HTTP"
+    )
+    serve_http.add_argument("corpus", type=Path, help="corpus JSON file")
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=8080,
+                            help="listen port (0 picks an ephemeral port; "
+                            "the bound address is printed on startup)")
+    serve_http.add_argument("--execution", choices=("thread", "process"),
+                            default="thread",
+                            help="how engine=sharded runs its shards: "
+                            "in-process threads or one worker process per "
+                            "shard over mmap'd segments")
+    serve_http.add_argument("--shards", type=int, default=4,
+                            help="number of shards (and worker processes "
+                            "with --execution process)")
+    serve_http.add_argument("--hedge-after", type=float, default=None,
+                            help="hedge a shard probe to a mirror worker "
+                            "after this many seconds (process execution)")
+    serve_http.add_argument("--segments-dir", type=Path, default=None,
+                            help="where the process pool writes its .seg "
+                            "files (default: a private temp directory)")
+    serve_http.add_argument("--cache-capacity", type=int, default=4096,
+                            help="LRU posting-list cache capacity (0 disables)")
+    serve_http.add_argument("--workers", type=int, default=4,
+                            help="session worker threads answering requests")
+    serve_http.add_argument("--max-pending", type=int, default=32,
+                            help="bounded in-flight queue: requests beyond "
+                            "this answer 429 with Retry-After")
+    serve_http.add_argument("--max-inflight-per-tenant", type=int, default=8,
+                            help="per-tenant (X-Tenant header) in-flight cap")
+    serve_http.add_argument("--max-fetches-per-request", type=int, default=None,
+                            help="clamp every request's posting-list fetch "
+                            "budget to this cap")
+    serve_http.add_argument("--retry-after", type=float, default=1.0,
+                            help="Retry-After hint (seconds) on 429 responses")
+    serve_http.add_argument("--drain-timeout", type=float, default=30.0,
+                            help="seconds to wait for in-flight requests on "
+                            "SIGINT/SIGTERM before closing anyway")
+    serve_http.add_argument("--default-engine", default="mate",
+                            help="engine used when a request names none")
+    serve_http.add_argument("--hash-size", type=int, default=128)
 
     ingest = subparsers.add_parser(
         "ingest", help="stream tables into a persisted live index"
@@ -540,6 +591,59 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from .serve import AdmissionController, DiscoveryHTTPServer, TenantQuota
+    from .serve.http import run_server
+    from .serve.pool import ServeConfig
+
+    corpus = load_corpus_json(args.corpus)
+    config = MateConfig(hash_size=args.hash_size)
+    service_config = ServiceConfig(
+        num_shards=args.shards,
+        cache_capacity=args.cache_capacity,
+        max_workers=args.workers,
+    )
+    serve_config = None
+    if args.execution == "process":
+        serve_config = ServeConfig(
+            num_shards=args.shards,
+            hedge_after_seconds=args.hedge_after,
+            segments_dir=args.segments_dir,
+        )
+    session = DiscoverySession(
+        corpus,
+        config=config,
+        service_config=service_config,
+        execution=args.execution,
+        serve_config=serve_config,
+    )
+    admission = AdmissionController(
+        max_pending=args.max_pending,
+        tenant_quota=TenantQuota(
+            max_inflight=args.max_inflight_per_tenant,
+            max_pl_fetches_per_request=args.max_fetches_per_request,
+        ),
+        retry_after_seconds=args.retry_after,
+    )
+    server = DiscoveryHTTPServer(
+        session,
+        admission=admission,
+        host=args.host,
+        port=args.port,
+        default_engine=args.default_engine,
+        drain_timeout=args.drain_timeout,
+    )
+    print(
+        f"loaded corpus with {len(corpus)} tables; execution={args.execution}, "
+        f"{args.shards} shards",
+        flush=True,
+    )
+    try:
+        return run_server(server)
+    finally:
+        session.close()
+
+
 def _command_profile(args: argparse.Namespace) -> int:
     source = Path(args.source)
     if source.is_dir():
@@ -581,6 +685,7 @@ def main(argv: list[str] | None = None) -> int:
         "index": _command_index,
         "discover": _command_discover,
         "experiment": _command_experiment,
+        "serve": _command_serve,
         "serve-batch": _command_serve_batch,
         "ingest": _command_ingest,
         "profile": _command_profile,

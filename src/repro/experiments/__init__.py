@@ -24,7 +24,8 @@ fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_sharding`), the prefix-tree related-work comparison
 (:func:`run_related_work`), the short-key-value study
 (:func:`run_short_values`), the batch-discovery serving layer
-(:func:`run_batch_service`), the columnar posting-layout comparison
+(:func:`run_batch_service`), the process-pool serving comparison
+(:func:`run_serving`), the columnar posting-layout comparison
 (:func:`run_columnar`), and the online-ingestion study
 (:func:`run_ingest`), and the query-planner study
 (:func:`run_planner`).
@@ -54,6 +55,7 @@ from .reporting import (
     save_result,
 )
 from .scaling import DEFAULT_SCALE_FACTORS, run_scaling
+from .serving import DEFAULT_SERVING_SHARDS, run_serving
 from .sharding import DEFAULT_SHARD_COUNTS, run_sharding
 from .short_values import (
     SHORT_VALUE_HASHES,
@@ -120,6 +122,7 @@ __all__ = [
     "run_planner",
     "run_related_work",
     "run_scaling",
+    "run_serving",
     "run_sharding",
     "run_short_values",
     "run_system",

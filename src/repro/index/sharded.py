@@ -37,9 +37,11 @@ asserts.
 
 from __future__ import annotations
 
+import json
 import zlib
 from collections import defaultdict
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from ..config import MateConfig
@@ -425,6 +427,208 @@ class ShardedInvertedIndex:
         for table_id, row_index, super_key in index.iter_super_keys():
             sharded.set_super_key(table_id, row_index, super_key)
         return sharded
+
+
+#: Name of the per-directory manifest describing a saved sharded index.
+SHARD_MANIFEST_NAME = "manifest.json"
+
+
+def save_shard_segments(
+    index: ShardedInvertedIndex, directory: str | Path
+) -> Path:
+    """Persist every shard of a columnar sharded index as a ``.seg`` file.
+
+    Writes ``shard_NN.seg`` per posting-list partition plus a
+    ``manifest.json`` recording the topology (shard count, hash function and
+    size, segment names), so :func:`open_shard_segments` can reconstruct the
+    exact same value routing — CRC-based :func:`shard_of_value` assignment
+    only holds if the shard count matches.
+
+    Shards store postings only; the super keys live in the index's central
+    per-row store.  Each shard segment is written *with* that central row
+    table (the store is temporarily attached to the shard during the write),
+    so every worker mapping a single shard still resolves any row's super
+    key — the property the process-per-shard serving mode relies on.
+    """
+    from ..storage.paged import write_segment
+
+    if index.layout != "columnar":
+        raise IndexError_(
+            "shard segments require the columnar layout "
+            f"(got {index.layout!r})"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = []
+    for shard_index in range(index.num_shards):
+        shard = index.shard(shard_index)
+        name = f"shard_{shard_index:02d}.seg"
+        own_store = shard._super_keys
+        shard._super_keys = index._super_keys
+        try:
+            write_segment(shard, directory / name)
+        finally:
+            shard._super_keys = own_store
+        names.append(name)
+    manifest = {
+        "num_shards": index.num_shards,
+        "hash_function": index.hash_function_name,
+        "hash_size": index.hash_size,
+        "segments": names,
+    }
+    (directory / SHARD_MANIFEST_NAME).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    return directory
+
+
+def open_shard_segments(
+    directory: str | Path,
+    max_workers: int | None = None,
+) -> "MappedShardedIndex":
+    """Map a directory written by :func:`save_shard_segments` (read-only)."""
+    directory = Path(directory)
+    manifest_path = directory / SHARD_MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise IndexError_(
+            f"no {SHARD_MANIFEST_NAME} in {directory}; not a saved "
+            "sharded index"
+        )
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    segments = [directory / name for name in manifest["segments"]]
+    if len(segments) != int(manifest["num_shards"]):
+        raise IndexError_(
+            f"manifest in {directory} names {len(segments)} segments for "
+            f"{manifest['num_shards']} shards"
+        )
+    return MappedShardedIndex(segments, manifest, max_workers=max_workers)
+
+
+class MappedShardedIndex(ShardedInvertedIndex):
+    """A read-only sharded index whose shards are mmap'd ``.seg`` segments.
+
+    Same value routing and fetch surface as a live
+    :class:`ShardedInvertedIndex` (bit-identical ``fetch_batch``), but every
+    posting-list partition is a zero-copy
+    :class:`~repro.storage.paged.MappedSegmentIndex` whose pages the OS
+    shares across processes mapping the same files.  Mutations raise — the
+    mapped segments are immutable; route writes through the ingestion
+    subsystem and re-save.
+    """
+
+    def __init__(
+        self,
+        segment_paths: Sequence[str | Path],
+        manifest: dict,
+        max_workers: int | None = None,
+    ):
+        from ..storage.paged import reopen_segment
+
+        hash_function = manifest["hash_function"]
+        hash_size = int(manifest["hash_size"])
+        super().__init__(
+            num_shards=max(len(segment_paths), 1),
+            hash_function_name=hash_function,
+            hash_size=hash_size,
+            max_workers=max_workers,
+            layout="columnar",
+        )
+        opened = []
+        try:
+            for path in segment_paths:
+                opened.append(
+                    reopen_segment(
+                        path,
+                        hash_function_name=hash_function,
+                        hash_size=hash_size,
+                    )
+                )
+        except BaseException:
+            for segment in opened:
+                segment.close()
+            raise
+        # Replace the freshly-built empty shards with the mapped segments.
+        # Every segment carries the full central row table (see
+        # save_shard_segments), so any of them can serve as the central
+        # super-key store; point lookups bind to the first.
+        self._shards = opened
+        if opened:
+            self._super_keys = opened[0]._super_keys
+
+    def indexed_tables(self) -> set[int]:
+        """Table ids present in the central row table (mutation-free source)."""
+        if not self._shards:
+            return set()
+        return self._shards[0].indexed_tables()
+
+    def fetch_batch(self, values: Iterable[str]) -> list[FetchBlock]:
+        """Route each probe value to its shard's own pre-memoised fetch.
+
+        Unlike the live index (central store attached on assembly), each
+        mapped shard resolves super keys against its *own* store so the
+        pre-memoised packed columns from the file are served zero-copy; the
+        blocks are reassembled in first-seen probe order, identical content
+        to the live index on the same corpus.
+        """
+        ordered = [v for v in dict.fromkeys(values) if v != MISSING]
+        by_shard: dict[int, list[str]] = defaultdict(list)
+        for value in ordered:
+            by_shard[self.shard_of(value)].append(value)
+        blocks: dict[str, FetchBlock] = {}
+        for shard_blocks in self._map_shards(self._fetch_shard_blocks, by_shard):
+            blocks.update(shard_blocks)
+        return [blocks[value] for value in ordered if value in blocks]
+
+    def _fetch_shard_blocks(
+        self, entry: tuple[int, list[str]]
+    ) -> dict[str, FetchBlock]:
+        shard_index, shard_values = entry
+        return {
+            block.value: block
+            for block in self._shards[shard_index].fetch_batch(shard_values)
+        }
+
+    def _read_only(self, operation: str) -> None:
+        raise IndexError_(
+            f"cannot {operation}: this sharded index maps read-only segment "
+            "files"
+        )
+
+    def add_posting(self, *args, **kwargs) -> None:
+        self._read_only("add postings")
+
+    def set_posting_columns(self, *args, **kwargs) -> None:
+        self._read_only("install posting columns")
+
+    def set_super_key(self, *args, **kwargs) -> None:
+        self._read_only("set super keys")
+
+    def or_into_super_key(self, *args, **kwargs) -> int:
+        self._read_only("update super keys")
+        raise AssertionError  # pragma: no cover - _read_only always raises
+
+    def remove_table(self, *args, **kwargs) -> int:
+        self._read_only("remove tables")
+        raise AssertionError  # pragma: no cover - _read_only always raises
+
+    def remove_row(self, *args, **kwargs) -> int:
+        self._read_only("remove rows")
+        raise AssertionError  # pragma: no cover - _read_only always raises
+
+    def remove_column(self, *args, **kwargs) -> int:
+        self._read_only("remove columns")
+        raise AssertionError  # pragma: no cover - _read_only always raises
+
+    def close(self) -> None:
+        """Unmap every shard segment (idempotent)."""
+        for segment in self._shards:
+            segment.close()
+
+    def __enter__(self) -> "MappedShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def build_sharded_index(

@@ -1,13 +1,15 @@
-"""Instrumentation: counters, timing, and precision aggregation."""
+"""Instrumentation: counters, timing, precision, and serving aggregates."""
 
 from .counters import CacheCounters, DiscoveryCounters
 from .precision import PrecisionSummary, precision, summarize_precision
+from .serving import ServeMetrics
 from .timing import StageStats, Stopwatch, timed
 
 __all__ = [
     "CacheCounters",
     "DiscoveryCounters",
     "PrecisionSummary",
+    "ServeMetrics",
     "StageStats",
     "Stopwatch",
     "precision",

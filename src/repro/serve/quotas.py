@@ -1,0 +1,207 @@
+"""Admission control for the serving front end: quotas and backpressure.
+
+The HTTP layer admits a request *before* any engine work happens, through
+:class:`AdmissionController.try_acquire`:
+
+* a **bounded in-flight queue** (``max_pending``): once that many requests
+  are being served, further arrivals get an immediate 429 with a
+  ``Retry-After`` hint instead of silently queueing without bound —
+  shedding load early is what keeps tail latency bounded under overload;
+* **per-tenant quotas** (:class:`TenantQuota`): a single tenant (the
+  ``X-Tenant`` request header) cannot occupy the whole pool, and its
+  per-request fetch budget can be capped so one expensive query cannot
+  starve the shard workers;
+* a **graceful drain** switch: :meth:`begin_drain` stops admitting new work
+  (503) while already-admitted requests run to completion;
+  :meth:`wait_drained` blocks until the last ticket is released.
+
+The controller is deliberately synchronous (a lock around plain counters),
+so the asyncio HTTP app and threaded tests share one implementation; the
+``clock`` is injectable for deterministic backpressure tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant serving limits, applied by the admission controller.
+
+    ``max_inflight`` bounds the number of concurrently admitted requests per
+    tenant; ``max_pl_fetches_per_request`` caps the per-request posting-list
+    fetch budget (a request asking for more — or for no limit at all — is
+    clamped down to the cap before it reaches the engine).
+    """
+
+    max_inflight: int = 8
+    max_pl_fetches_per_request: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_inflight <= 0:
+            raise ConfigurationError(
+                f"max_inflight must be positive, got {self.max_inflight}"
+            )
+        if (
+            self.max_pl_fetches_per_request is not None
+            and self.max_pl_fetches_per_request < 0
+        ):
+            raise ConfigurationError(
+                "max_pl_fetches_per_request must be non-negative, got "
+                f"{self.max_pl_fetches_per_request}"
+            )
+
+    def clamp_fetches(self, requested: int | None) -> int | None:
+        """Clamp a request's fetch budget to this tenant's per-request cap."""
+        cap = self.max_pl_fetches_per_request
+        if cap is None:
+            return requested
+        if requested is None:
+            return cap
+        return min(requested, cap)
+
+
+@dataclass(frozen=True)
+class AdmissionTicket:
+    """Proof of admission; hand it back via :meth:`AdmissionController.release`."""
+
+    tenant: str
+    admitted_at: float
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission attempt."""
+
+    admitted: bool
+    #: HTTP status the front end should answer with (200 family only when
+    #: ``admitted``): 429 = over capacity / quota, 503 = draining.
+    status: int = 200
+    reason: str = ""
+    #: ``Retry-After`` hint in seconds (only meaningful on 429).
+    retry_after_seconds: float | None = None
+    ticket: AdmissionTicket | None = None
+
+
+class AdmissionController:
+    """Bounded-admission gate shared by every connection of the server."""
+
+    def __init__(
+        self,
+        max_pending: int = 32,
+        tenant_quota: TenantQuota | None = None,
+        retry_after_seconds: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_pending < 0:
+            raise ConfigurationError(
+                f"max_pending must be non-negative, got {max_pending}"
+            )
+        self.max_pending = max_pending
+        self.tenant_quota = tenant_quota or TenantQuota()
+        self.retry_after_seconds = retry_after_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._drained = threading.Event()
+        self._drained.set()
+        self._inflight = 0
+        self._per_tenant: dict[str, int] = {}
+        self._draining = False
+        self.admitted_total = 0
+        self.rejected_total = 0
+        self.drained_rejects = 0
+
+    def try_acquire(self, tenant: str = "default") -> AdmissionDecision:
+        """Admit one request for ``tenant``, or explain the refusal."""
+        with self._lock:
+            if self._draining:
+                self.drained_rejects += 1
+                return AdmissionDecision(
+                    admitted=False, status=503, reason="server is draining"
+                )
+            if self._inflight >= self.max_pending:
+                self.rejected_total += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    status=429,
+                    reason=(
+                        f"at capacity ({self._inflight}/{self.max_pending} "
+                        "requests in flight)"
+                    ),
+                    retry_after_seconds=self.retry_after_seconds,
+                )
+            tenant_inflight = self._per_tenant.get(tenant, 0)
+            if tenant_inflight >= self.tenant_quota.max_inflight:
+                self.rejected_total += 1
+                return AdmissionDecision(
+                    admitted=False,
+                    status=429,
+                    reason=(
+                        f"tenant {tenant!r} at quota ({tenant_inflight}/"
+                        f"{self.tenant_quota.max_inflight} in flight)"
+                    ),
+                    retry_after_seconds=self.retry_after_seconds,
+                )
+            self._inflight += 1
+            self._per_tenant[tenant] = tenant_inflight + 1
+            self._drained.clear()
+            self.admitted_total += 1
+            return AdmissionDecision(
+                admitted=True,
+                ticket=AdmissionTicket(tenant=tenant, admitted_at=self._clock()),
+            )
+
+    def release(self, ticket: AdmissionTicket) -> None:
+        """Return an admitted request's slot (idempotence is the caller's job)."""
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+            remaining = self._per_tenant.get(ticket.tenant, 0) - 1
+            if remaining <= 0:
+                self._per_tenant.pop(ticket.tenant, None)
+            else:
+                self._per_tenant[ticket.tenant] = remaining
+            if self._inflight == 0:
+                self._drained.set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting new requests; in-flight ones run to completion."""
+        with self._lock:
+            self._draining = True
+            if self._inflight == 0:
+                self._drained.set()
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_drain` has been called."""
+        return self._draining
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request has been released."""
+        return self._drained.wait(timeout)
+
+    def stats(self) -> dict[str, object]:
+        """Counter snapshot for the ``/v1/stats`` endpoint."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_pending": self.max_pending,
+                "draining": self._draining,
+                "admitted_total": self.admitted_total,
+                "rejected_total": self.rejected_total,
+                "drained_rejects": self.drained_rejects,
+                "tenants": dict(self._per_tenant),
+            }
+
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionTicket",
+    "TenantQuota",
+]

@@ -12,6 +12,7 @@ from .paged import (
     MappedSuperKeys,
     PagedPostingStore,
     load_segment,
+    reopen_segment,
     write_segment,
 )
 from .sharded import (
@@ -52,6 +53,7 @@ __all__ = [
     "StorageBackend",
     "SUPPORTED_INDEX_FORMAT_VERSIONS",
     "load_segment",
+    "reopen_segment",
     "write_segment",
     "corpus_from_json",
     "corpus_to_json",

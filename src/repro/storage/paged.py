@@ -485,6 +485,50 @@ def load_segment(path: str | Path) -> "MappedSegmentIndex":
         raise
 
 
+def reopen_segment(
+    path: str | Path,
+    *,
+    hash_function_name: str | None = None,
+    hash_size: int | None = None,
+) -> "MappedSegmentIndex":
+    """Map a segment in another process, validating its hash configuration.
+
+    The worker side of the process-pool serving mode: a shard-owning worker
+    reopens the ``.seg`` file the pool parent wrote and must end up with an
+    index whose XASH parameters match the engine configuration it was told
+    to run — otherwise super-key prefiltering would silently reject every
+    row.  Pass the expected ``hash_function_name`` / ``hash_size`` (both
+    optional) and the mismatch becomes a loud
+    :class:`~repro.exceptions.ConfigurationError` at startup instead of an
+    empty result set at query time.
+
+    The mapping itself is identical to :func:`load_segment`; reopening the
+    same file from many workers shares its pages through the OS page cache.
+    """
+    from ..exceptions import ConfigurationError
+
+    index = load_segment(path)
+    try:
+        if (
+            hash_function_name is not None
+            and index.hash_function_name != hash_function_name
+        ):
+            raise ConfigurationError(
+                f"segment {path} was built with hash function "
+                f"{index.hash_function_name!r}, worker expects "
+                f"{hash_function_name!r}"
+            )
+        if hash_size is not None and index.hash_size != hash_size:
+            raise ConfigurationError(
+                f"segment {path} was built with hash_size "
+                f"{index.hash_size}, worker expects {hash_size}"
+            )
+    except BaseException:
+        index.close()
+        raise
+    return index
+
+
 class MappedSuperKeys:
     """Read-only per-row super keys over one segment's mapped row table.
 

@@ -49,6 +49,7 @@ def test_all_examples_are_covered():
         "composite_key_discovery.py",
         "batch_discovery_service.py",
         "live_ingest.py",
+        "http_serving.py",
     }
     assert scripts == covered
 
@@ -105,6 +106,12 @@ def test_live_ingest_streams_and_queries_concurrently():
     assert "ingested 120 tables" in output
     assert "concurrent top-1 joinability grew monotonically: True" in output
     assert "final top-3" in output
+
+
+def test_http_serving_round_trips_and_drains():
+    output = run_example("http_serving.py")
+    assert "served top-k identical to in-process engine: True" in output
+    assert "server drained cleanly" in output
 
 
 def test_composite_key_discovery_selects_timestamp_location():

@@ -15,6 +15,7 @@ import repro
 #: (and the README's Public API section, and ``SCHEMA_VERSION`` if response
 #: field names changed) in the same commit as any export change.
 EXPECTED_EXPORTS = [
+    "AdmissionController",
     "BatchDiscoveryResult",
     "BatchStats",
     "CompactionPolicy",
@@ -25,6 +26,7 @@ EXPECTED_EXPORTS = [
     "DataLake",
     "DataModelError",
     "DiscoveryError",
+    "DiscoveryHTTPServer",
     "DiscoveryRequest",
     "DiscoveryResult",
     "DiscoveryService",
@@ -44,11 +46,13 @@ EXPECTED_EXPORTS = [
     "MateError",
     "Planner",
     "PlannerOptions",
+    "ProcessShardPool",
     "QueryPlan",
     "QueryTable",
     "RequestBudget",
     "Row",
     "SCHEMA_VERSION",
+    "ServeConfig",
     "ServiceConfig",
     "SessionBatch",
     "SessionResult",
@@ -59,6 +63,7 @@ EXPECTED_EXPORTS = [
     "Table",
     "TableCorpus",
     "TableResult",
+    "TenantQuota",
     "XashHashFunction",
     "__version__",
     "available_engines",
