@@ -1,0 +1,59 @@
+"""Benchmark: the MinHash-LSH candidate tier vs exact MATE (extension).
+
+Runs the sketch-tier study (`repro.experiments.sketch`) on its skewed
+corpus and asserts the tier's value proposition: with a real containment
+threshold the candidate universe shrinks by at least 5x and the run gets
+faster, while measured recall against the exact top-k stays >= 0.95 — and
+with ``threshold=0`` the tier is exhaustive and the top-k is identical to
+the exact engine.  The smoke benchmark the CI bench job tracks via
+``scripts/export_bench_json.py`` (``BENCH_sketch.json``).
+"""
+
+from repro.experiments import SKETCH_MODES_UNDER_TEST, run_sketch
+
+from .common import bench_settings, publish
+
+#: The pruned candidate universe must be at least this much smaller.
+MIN_CANDIDATE_REDUCTION = 5.0
+
+#: Measured recall floor of the pruning row (the corpus is built so the
+#: genuine matches clear the threshold with margin; 1.0 in practice).
+MIN_RECALL = 0.95
+
+
+def test_sketch_tier(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.5)
+    result = run_once(run_sketch, settings)
+    publish(result, "sketch")
+
+    by_mode = {row["mode"]: row for row in result.row_dicts()}
+    assert set(by_mode) == set(SKETCH_MODES_UNDER_TEST)
+
+    # Correctness first: the exhaustive tier (threshold=0) must report the
+    # byte-identical top-k of the exact engine, and even the pruning row
+    # keeps the full top-k on this corpus.
+    for mode in SKETCH_MODES_UNDER_TEST:
+        assert by_mode[mode]["topk"] == "=", (
+            f"{mode} diverged from the exact top-k"
+        )
+    assert float(by_mode["sketch0"]["recall"]) == 1.0
+
+    # The headline claims: >= 5x fewer candidate tables enter the exact
+    # stages, recall stays above the floor, and the pruned run is faster
+    # than the exact one.
+    exact_candidates = int(by_mode["exact"]["candidates"])
+    pruned_candidates = int(by_mode["sketch"]["candidates"])
+    assert pruned_candidates * MIN_CANDIDATE_REDUCTION <= exact_candidates, (
+        f"candidate reduction below {MIN_CANDIDATE_REDUCTION}x: "
+        f"{exact_candidates} -> {pruned_candidates}"
+    )
+    assert float(by_mode["sketch"]["recall"]) >= MIN_RECALL
+    assert float(by_mode["sketch"]["est recall"]) > 0.0
+    assert float(by_mode["sketch"]["runtime s"]) < float(
+        by_mode["exact"]["runtime s"]
+    ), "pruned sketch run was not faster than the exact run"
+
+    # The prune shows up in the work counters, not just the wall clock.
+    assert int(by_mode["sketch"]["rows checked"]) < int(
+        by_mode["exact"]["rows checked"]
+    )

@@ -3,10 +3,12 @@
 
 Run by the CI ``bench-smoke`` job after ``scripts/export_bench_json.py``:
 asserts that the benchmark JSON actually carries the prefilter stage
-columns the performance trajectory is tracked by, and enforces the
+columns the performance trajectory is tracked by, enforces the
 kernel-vs-loop regression guard — the vectorized prefilter
 (``repro.index.kernels``) must beat the per-row loop on the prefilter
-stage of ``BENCH_columnar.json``.
+stage of ``BENCH_columnar.json`` — and enforces the sketch-tier
+recall-vs-speedup guard on ``BENCH_sketch.json`` (>= 5x candidate
+reduction at recall >= 0.95, threshold=0 byte-identical to exact).
 
 The speedup bound is deliberately lenient (CI runners are noisy and the
 smoke corpus is tiny); locally the kernels win by ~4-6x at benchmark
@@ -26,6 +28,12 @@ from pathlib import Path
 
 #: The prefilter kernels must be at least this much faster than the loop.
 MIN_KERNEL_SPEEDUP = 1.5
+
+#: The sketch prune must shrink the candidate universe at least this much.
+MIN_SKETCH_CANDIDATE_REDUCTION = 5.0
+
+#: Measured recall floor of the pruning sketch row.
+MIN_SKETCH_RECALL = 0.95
 
 
 def _load(directory: Path, name: str) -> dict:
@@ -133,6 +141,51 @@ def check_serve(directory: Path) -> list[str]:
     return problems
 
 
+def check_sketch(directory: Path) -> list[str]:
+    payload = _load(directory, "sketch")
+    rows = {row["mode"]: row for row in payload["row_dicts"]}
+    expected = {"exact", "sketch0", "sketch"}
+    if not expected <= set(rows):
+        return [
+            f"BENCH_sketch.json rows {sorted(rows)} are missing "
+            f"{sorted(expected - set(rows))}"
+        ]
+    problems = []
+    # The exhaustive tier (threshold=0) must match the exact engine exactly.
+    for mode in ("sketch0", "sketch"):
+        if rows[mode]["topk"] != "=":
+            problems.append(
+                f"BENCH_sketch.json {mode!r}: top-k diverged from the exact "
+                "engine ('topk' is not '=')"
+            )
+    try:
+        exact_candidates = int(rows["exact"]["candidates"])
+        pruned_candidates = int(rows["sketch"]["candidates"])
+        recall = float(rows["sketch"]["recall"])
+        exact_runtime = float(rows["exact"]["runtime s"])
+        sketch_runtime = float(rows["sketch"]["runtime s"])
+    except (KeyError, ValueError) as exc:
+        problems.append(f"BENCH_sketch.json lacks numeric guard columns: {exc}")
+        return problems
+    if pruned_candidates * MIN_SKETCH_CANDIDATE_REDUCTION > exact_candidates:
+        problems.append(
+            "sketch candidate-reduction regression: "
+            f"{exact_candidates} -> {pruned_candidates} is below the "
+            f"{MIN_SKETCH_CANDIDATE_REDUCTION}x guard"
+        )
+    if recall < MIN_SKETCH_RECALL:
+        problems.append(
+            f"sketch recall regression: {recall} is below the "
+            f"{MIN_SKETCH_RECALL} floor"
+        )
+    if sketch_runtime >= exact_runtime:
+        problems.append(
+            f"sketch speedup regression: pruned run {sketch_runtime}s is "
+            f"not faster than the exact run {exact_runtime}s"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -143,7 +196,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     problems = (
-        check_columnar(args.dir) + check_planner(args.dir) + check_serve(args.dir)
+        check_columnar(args.dir)
+        + check_planner(args.dir)
+        + check_serve(args.dir)
+        + check_sketch(args.dir)
     )
     if problems:
         for problem in problems:
@@ -151,7 +207,8 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     print(
         "bench stage stats OK: prefilter columns present, kernel beats "
-        "loop, serving top-k identical"
+        "loop, serving top-k identical, sketch prune within the "
+        "recall/speedup guard"
     )
     return 0
 

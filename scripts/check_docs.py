@@ -20,13 +20,16 @@ DOCS = ("README.md", "docs/ARCHITECTURE.md")
 REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
     "docs/ARCHITECTURE.md": (
         "## Query planning",
+        "## Sketch tier",
         "## Vectorized execution",
         "## Process-parallel serving",
     ),
     "README.md": (
         "--explain",
         "MATE_KERNEL",
+        "MATE_SKETCH",
         "Mmap-backed segments",
+        "Approximate tier",
         "## Serving",
     ),
 }

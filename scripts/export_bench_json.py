@@ -40,6 +40,7 @@ from repro.experiments import (  # noqa: E402
     run_ingest,
     run_planner,
     run_serving,
+    run_sketch,
 )
 
 
@@ -63,6 +64,10 @@ def _bench_serve(settings: ExperimentSettings) -> ExperimentResult:
     return run_serving(settings, num_shards=2)
 
 
+def _bench_sketch(settings: ExperimentSettings) -> ExperimentResult:
+    return run_sketch(settings)
+
+
 #: name -> callable(settings) -> ExperimentResult
 BENCHMARKS = {
     "columnar": _bench_columnar,
@@ -70,6 +75,7 @@ BENCHMARKS = {
     "planner": _bench_planner,
     "serve": _bench_serve,
     "service": _bench_service,
+    "sketch": _bench_sketch,
 }
 
 

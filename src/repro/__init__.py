@@ -19,6 +19,9 @@ self-contained Python library:
 * :mod:`repro.plan` — query planning: the explicit stage pipeline, the
   cost-based seed-column :class:`Planner`, and the :class:`Executor` with
   budget enforcement and adaptive re-planning (``DiscoveryRequest.planner``);
+* :mod:`repro.sketch` — the approximate candidate tier: per-column MinHash
+  signatures and a banded LSH index that prune the candidate universe ahead
+  of exact MATE (planner mode ``"sketch"`` + ``DiscoveryRequest.sketch``);
 * :mod:`repro.service` — the serving layer: batch discovery with probe-value
   deduplication, an LRU posting-list cache, and worker-pool scheduling;
 * :mod:`repro.serve` — process-parallel serving: one worker process per
@@ -114,6 +117,13 @@ from .index import (
 )
 from .ingest import CompactionPolicy, Compactor, IngestBuffer, LiveIndex
 from .plan import Executor, Planner, PlannerOptions, QueryPlan
+from .sketch import (
+    ColumnSketch,
+    SketchIndex,
+    SketchIndexConfig,
+    SketchOptions,
+    build_sketch_index,
+)
 from .serve import (
     AdmissionController,
     DiscoveryHTTPServer,
@@ -129,6 +139,7 @@ __all__ = [
     "AdmissionController",
     "BatchDiscoveryResult",
     "BatchStats",
+    "ColumnSketch",
     "CompactionPolicy",
     "Compactor",
     "ConfigurationError",
@@ -169,6 +180,9 @@ __all__ = [
     "SessionResult",
     "ShardedInvertedIndex",
     "ShardedMateDiscovery",
+    "SketchIndex",
+    "SketchIndexConfig",
+    "SketchOptions",
     "StorageError",
     "SuperKeyGenerator",
     "Table",
@@ -180,6 +194,7 @@ __all__ = [
     "available_hash_functions",
     "build_index",
     "build_sharded_index",
+    "build_sketch_index",
     "create_hash_function",
     "exact_joinability",
     "exact_joinability_score",

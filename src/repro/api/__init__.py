@@ -30,6 +30,7 @@ from .registry import (
 )
 from .request import DEFAULT_ENGINE, DiscoveryRequest, RequestBudget
 from ..plan import PlannerOptions
+from ..sketch import SketchOptions
 from .results import SessionBatch, SessionResult
 from .schema import SCHEMA_VERSION, json_envelope
 from .session import DiscoverySession
@@ -46,6 +47,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SessionBatch",
     "SessionResult",
+    "SketchOptions",
     "available_engines",
     "json_envelope",
     "register_engine",

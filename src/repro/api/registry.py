@@ -56,6 +56,9 @@ class EngineSpec:
     #: Whether the engine's ``discover`` accepts ``planner=`` (the
     #: planner/executor pipeline of :mod:`repro.plan`).
     supports_planner: bool = False
+    #: Whether the engine's ``discover`` accepts ``sketch=`` (the
+    #: approximate candidate tier of :mod:`repro.sketch`).
+    supports_sketch: bool = False
 
 
 class EngineRegistry:
@@ -73,6 +76,7 @@ class EngineRegistry:
         supports_budget: bool = False,
         supports_probe_values: bool = False,
         supports_planner: bool = False,
+        supports_sketch: bool = False,
         replace: bool = False,
     ) -> EngineSpec:
         """Register ``factory`` under ``name`` and return its spec.
@@ -96,6 +100,7 @@ class EngineRegistry:
             supports_budget=supports_budget,
             supports_probe_values=supports_probe_values,
             supports_planner=supports_planner,
+            supports_sketch=supports_sketch,
         )
         self._specs[name] = spec
         return spec
@@ -135,6 +140,7 @@ def _build_mate(session: "DiscoverySession", request: "DiscoveryRequest"):
         column_selector=request.column_selector,
         row_filter_mode=request.row_filter_mode,
         use_table_filters=request.use_table_filters,
+        sketch_provider=session.sketch_index,
     )
 
 
@@ -185,6 +191,7 @@ def _build_scr(session: "DiscoverySession", request: "DiscoveryRequest"):
         config=session.config,
         column_selector=request.column_selector,
         use_table_filters=request.use_table_filters,
+        sketch_provider=session.sketch_index,
     )
 
 
@@ -231,6 +238,7 @@ def _build_live(session: "DiscoverySession", request: "DiscoveryRequest"):
         column_selector=request.column_selector,
         row_filter_mode=request.row_filter_mode,
         use_table_filters=request.use_table_filters,
+        sketch_provider=session.sketch_index,
     )
 
 
@@ -242,6 +250,7 @@ def _register_builtins(registry: EngineRegistry) -> None:
         supports_budget=True,
         supports_probe_values=True,
         supports_planner=True,
+        supports_sketch=True,
     )
     registry.register(
         "sharded",
@@ -256,6 +265,7 @@ def _register_builtins(registry: EngineRegistry) -> None:
         supports_budget=True,
         supports_probe_values=True,
         supports_planner=True,
+        supports_sketch=True,
     )
     registry.register(
         "mcr",
@@ -280,6 +290,7 @@ def _register_builtins(registry: EngineRegistry) -> None:
         supports_budget=True,
         supports_probe_values=True,
         supports_planner=True,
+        supports_sketch=True,
     )
 
 
@@ -296,6 +307,7 @@ def register_engine(
     supports_budget: bool = False,
     supports_probe_values: bool = False,
     supports_planner: bool = False,
+    supports_sketch: bool = False,
     replace: bool = False,
 ) -> EngineSpec:
     """Register an engine in the default registry (entry-point style)."""
@@ -306,6 +318,7 @@ def register_engine(
         supports_budget=supports_budget,
         supports_probe_values=supports_probe_values,
         supports_planner=supports_planner,
+        supports_sketch=supports_sketch,
         replace=replace,
     )
 

@@ -29,6 +29,7 @@ from typing import Callable
 from ..datamodel import QueryTable
 from ..exceptions import DiscoveryError
 from ..plan.options import DEFAULT_PLANNER_OPTIONS, PlannerOptions
+from ..sketch.options import DEFAULT_SKETCH_OPTIONS, SketchOptions
 
 #: The default engine of every request (Algorithm 1 over the session index).
 DEFAULT_ENGINE = "mate"
@@ -64,6 +65,13 @@ class DiscoveryRequest:
         initiator column from index statistics, ``mode="adaptive"`` adds
         mid-run re-planning.  Non-default options are refused on engines
         that do not run the planner pipeline.
+    sketch:
+        The :class:`~repro.sketch.SketchOptions` of the approximate
+        candidate tier (planner mode ``"sketch"``): the containment
+        threshold / candidate cap of the MinHash-LSH prune.  Non-default
+        options require ``planner.mode="sketch"`` — they would otherwise be
+        silently ignored — and are refused on engines without sketch
+        support.
     request_id:
         Optional caller-supplied identifier used for attribution in logs,
         errors, and batch statistics.
@@ -79,6 +87,7 @@ class DiscoveryRequest:
     deadline_seconds: float | None = None
     max_pl_fetches: int | None = None
     planner: PlannerOptions = field(default_factory=PlannerOptions)
+    sketch: SketchOptions = field(default_factory=SketchOptions)
     request_id: str = ""
 
     def __post_init__(self) -> None:
@@ -112,6 +121,18 @@ class DiscoveryRequest:
                 f"{type(self.planner).__name__}",
                 request=self,
             )
+        if not isinstance(self.sketch, SketchOptions):
+            raise DiscoveryError(
+                "sketch must be a repro.sketch.SketchOptions, got "
+                f"{type(self.sketch).__name__}",
+                request=self,
+            )
+        if self.sketch != DEFAULT_SKETCH_OPTIONS and self.planner.mode != "sketch":
+            raise DiscoveryError(
+                "sketch options require planner mode 'sketch' (got mode "
+                f"{self.planner.mode!r}); they would otherwise be ignored",
+                request=self,
+            )
 
     # ------------------------------------------------------------------
     # Identity / dispatch helpers
@@ -138,12 +159,26 @@ class DiscoveryRequest:
         """
         return self.planner != DEFAULT_PLANNER_OPTIONS
 
+    @property
+    def sketch_requested(self) -> bool:
+        """Whether the request engages the approximate candidate tier.
+
+        True for planner mode ``"sketch"`` (even with exhaustive default
+        sketch options — the stage still runs and reports) and for any
+        non-default :attr:`sketch` options.
+        """
+        return (
+            self.planner.mode == "sketch" or self.sketch != DEFAULT_SKETCH_OPTIONS
+        )
+
     def engine_signature(self) -> tuple:
         """The engine-configuration identity of this request.
 
         Requests with equal signatures are served by the same (cached) engine
-        instance inside a session; the per-run inputs (query, ``k``, limits)
-        are deliberately excluded.
+        instance inside a session; the per-run inputs (query, ``k``, limits,
+        planner and sketch options) are deliberately excluded: the sketch
+        threshold travels to the executor per run, so one cached engine
+        (and its one sketch store) serves every threshold correctly.
         """
         return (
             self.engine,

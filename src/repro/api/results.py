@@ -96,6 +96,8 @@ class SessionResult:
                     "deadline_seconds": self.request.deadline_seconds,
                     "max_pl_fetches": self.request.max_pl_fetches,
                     "planner_mode": self.request.planner.mode,
+                    "sketch_threshold": self.request.sketch.threshold,
+                    "sketch_max_candidates": self.request.sketch.max_candidates,
                 },
                 "engine": self.engine,
                 "system": self.response.system,

@@ -146,6 +146,11 @@ class DiscoverySession:
         # per-run state of every engine is local to each discover() call.
         self._engines: dict[tuple, tuple[EngineSpec, object]] = {}
         self._engines_lock = threading.Lock()
+        # One MinHash-LSH sketch store shared by every cached engine: built
+        # lazily on the first sketch-mode request (or adopted from a live
+        # index, which keeps its own store incrementally fresh).
+        self._sketch_index = None
+        self._sketch_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
 
@@ -208,12 +213,52 @@ class DiscoverySession:
         with self._engines_lock:
             return [engine for _spec, engine in self._engines.values()]
 
+    def sketch_index(self):
+        """The session's shared MinHash-LSH sketch store (lazy, cached).
+
+        Built on the first sketch-mode request and reused by every cached
+        engine afterwards, so one bulk pass over the corpus serves all
+        thresholds (the threshold travels per run, not per store).  A
+        session owning a :class:`~repro.ingest.live.LiveIndex` adopts the
+        index's own store instead — that one stays incrementally fresh
+        across :meth:`ingest` / :meth:`remove` and segment compaction.
+        """
+        with self._sketch_lock:
+            if self._sketch_index is None:
+                provider = getattr(self.base_index, "sketch_index", None)
+                store = provider() if callable(provider) else None
+                if store is None:
+                    # No index-owned store (static index, or a recovered
+                    # live directory predating sketch persistence): bulk
+                    # build from the corpus.
+                    from ..sketch import build_sketch_index
+
+                    store = build_sketch_index(self.corpus)
+                self._sketch_index = store
+            return self._sketch_index
+
     # ------------------------------------------------------------------
     # Online ingestion (engine="live" sessions)
     # ------------------------------------------------------------------
     def _invalidate_cache(self) -> None:
         if isinstance(self.index, CachingIndex):
             self.index.cache.clear()
+
+    def _invalidate_sketch_cache(self) -> None:
+        """Drop a corpus-built sketch store after a write (rebuilt lazily).
+
+        A live index keeps its own store fresh inline, so when the cached
+        store *is* the index's own nothing needs to happen; only the
+        corpus-built fallback goes stale and is discarded.
+        """
+        provider = getattr(self.base_index, "sketch_index", None)
+        live_store = provider() if callable(provider) else None
+        with self._sketch_lock:
+            if (
+                self._sketch_index is not None
+                and self._sketch_index is not live_store
+            ):
+                self._sketch_index = None
 
     def ingest(self, table: Table) -> int:
         """Add ``table`` to the session's corpus and live index; returns rows.
@@ -249,6 +294,7 @@ class DiscoverySession:
                 self.corpus.add_table(stale)
             raise
         self._invalidate_cache()
+        self._invalidate_sketch_cache()
         return rows
 
     def remove(self, table_id: int) -> int:
@@ -270,6 +316,7 @@ class DiscoverySession:
             )
         removed = self.base_index.remove_table(table_id)
         self._invalidate_cache()
+        self._invalidate_sketch_cache()
         return removed
 
     # ------------------------------------------------------------------
@@ -306,14 +353,15 @@ class DiscoverySession:
     ) -> dict[str, object]:
         """Per-run keyword arguments, refusing knobs the engine cannot honour.
 
-        Limits and planner options are enforced by engines registered with
-        the matching capability; a request carrying either is refused on any
-        other engine (the session never silently drops a knob it cannot
-        enforce).  Capability can also be instance-level: one registered
-        name may build engines of different capability (the ``"sharded"``
-        spec builds a thread engine without budget support or a process
-        pool with it), so a truthy ``engine.supports_budget`` attribute
-        counts too.
+        Limits, planner options, and sketch options are enforced by engines
+        registered with the matching capability; a request carrying any of
+        them is refused on any other engine (the session never silently
+        drops a knob it cannot enforce).  Capability can also be
+        instance-level: one registered name may build engines of different
+        capability (the ``"sharded"`` spec builds a thread engine without
+        budget support or a process pool with it), so truthy
+        ``engine.supports_budget`` / ``supports_planner`` /
+        ``supports_sketch`` attributes count too.
         """
         kwargs: dict[str, object] = {}
         if budget is not None:
@@ -327,12 +375,25 @@ class DiscoverySession:
                 )
             kwargs["budget"] = budget
         if request.planner_requested:
-            if not spec.supports_planner:
+            if not (
+                spec.supports_planner
+                or getattr(engine, "supports_planner", False)
+            ):
                 raise DiscoveryError(
                     f"engine {spec.name!r} does not support planner options "
                     "(DiscoveryRequest.planner)"
                 )
             kwargs["planner"] = request.planner
+        if request.sketch_requested:
+            if not (
+                spec.supports_sketch
+                or getattr(engine, "supports_sketch", False)
+            ):
+                raise DiscoveryError(
+                    f"engine {spec.name!r} does not support the sketch tier "
+                    "(DiscoveryRequest.sketch / planner mode 'sketch')"
+                )
+            kwargs["sketch"] = request.sketch
         return kwargs
 
     def discover(self, request: DiscoveryRequest) -> SessionResult:

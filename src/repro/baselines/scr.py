@@ -31,6 +31,7 @@ class ScrDiscovery(MateDiscovery):
         config: MateConfig | None = None,
         column_selector: ColumnSelector | str = "cardinality",
         use_table_filters: bool = True,
+        sketch_provider=None,
     ):
         super().__init__(
             corpus=corpus,
@@ -40,4 +41,5 @@ class ScrDiscovery(MateDiscovery):
             column_selector=column_selector,
             row_filter_mode="none",
             use_table_filters=use_table_filters,
+            sketch_provider=sketch_provider,
         )

@@ -18,8 +18,16 @@ Four sub-commands cover the typical workflow:
     Run one of the paper's experiments (table1, table2, table3, figure4,
     figure5, figure6, topk, init_column, index_generation) or one of the
     extension studies (scaling, fetch_cost, frequency_source, sharding,
-    related_work, short_values, batch_service, ingest); print the resulting
-    table and optionally save it as text/CSV/JSON via ``--out``.
+    related_work, short_values, batch_service, ingest, sketch); print the
+    resulting table and optionally save it as text/CSV/JSON via ``--out``.
+``similarity``
+    Top-k *similarity-join* discovery (edit-distance tolerant matching on
+    top of the XASH prefilter); ``--sketch-threshold`` engages the
+    MinHash-LSH candidate tier of :mod:`repro.sketch` so only tables whose
+    estimated containment clears the threshold are verified.
+``union``
+    Top-k table *union search* (column-domain alignment through the
+    inverted index), with the same optional sketch prefilter.
 ``serve``
     Serve discovery requests over HTTP
     (:class:`~repro.serve.http.DiscoveryHTTPServer`): bounded admission with
@@ -81,13 +89,15 @@ from .experiments import (
     run_serving,
     run_sharding,
     run_short_values,
+    run_sketch,
     run_table1,
     run_table2,
     run_table3,
     run_topk,
 )
-from .extensions import discover_key_candidates
+from .extensions import SimilarityJoinDiscovery, UnionSearch, discover_key_candidates
 from .index import build_index, build_sharded_index
+from .sketch import SketchOptions, build_sketch_index
 from .lake import DataLake, profile_corpus
 from .storage import (
     SQLiteBackend,
@@ -120,7 +130,30 @@ EXPERIMENT_RUNNERS = {
     "sharding": run_sharding,
     "related_work": run_related_work,
     "short_values": run_short_values,
+    "sketch": run_sketch,
 }
+
+
+def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared approximate-tier flags to a sub-command."""
+    parser.add_argument(
+        "--sketch-threshold", type=float, default=0.0,
+        help="minimum estimated containment a table must reach to survive "
+        "the MinHash-LSH prune (0 = exhaustive, byte-identical results)",
+    )
+    parser.add_argument(
+        "--sketch-max-candidates", type=int, default=None,
+        help="hard cap on tables surviving the sketch prune "
+        "(best by estimated containment)",
+    )
+
+
+def _sketch_options(args: argparse.Namespace) -> SketchOptions:
+    """Build :class:`SketchOptions` from the shared CLI flags."""
+    return SketchOptions(
+        threshold=args.sketch_threshold,
+        max_candidates=args.sketch_max_candidates,
+    )
 
 
 
@@ -171,8 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--planner-mode", choices=PLANNER_MODES,
                           default="selector",
                           help="seed-column strategy: the classic column "
-                          "selector (default), the cost model, or cost "
-                          "with adaptive mid-run re-planning")
+                          "selector (default), the cost model, cost with "
+                          "adaptive mid-run re-planning, or the sketch "
+                          "candidate tier (implied by --sketch-threshold)")
+    _add_sketch_arguments(discover)
     discover.add_argument("--explain", action="store_true",
                           help="print the executed query plan (seed-column "
                           "estimates, per-stage timings, re-plans)")
@@ -303,6 +338,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of CSV/JSON-lines tables, or a corpus JSON file",
     )
 
+    similarity = subparsers.add_parser(
+        "similarity", help="find similarity-joinable tables (fuzzy matching)"
+    )
+    similarity.add_argument("corpus", type=Path, help="corpus JSON file")
+    similarity.add_argument("query", type=Path, help="query table CSV file")
+    similarity.add_argument("--key", nargs="+", required=True,
+                            help="composite key columns")
+    similarity.add_argument("--k", type=int, default=10)
+    similarity.add_argument("--hash-size", type=int, default=128)
+    similarity.add_argument("--max-distance", type=int, default=1,
+                            help="edit-distance budget per key value")
+    similarity.add_argument("--min-bit-overlap", type=float, default=0.6,
+                            help="super-key bit-overlap prefilter threshold")
+    similarity.add_argument("--json", action="store_true",
+                            help="print the ranking as JSON instead of text")
+    _add_sketch_arguments(similarity)
+
+    union = subparsers.add_parser(
+        "union", help="find unionable tables (column-domain alignment)"
+    )
+    union.add_argument("corpus", type=Path, help="corpus JSON file")
+    union.add_argument("query", type=Path, help="query table CSV file")
+    union.add_argument("--columns", nargs="+", default=None,
+                       help="query columns to align (default: all)")
+    union.add_argument("--k", type=int, default=10)
+    union.add_argument("--hash-size", type=int, default=128)
+    union.add_argument("--json", action="store_true",
+                       help="print the ranking as JSON instead of text")
+    _add_sketch_arguments(union)
+
     suggest = subparsers.add_parser(
         "suggest-key", help="discover composite-key candidates for a CSV table"
     )
@@ -389,13 +454,20 @@ def _command_discover(args: argparse.Namespace) -> int:
 
     query_table = table_from_csv(10_000_000, args.query)
     query = QueryTable(table=query_table, key_columns=[c.lower() for c in args.key])
+    sketch = _sketch_options(args)
+    planner_mode = args.planner_mode
+    if sketch.enabled and planner_mode == "selector":
+        # Non-default sketch knobs imply the sketch pipeline; an explicit
+        # cost/adaptive mode conflicts and is rejected by request validation.
+        planner_mode = "sketch"
     request = DiscoveryRequest(
         query=query,
         k=args.k,
         engine=args.engine,
         deadline_seconds=args.deadline_seconds,
         max_pl_fetches=args.max_pl_fetches,
-        planner=PlannerOptions(mode=args.planner_mode),
+        planner=PlannerOptions(mode=planner_mode),
+        sketch=sketch,
     )
     with DiscoverySession(corpus, index, config=config) as session:
         result = session.discover(request)
@@ -410,6 +482,10 @@ def _command_discover(args: argparse.Namespace) -> int:
     counters = result.counters
     print(f"rows checked: {counters.rows_checked}, precision: {counters.precision:.2f}, "
           f"runtime: {counters.runtime_seconds:.3f}s")
+    if "sketch_candidates" in counters.extra:
+        print(f"sketch: {int(counters.extra['sketch_candidates'])} candidate "
+              "tables after the LSH prune (estimated recall "
+              f"{counters.extra['sketch_estimated_recall']:.4f})")
     if not result.complete:
         reason = "deadline" if counters.deadline_expired else "fetch budget"
         print(f"note: partial result ({reason} limit reached)")
@@ -663,6 +739,97 @@ def _command_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sketch_store_for(args: argparse.Namespace, corpus):
+    """Build the corpus sketch store when the CLI flags enable the tier."""
+    options = _sketch_options(args)
+    if not options.enabled:
+        return None, options
+    return build_sketch_index(corpus), options
+
+
+def _command_similarity(args: argparse.Namespace) -> int:
+    from .metrics import DiscoveryCounters
+
+    corpus = load_corpus_json(args.corpus)
+    config = MateConfig(hash_size=args.hash_size, k=args.k)
+    index = build_index(corpus, config=config)
+    sketch_index, sketch_options = _sketch_store_for(args, corpus)
+    discovery = SimilarityJoinDiscovery(
+        corpus,
+        index,
+        config=config,
+        max_distance=args.max_distance,
+        min_bit_overlap=args.min_bit_overlap,
+        sketch_index=sketch_index,
+        sketch_options=sketch_options,
+    )
+    query_table = table_from_csv(10_000_000, args.query)
+    query = QueryTable(table=query_table, key_columns=[c.lower() for c in args.key])
+    counters = DiscoveryCounters()
+    results = discovery.discover(query, k=args.k, counters=counters)
+
+    if args.json:
+        print(json.dumps({
+            "tables": [result.as_dict() for result in results],
+            "sketch_candidates": counters.extra.get("sketch_candidates"),
+            "sketch_estimated_recall": counters.extra.get(
+                "sketch_estimated_recall"
+            ),
+        }, indent=2))
+        return 0
+    print(f"top-{args.k} similarity-joinable tables "
+          f"(key={query.key_columns}, max_distance={args.max_distance}):")
+    for result in results:
+        name = corpus.get_table(result.table_id).name
+        print(f"  table {result.table_id:>6}  "
+              f"similarity={result.similarity_joinability:>5}  "
+              f"exact={result.exact_joinability:>5}  {name}")
+    if "sketch_candidates" in counters.extra:
+        print(f"sketch: {int(counters.extra['sketch_candidates'])} candidate "
+              "tables after the LSH prune (estimated recall "
+              f"{counters.extra['sketch_estimated_recall']:.4f})")
+    return 0
+
+
+def _command_union(args: argparse.Namespace) -> int:
+    corpus = load_corpus_json(args.corpus)
+    config = MateConfig(hash_size=args.hash_size, k=args.k)
+    index = build_index(corpus, config=config)
+    sketch_index, sketch_options = _sketch_store_for(args, corpus)
+    search = UnionSearch(
+        corpus, index, sketch_index=sketch_index, sketch_options=sketch_options
+    )
+    query_table = table_from_csv(10_000_000, args.query)
+    columns = [c.lower() for c in args.columns] if args.columns else None
+    candidates = search.top_k_unionable(query_table, k=args.k, columns=columns)
+
+    if args.json:
+        print(json.dumps({
+            "tables": [
+                {
+                    "table_id": candidate.table_id,
+                    "unionability": candidate.unionability,
+                    "alignment": list(candidate.alignment),
+                }
+                for candidate in candidates
+            ],
+        }, indent=2))
+        return 0
+    aligned_columns = columns or [c.lower() for c in query_table.columns]
+    print(f"top-{args.k} unionable tables (columns={aligned_columns}):")
+    for candidate in candidates:
+        table = corpus.get_table(candidate.table_id)
+        pairs = ", ".join(
+            f"{aligned_columns[q]}->{table.columns[c]}"
+            for q, c in candidate.alignment
+            if c is not None
+        )
+        print(f"  table {candidate.table_id:>6}  "
+              f"unionability={candidate.unionability:.3f}  "
+              f"{table.name}  [{pairs}]")
+    return 0
+
+
 def _command_suggest_key(args: argparse.Namespace) -> int:
     table = table_from_csv(0, args.table)
     candidates = discover_key_candidates(table, max_arity=args.max_arity)
@@ -689,6 +856,8 @@ def main(argv: list[str] | None = None) -> int:
         "serve-batch": _command_serve_batch,
         "ingest": _command_ingest,
         "profile": _command_profile,
+        "similarity": _command_similarity,
+        "union": _command_union,
         "suggest-key": _command_suggest_key,
     }
     return handlers[args.command](args)

@@ -40,6 +40,7 @@ from .results import DiscoveryResult
 if TYPE_CHECKING:  # pragma: no cover - the budget lives in the api layer
     from ..api.request import RequestBudget
     from ..plan.options import PlannerOptions
+    from ..sketch import SketchIndex, SketchOptions
 
 #: Streaming hook: receives the interim (table_id, joinability) ranking,
 #: best first, after every accepted top-k update.
@@ -60,6 +61,7 @@ class MateDiscovery:
         column_selector: ColumnSelector | str = "cardinality",
         row_filter_mode: str = "superkey",
         use_table_filters: bool = True,
+        sketch_provider: "Callable[[], SketchIndex] | None" = None,
     ):
         self.corpus = corpus
         self.index = index
@@ -83,6 +85,25 @@ class MateDiscovery:
         )
         self.row_filter = RowFilter(self.super_key_generator, mode=row_filter_mode)
         self.use_table_filters = use_table_filters
+        self._sketch_provider = sketch_provider
+        self._sketch_index: "SketchIndex | None" = None
+
+    def sketch_index(self) -> "SketchIndex":
+        """The engine's MinHash-LSH sketch store (built lazily, cached).
+
+        Comes from the injected provider when one was given (the session
+        shares one store across engines; the live engine serves its
+        incrementally-fresh store), otherwise a one-off bulk build over the
+        engine's corpus.  Only sketch-mode requests ever pay this cost.
+        """
+        if self._sketch_index is None:
+            if self._sketch_provider is not None:
+                self._sketch_index = self._sketch_provider()
+            else:
+                from ..sketch import build_sketch_index
+
+                self._sketch_index = build_sketch_index(self.corpus)
+        return self._sketch_index
 
     # ------------------------------------------------------------------
     # Public API
@@ -95,6 +116,7 @@ class MateDiscovery:
         budget: "RequestBudget | None" = None,
         on_snapshot: "SnapshotCallback | None" = None,
         planner: "PlannerOptions | None" = None,
+        sketch: "SketchOptions | None" = None,
     ) -> DiscoveryResult:
         """Return the top-k joinable tables for ``query``.
 
@@ -126,6 +148,12 @@ class MateDiscovery:
         and ``"adaptive"`` additionally re-plans mid-run when the observed
         fetch cost blows past the estimate — without losing any results
         verified so far.
+
+        ``sketch`` (a :class:`~repro.sketch.SketchOptions`) configures the
+        approximate candidate tier of planner mode ``"sketch"``: the
+        MinHash-LSH prune that shrinks the fetch universe ahead of
+        candidate generation.  Exhaustive settings (the default
+        ``threshold=0``) keep the run byte-identical to the exact engine.
         """
         if k is None:
             k = self.config.k
@@ -137,8 +165,15 @@ class MateDiscovery:
         from ..plan.planner import Planner
 
         plan = Planner(self, planner).plan(query)
+        sketch_index = self.sketch_index() if plan.mode == "sketch" else None
         return Executor(self, planner).execute(
-            plan, query, k, budget=budget, on_snapshot=on_snapshot
+            plan,
+            query,
+            k,
+            budget=budget,
+            on_snapshot=on_snapshot,
+            sketch=sketch,
+            sketch_index=sketch_index,
         )
 
     # ------------------------------------------------------------------

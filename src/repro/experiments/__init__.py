@@ -27,8 +27,9 @@ fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_batch_service`), the process-pool serving comparison
 (:func:`run_serving`), the columnar posting-layout comparison
 (:func:`run_columnar`), and the online-ingestion study
-(:func:`run_ingest`), and the query-planner study
-(:func:`run_planner`).
+(:func:`run_ingest`), the query-planner study
+(:func:`run_planner`), and the approximate sketch-tier study
+(:func:`run_sketch`).
 """
 
 from .batch_service import DEFAULT_SERVICE_SHARD_COUNTS, run_batch_service
@@ -57,6 +58,12 @@ from .reporting import (
 from .scaling import DEFAULT_SCALE_FACTORS, run_scaling
 from .serving import DEFAULT_SERVING_SHARDS, run_serving
 from .sharding import DEFAULT_SHARD_COUNTS, run_sharding
+from .sketch import (
+    DEFAULT_SKETCH_THRESHOLD,
+    SKETCH_MODES_UNDER_TEST,
+    build_sketch_scenario,
+    run_sketch,
+)
 from .short_values import (
     SHORT_VALUE_HASHES,
     build_short_value_scenario,
@@ -87,6 +94,7 @@ __all__ = [
     "DEFAULT_SCALE_FACTORS",
     "DEFAULT_SERVICE_SHARD_COUNTS",
     "DEFAULT_SHARD_COUNTS",
+    "DEFAULT_SKETCH_THRESHOLD",
     "DEFAULT_TABLE2_WORKLOADS",
     "DEFAULT_TABLE3_WORKLOADS",
     "ExperimentResult",
@@ -98,6 +106,7 @@ __all__ = [
     "HEURISTIC_ORDER",
     "INGEST_STATES",
     "SHORT_VALUE_HASHES",
+    "SKETCH_MODES_UNDER_TEST",
     "TABLE2_HASHES",
     "TABLE3_HASHES",
     "TOPK_HASHES",
@@ -106,6 +115,7 @@ __all__ = [
     "build_context",
     "build_keysize_scenario",
     "build_short_value_scenario",
+    "build_sketch_scenario",
     "format_ratio",
     "format_table",
     "run_batch_service",
@@ -125,6 +135,7 @@ __all__ = [
     "run_serving",
     "run_sharding",
     "run_short_values",
+    "run_sketch",
     "run_system",
     "run_table1",
     "run_table2",

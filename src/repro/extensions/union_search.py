@@ -14,6 +14,13 @@ table union search, reusing the single-attribute inverted index:
   tables and never above the true optimum by more than the usual greedy gap);
 * the top-k tables by unionability are returned.
 
+On large corpora the per-value posting probes dominate, so the search can
+run behind the approximate candidate tier of :mod:`repro.sketch`: given a
+:class:`~repro.sketch.SketchIndex` and enabled
+:class:`~repro.sketch.SketchOptions`, every query column is LSH-probed
+first and only tables whose best column containment clears the threshold
+are probed exactly and aligned.
+
 This is an *extension*, not a paper experiment.
 """
 
@@ -25,6 +32,7 @@ from dataclasses import dataclass
 from ..datamodel import QueryTable, Table, TableCorpus
 from ..exceptions import DiscoveryError
 from ..index import InvertedIndex
+from ..sketch import DEFAULT_SKETCH_OPTIONS, SketchIndex, SketchOptions
 
 
 @dataclass(frozen=True)
@@ -38,11 +46,25 @@ class UnionCandidate:
 
 
 class UnionSearch:
-    """Top-k unionable table search reusing the MATE inverted index."""
+    """Top-k unionable table search reusing the MATE inverted index.
 
-    def __init__(self, corpus: TableCorpus, index: InvertedIndex):
+    ``sketch_index`` / ``sketch_options`` optionally engage the MinHash-LSH
+    candidate tier: with enabled options, tables are pre-pruned per query
+    column before any exact posting probe (disabled defaults keep the
+    search exhaustive and byte-identical to earlier releases).
+    """
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        index: InvertedIndex,
+        sketch_index: SketchIndex | None = None,
+        sketch_options: SketchOptions | None = None,
+    ):
         self.corpus = corpus
         self.index = index
+        self.sketch_index = sketch_index
+        self.sketch_options = sketch_options or DEFAULT_SKETCH_OPTIONS
 
     def top_k_unionable(
         self, query: QueryTable | Table, k: int = 10, columns: list[str] | None = None
@@ -61,6 +83,8 @@ class UnionSearch:
             table = query
             columns = columns or list(table.columns)
 
+        allowed = self._sketch_allowed_tables(table, columns)
+
         # overlap[(candidate table, query position, candidate column)] = count
         overlap: dict[tuple[int, int, int], int] = defaultdict(int)
         column_cardinalities = []
@@ -70,6 +94,8 @@ class UnionSearch:
             seen: set[tuple[int, int, str]] = set()
             for value in sorted(values):
                 for item in self.index.posting_list(value):
+                    if allowed is not None and item.table_id not in allowed:
+                        continue
                     key = (item.table_id, item.column_index, value)
                     if key in seen:
                         continue
@@ -95,6 +121,29 @@ class UnionSearch:
                 )
         candidates.sort(key=lambda c: (-c.unionability, c.table_id))
         return candidates[:k]
+
+    def _sketch_allowed_tables(
+        self, table: Table, columns: list[str]
+    ) -> set[int] | None:
+        """LSH-prune the table universe (``None`` = exhaustive, no pruning).
+
+        The allowed sets of the individual query columns are unioned so a
+        table unionable along *any* column axis survives the prune.
+        """
+        if self.sketch_index is None or not self.sketch_options.enabled:
+            return None
+        allowed: set[int] = set()
+        for column in columns:
+            values = table.distinct_column_values(column)
+            if not values:
+                continue
+            scored = self.sketch_index.query(
+                values,
+                threshold=self.sketch_options.threshold,
+                max_candidates=self.sketch_options.max_candidates,
+            )
+            allowed.update(table_id for table_id, _ in scored)
+        return allowed
 
     @staticmethod
     def _align(

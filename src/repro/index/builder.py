@@ -10,10 +10,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from ..config import MateConfig
 from ..datamodel import MISSING, Table, TableCorpus
 from ..hashing import SuperKeyGenerator
 from .inverted import InvertedIndex
+
+if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
+    from ..sketch import SketchIndex, SketchIndexConfig
 
 
 @dataclass(frozen=True)
@@ -50,6 +55,7 @@ class IndexBuilder:
         hash_function_name: str = "xash",
         super_key_generator: SuperKeyGenerator | None = None,
         layout: str | None = None,
+        sketch_config: "SketchIndexConfig | None" = None,
     ):
         self.config = config or MateConfig()
         self.hash_function_name = hash_function_name
@@ -60,7 +66,12 @@ class IndexBuilder:
         self.super_key_generator = super_key_generator or SuperKeyGenerator.from_name(
             hash_function_name, self.config
         )
+        #: MinHash-LSH parameters of :meth:`build_with_sketches`; ``None``
+        #: uses :data:`repro.sketch.DEFAULT_SKETCH_CONFIG`.
+        self.sketch_config = sketch_config
         self.last_report: IndexBuildReport | None = None
+        #: The sketch store of the last :meth:`build_with_sketches` call.
+        self.last_sketch_index: "SketchIndex | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -87,6 +98,44 @@ class IndexBuilder:
             build_seconds=elapsed,
         )
         return index
+
+    def build_with_sketches(
+        self, corpus: TableCorpus
+    ) -> "tuple[InvertedIndex, SketchIndex]":
+        """Build the inverted index *and* its MinHash-LSH sketch store.
+
+        The offline analogue of the live index's incrementally-fresh
+        sketches: one bulk pass per table emits both the exact postings and
+        the per-column :class:`~repro.sketch.minhash.ColumnSketch` entries,
+        so an offline build can persist the pair
+        (:meth:`~repro.sketch.index.SketchIndex.save`) next to its
+        segments and serve sketch-mode requests without any rebuild.
+        """
+        from ..sketch import SketchIndex
+
+        index = InvertedIndex(
+            hash_function_name=self.hash_function_name,
+            hash_size=self.config.hash_size,
+            layout=self.layout,
+        )
+        sketch_index = SketchIndex(self.sketch_config)
+        started = time.perf_counter()
+        num_rows = 0
+        for table in corpus:
+            num_rows += self.add_table(index, table)
+            sketch_index.add_table(table)
+        elapsed = time.perf_counter() - started
+        self.last_report = IndexBuildReport(
+            hash_function=self.hash_function_name,
+            hash_size=self.config.hash_size,
+            num_tables=len(corpus),
+            num_rows=num_rows,
+            num_posting_items=index.num_posting_items(),
+            num_distinct_values=len(index),
+            build_seconds=elapsed,
+        )
+        self.last_sketch_index = sketch_index
+        return index, sketch_index
 
     def add_table(self, index: InvertedIndex, table: Table) -> int:
         """Index a single table; returns the number of indexed rows.

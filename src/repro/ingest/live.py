@@ -42,6 +42,7 @@ from ..config import MateConfig
 from ..datamodel import MISSING, Table
 from ..exceptions import IndexClosedError, IndexError_, StorageError
 from ..index import FetchBlock, FetchedItem, InvertedIndex, compute_table_runs
+from ..sketch import SKETCH_FILE_STEM, SketchIndex
 from ..storage.paged import SEGMENT_SUFFIX, load_segment, write_segment
 from ..storage.serialization import load_index_json
 from .buffer import IngestBuffer
@@ -402,6 +403,14 @@ class LiveIndex:
         self._lock = threading.RLock()
         self._closed = False
         self._recovered: list[Table] = []
+        # The MinHash-LSH sketch store of the approximate candidate tier,
+        # kept incrementally fresh by every add/remove (and persisted at
+        # each seal/merge in directory mode).  ``_sketch_stale`` marks a
+        # recovered directory whose sealed tables predate sketch
+        # persistence: their column sketches cannot be rebuilt from
+        # postings alone, so consumers must fall back to a corpus build.
+        self._sketch = SketchIndex()
+        self._sketch_stale = False
         self.directory = Path(directory) if directory is not None else None
         self._fsync = fsync
         self._wal: WriteAheadLog | None = None
@@ -494,6 +503,21 @@ class LiveIndex:
         with self._lock:
             return dict(self._tombstones)
 
+    def sketch_index(self) -> SketchIndex | None:
+        """The live MinHash-LSH sketch store, or ``None`` when unusable.
+
+        The store mirrors the visible table set exactly: writes update it
+        inline, WAL replay re-adds recovered tables, and seals/merges
+        persist it next to the segments (``sketches.json`` /
+        ``sketches.bin``).  ``None`` means the directory predates sketch
+        persistence (or its sketch file was corrupt), so sealed tables are
+        missing from the store — callers must build from the corpus
+        instead of silently losing recall.
+        """
+        if self._sketch_stale:
+            return None
+        return self._sketch
+
     def recovered_tables(self) -> list[Table]:
         """Tables replayed from the WAL when the directory was opened.
 
@@ -553,7 +577,9 @@ class LiveIndex:
             if self._wal is not None:
                 self._wal.append_add_table(seq, table)
             self._seq = seq
-            return self._buffer.add_table(table, seq)
+            rows = self._buffer.add_table(table, seq)
+            self._sketch.add_table(table)
+            return rows
 
     def remove_table(self, table_id: int) -> int:
         """Remove a table from the live view (tombstone + buffer purge).
@@ -582,6 +608,7 @@ class LiveIndex:
             for segment in self._segments
         ):
             self._tombstones[table_id] = seq
+        self._sketch.remove_table(table_id)
         return removed
 
     # ------------------------------------------------------------------
@@ -616,11 +643,14 @@ class LiveIndex:
             # checkpoint advances and the WAL can be truncated.
             self._checkpoint_seq = self._seq
             if self.directory is not None:
-                # Durability order matters: segment, then manifest, then WAL
-                # truncation — the log may only shrink once its records are
-                # fully represented on disk elsewhere.
+                # Durability order matters: segment, then sketches, then
+                # manifest, then WAL truncation — the log may only shrink
+                # once its records (including their sketches, which replay
+                # would otherwise rebuild from the log) are fully
+                # represented on disk elsewhere.
                 path = self.directory / _segment_file(segment.generation)
                 write_segment(segment.index, path, fsync=self._fsync)
+                self._persist_sketches_locked()
                 self._write_manifest_locked()
                 assert self._wal is not None
                 self._wal.truncate()
@@ -661,6 +691,7 @@ class LiveIndex:
                 # references it; only then may the superseded files go.
                 path = self.directory / _segment_file(merged.generation)
                 write_segment(merged.index, path, fsync=self._fsync)
+                self._persist_sketches_locked()
                 self._write_manifest_locked()
                 for segment in slice_:
                     # The superseded file may predate the binary format;
@@ -816,6 +847,17 @@ class LiveIndex:
         if self._fsync:
             _fsync_path(self.directory)
 
+    def _persist_sketches_locked(self) -> None:
+        """Persist the sketch store next to the segments (skipped if stale).
+
+        A stale store (sealed tables missing after recovering a pre-sketch
+        directory) must never be written out: a later reopen would load it
+        as complete and silently lose recall.
+        """
+        assert self.directory is not None
+        if not self._sketch_stale:
+            self._sketch.save(self.directory)
+
     def _recover(self) -> None:
         assert self.directory is not None
         manifest_path = self.directory / MANIFEST_FILE
@@ -862,6 +904,16 @@ class LiveIndex:
                 raise StorageError(
                     f"malformed live-index manifest {manifest_path}: {exc}"
                 ) from exc
+            # Sealed-table sketches come from the persisted sketch file; a
+            # directory written before sketch persistence (or with a corrupt
+            # sketch file) leaves the store stale — flagged, never guessed,
+            # because column sketches cannot be rebuilt from postings.
+            if self._segments:
+                try:
+                    self._sketch = SketchIndex.load(self.directory)
+                except StorageError:
+                    self._sketch = SketchIndex()
+                    self._sketch_stale = True
         # Replay the WAL over the manifest state: every record newer than
         # the last checkpointed sequence is re-applied to a fresh buffer.
         checkpoint_seq = self._seq
@@ -873,6 +925,7 @@ class LiveIndex:
                 # Same gate as add_table(); replay is lenient, not raising.
                 if not self._visible_locked(record.table.table_id):
                     self._buffer.add_table(record.table, record.seq)
+                    self._sketch.add_table(record.table)
                     self._recovered.append(record.table)
             else:
                 assert record.table_id is not None

@@ -14,6 +14,8 @@ from .executor import Executor
 from .options import DEFAULT_PLANNER_OPTIONS, PLANNER_MODES, PlannerOptions
 from .planner import (
     PIPELINE_STAGES,
+    SKETCH_PIPELINE_STAGES,
+    STAGE_SKETCH_PRUNE,
     PlanReport,
     Planner,
     QueryPlan,
@@ -24,6 +26,7 @@ from .stages import (
     CandidateGeneration,
     PlanStage,
     RowVerification,
+    SketchPrune,
     SuperKeyPrefilter,
     TopKMaintenance,
 )
@@ -42,7 +45,10 @@ __all__ = [
     "QueryPlan",
     "ReplanEvent",
     "RowVerification",
+    "SKETCH_PIPELINE_STAGES",
+    "STAGE_SKETCH_PRUNE",
     "SeedCandidate",
+    "SketchPrune",
     "StageResult",
     "SuperKeyPrefilter",
     "TopKMaintenance",

@@ -20,6 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
     from ..api.request import RequestBudget
     from ..datamodel import QueryTable
     from ..index.columnar import TableBlock
+    from ..sketch import SketchOptions
     from .options import PlannerOptions
     from .planner import PlanReport, QueryPlan
 
@@ -56,6 +57,10 @@ class PlanContext:
     options: "PlannerOptions"
     budget: "RequestBudget | None" = None
     on_snapshot: Callable[[list[tuple[int, int]]], None] | None = None
+    #: Per-request knobs of the approximate tier (``planner.mode="sketch"``).
+    sketch: "SketchOptions | None" = None
+    #: The engine's :class:`~repro.sketch.SketchIndex` (sketch mode only).
+    sketch_index: object | None = None
 
     # ---------------- Evolving run state ----------------
     counters: DiscoveryCounters = field(default_factory=DiscoveryCounters)
@@ -68,6 +73,9 @@ class PlanContext:
     )
     #: Candidate tables sorted by decreasing PL-item count (line 5).
     candidates: list[tuple[int, "TableBlock"]] = field(default_factory=list)
+    #: Fetch universe left by the ``SketchPrune`` stage: ``None`` means
+    #: exhaustive (no pruning); a set restricts candidate generation to it.
+    allowed_tables: set[int] | None = None
 
     # ---------------- Per-table scratch (stage hand-off) ----------------
     current_table_id: int = -1

@@ -20,10 +20,11 @@ from ..core.results import DiscoveryResult
 from ..metrics import DiscoveryCounters
 from .context import PlanContext
 from .options import PlannerOptions
-from .planner import PlanReport, QueryPlan
+from .planner import PlanReport, QueryPlan, STAGE_SKETCH_PRUNE
 from .stages import (
     CandidateGeneration,
     RowVerification,
+    SketchPrune,
     SuperKeyPrefilter,
     TopKMaintenance,
 )
@@ -31,6 +32,7 @@ from .stages import (
 if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
     from ..api.request import RequestBudget
     from ..datamodel import QueryTable
+    from ..sketch import SketchIndex, SketchOptions
 
 
 class Executor:
@@ -39,6 +41,7 @@ class Executor:
     def __init__(self, engine, options: PlannerOptions | None = None):
         self.engine = engine
         self.options = options or PlannerOptions()
+        self.sketch_prune = SketchPrune()
         self.candidate_generation = CandidateGeneration()
         self.superkey_prefilter = SuperKeyPrefilter()
         self.row_verification = RowVerification()
@@ -52,6 +55,8 @@ class Executor:
         *,
         budget: "RequestBudget | None" = None,
         on_snapshot: Callable[[list[tuple[int, int]]], None] | None = None,
+        sketch: "SketchOptions | None" = None,
+        sketch_index: "SketchIndex | None" = None,
     ) -> DiscoveryResult:
         """Run the pipeline and assemble the :class:`DiscoveryResult`."""
         engine = self.engine
@@ -65,9 +70,15 @@ class Executor:
             options=self.options,
             budget=budget,
             on_snapshot=on_snapshot,
+            sketch=sketch,
+            sketch_index=sketch_index,
             counters=counters,
             report=PlanReport(plan=plan, seed_column=plan.seed.column),
         )
+
+        # ---------------- Approximate tier (sketch mode only) ----------------
+        if STAGE_SKETCH_PRUNE in plan.stages:
+            self.sketch_prune.run(context)
 
         # ---------------- Initialization (lines 3-6) ----------------
         self.candidate_generation.run(context)

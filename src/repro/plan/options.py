@@ -20,8 +20,12 @@ from ..exceptions import ConfigurationError
 #:   (byte-identical to the pre-planner engine; the default);
 #: * ``cost``     — the planner's cost model picks the cheapest seed column;
 #: * ``adaptive`` — ``cost`` plus chunked fetching with mid-run re-planning
-#:   when the observed fetch cost blows past the estimate.
-PLANNER_MODES: tuple[str, ...] = ("selector", "cost", "adaptive")
+#:   when the observed fetch cost blows past the estimate;
+#: * ``sketch``   — ``selector`` seeding plus the approximate candidate
+#:   tier: the MinHash-LSH ``SketchPrune`` stage (:mod:`repro.sketch`)
+#:   shrinks the fetch universe ahead of candidate generation, governed by
+#:   the request's :class:`~repro.sketch.SketchOptions`.
+PLANNER_MODES: tuple[str, ...] = ("selector", "cost", "adaptive", "sketch")
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
     from ..datamodel import QueryTable
 
 #: Stage names of the discovery pipeline, in execution order.
+STAGE_SKETCH_PRUNE = "sketch_prune"
 STAGE_CANDIDATE_GENERATION = "candidate_generation"
 STAGE_SUPERKEY_PREFILTER = "superkey_prefilter"
 STAGE_ROW_VERIFICATION = "row_verification"
@@ -39,6 +40,13 @@ PIPELINE_STAGES: tuple[str, ...] = (
     STAGE_SUPERKEY_PREFILTER,
     STAGE_ROW_VERIFICATION,
     STAGE_TOPK_MAINTENANCE,
+)
+
+#: The pipeline with the approximate candidate tier in front
+#: (``planner.mode="sketch"``).
+SKETCH_PIPELINE_STAGES: tuple[str, ...] = (
+    STAGE_SKETCH_PRUNE,
+    *PIPELINE_STAGES,
 )
 
 
@@ -223,7 +231,10 @@ class Planner:
         # Legacy mode: the engine's column selector decides.  No cost
         # estimate is sampled — this is the default hot path (every batch
         # request), and the estimate would only ever feed explain output;
-        # the zeroed estimate is marked ``exact=False`` there.
+        # the zeroed estimate is marked ``exact=False`` there.  ``sketch``
+        # mode seeds the same way (the prune happens ahead of candidate
+        # generation, not at seed selection), so an exhaustive sketch run
+        # is byte-identical to ``selector``.
         chosen = self.engine.column_selector(query, self.engine.index)
         if chosen not in query.key_columns:
             raise DiscoveryError(
@@ -236,5 +247,10 @@ class Planner:
             mode=self.options.mode,
             seed=SeedCandidate(
                 column=chosen, probe_count=0, estimate=unsampled, cost=0.0
+            ),
+            stages=(
+                SKETCH_PIPELINE_STAGES
+                if self.options.mode == "sketch"
+                else PIPELINE_STAGES
             ),
         )

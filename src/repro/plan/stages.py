@@ -41,6 +41,7 @@ from .planner import (
     ReplanEvent,
     STAGE_CANDIDATE_GENERATION,
     STAGE_ROW_VERIFICATION,
+    STAGE_SKETCH_PRUNE,
     STAGE_SUPERKEY_PREFILTER,
     STAGE_TOPK_MAINTENANCE,
 )
@@ -70,6 +71,56 @@ class PlanStage:
 
     def _execute(self, context: PlanContext) -> StageResult:
         raise NotImplementedError
+
+
+class SketchPrune(PlanStage):
+    """Approximate candidate pruning ahead of the exact pipeline.
+
+    Queries the engine's :class:`~repro.sketch.SketchIndex` with the seed
+    column's probe values and restricts the fetch universe
+    (``context.allowed_tables``) to tables whose estimated containment
+    clears the request's :class:`~repro.sketch.SketchOptions` threshold.
+    With exhaustive settings (``threshold=0``, no candidate cap) the stage
+    records its pass-through and changes nothing — the run stays
+    byte-identical to the exact engine; it writes the
+    ``sketch_candidates`` / ``sketch_estimated_recall`` extra counters only
+    when it actually prunes.
+    """
+
+    name = STAGE_SKETCH_PRUNE
+
+    def _execute(self, context: PlanContext) -> StageResult:
+        sketch_index = context.sketch_index
+        options = context.sketch
+        total = sketch_index.num_tables if sketch_index is not None else 0
+        if sketch_index is None or options is None or not options.enabled:
+            return StageResult(
+                self.name, items_in=total, items_out=total, detail="exhaustive"
+            )
+        query = context.query
+        column = context.plan.seed.column
+        position = query.key_columns.index(column)
+        values = {
+            key_tuple[position]
+            for key_tuple in context.engine._complete_key_tuples(query)
+        }
+        scored = sketch_index.query(
+            values,
+            threshold=options.threshold,
+            max_candidates=options.max_candidates,
+        )
+        context.allowed_tables = {table_id for table_id, _ in scored}
+        counters = context.counters
+        counters.extra["sketch_candidates"] = float(len(scored))
+        counters.extra["sketch_estimated_recall"] = sketch_index.estimated_recall(
+            options.threshold
+        )
+        return StageResult(
+            self.name,
+            items_in=total,
+            items_out=len(scored),
+            detail=f"threshold={options.threshold:g}",
+        )
 
 
 class CandidateGeneration(PlanStage):
@@ -235,9 +286,15 @@ class CandidateGeneration(PlanStage):
     def _sort_candidates(
         context: PlanContext, grouped: dict[int, TableBlock]
     ) -> None:
+        # The sketch tier's verdict: only tables it let through enter the
+        # exact pipeline (``None`` = no pruning happened).
+        allowed = context.allowed_tables
+        items = grouped.items()
+        if allowed is not None:
+            items = [entry for entry in items if entry[0] in allowed]
         # Sort candidate tables by decreasing PL-item count (line 5).
         context.candidates = sorted(
-            grouped.items(), key=lambda entry: (-len(entry[1]), entry[0])
+            items, key=lambda entry: (-len(entry[1]), entry[0])
         )
 
 

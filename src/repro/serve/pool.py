@@ -158,6 +158,7 @@ def _worker_main(
     from ..api.request import RequestBudget
     from ..core.discovery import MateDiscovery
     from ..exceptions import MateError
+    from ..sketch import SketchIndex
     from ..storage.paged import reopen_segment
 
     try:  # pragma: no cover - signal wiring is exercised via the CLI smoke
@@ -175,6 +176,10 @@ def _worker_main(
         hash_function_name=hash_function_name,
         hash_size=config.hash_size,
     )
+    # The parent persisted this shard's sketch store next to its segment
+    # (same stem, ``.json``/``.bin``); loading is deferred until the first
+    # sketch-mode query so exact-only workloads never pay for it.
+    segment = Path(segment_path)
     engine = MateDiscovery(
         corpus,
         index,
@@ -183,6 +188,7 @@ def _worker_main(
         column_selector=column_selector,
         row_filter_mode=row_filter_mode,
         use_table_filters=use_table_filters,
+        sketch_provider=lambda: SketchIndex.load(segment.parent, segment.stem),
     )
     conn.send(
         WorkerReady(
@@ -224,8 +230,15 @@ def _worker_main(
                             deadline_seconds=message.deadline_seconds,
                             max_pl_fetches=message.max_pl_fetches,
                         )
+                run_kwargs = {}
+                if message.planner is not None:
+                    run_kwargs["planner"] = message.planner
+                if message.sketch is not None:
+                    run_kwargs["sketch"] = message.sketch
                 started = time.perf_counter()
-                result = engine.discover(message.query, k=message.k, budget=budget)
+                result = engine.discover(
+                    message.query, k=message.k, budget=budget, **run_kwargs
+                )
                 result.counters.runtime_seconds = time.perf_counter() - started
                 consumed = 0
                 exhausted = expired = False
@@ -329,9 +342,14 @@ class ProcessShardPool:
     """
 
     system_name = "mate-sharded"
-    #: Instance-level capability flag (see DiscoverySession._run_kwargs):
-    #: budgets are split across shards and reconciled on gather.
+    #: Instance-level capability flags (see DiscoverySession._run_kwargs):
+    #: budgets are split across shards and reconciled on gather; planner and
+    #: sketch options travel verbatim inside each ShardQuery and run inside
+    #: every shard worker (each pruning against its own persisted sketch
+    #: store, so ``SketchOptions.max_candidates`` caps per shard).
     supports_budget = True
+    supports_planner = True
+    supports_sketch = True
 
     def __init__(
         self,
@@ -414,7 +432,11 @@ class ProcessShardPool:
         paths = []
         for shard_index, shard in enumerate(self.shards):
             path = self._segments_dir / f"shard_{shard_index:02d}.seg"
-            write_segment(builder.build(shard), path, fsync=False)
+            index, sketch_index = builder.build_with_sketches(shard)
+            write_segment(index, path, fsync=False)
+            # The shard's sketch store lands next to its segment under the
+            # same stem; workers lazily load it for sketch-mode requests.
+            sketch_index.save(self._segments_dir, stem=path.stem)
             paths.append(path)
         return paths
 
@@ -541,7 +563,13 @@ class ProcessShardPool:
     # Discovery
     # ------------------------------------------------------------------
     def discover(
-        self, query: QueryTable, k: int | None = None, *, budget=None
+        self,
+        query: QueryTable,
+        k: int | None = None,
+        *,
+        budget=None,
+        planner=None,
+        sketch=None,
     ) -> DiscoveryResult:
         """Scatter ``query`` across the shard workers and merge the top-k.
 
@@ -550,7 +578,11 @@ class ProcessShardPool:
         corpus and shard count; additionally honours a per-request
         :class:`~repro.api.request.RequestBudget` by splitting the fetch
         share deterministically across shards and reconciling the ledger on
-        gather.
+        gather.  ``planner`` / ``sketch`` options are forwarded verbatim to
+        every shard worker: each runs the full planner pipeline on its own
+        shard, with sketch-mode pruning against the shard's persisted
+        sketch store (a ``max_candidates`` cap therefore applies per
+        shard).
         """
         if self._closed:
             raise DiscoveryError("the process pool is closed")
@@ -578,6 +610,8 @@ class ProcessShardPool:
                         k,
                         shares[shard_index],
                         deadline_left,
+                        planner,
+                        sketch,
                     )
                 )
         scatter.add_items(self.num_shards, self.num_shards)
@@ -618,6 +652,8 @@ class ProcessShardPool:
         k: int,
         share: int | None,
         deadline_left: float | None,
+        planner=None,
+        sketch=None,
     ) -> _TaskSlot:
         task_id = next(self._task_ids)
         message = ShardQuery(
@@ -626,6 +662,8 @@ class ProcessShardPool:
             k=k,
             max_pl_fetches=share,
             deadline_seconds=deadline_left,
+            planner=planner,
+            sketch=sketch,
         )
         slot = _TaskSlot(shard_index)
         slot.message = message
@@ -693,6 +731,16 @@ class ProcessShardPool:
             [reply.result for reply in ordered], k, system=self.system_name
         )
         merged.complete = all(reply.result.complete for reply in ordered)
+        # Additive merging is right for counts but not for the sketch-tier
+        # recall estimate (identical on every shard — same config, same
+        # threshold); restore it to the per-shard value.
+        recalls = [
+            reply.result.counters.extra["sketch_estimated_recall"]
+            for reply in ordered
+            if "sketch_estimated_recall" in reply.result.counters.extra
+        ]
+        if recalls:
+            merged.counters.extra["sketch_estimated_recall"] = max(recalls)
         self.last_shard_statistics = [
             ShardStatistics(
                 shard_index=reply.shard_index,

@@ -29,7 +29,9 @@ from ..core.results import DiscoveryResult
 from ..datamodel import QueryTable
 
 #: Version of the parent/worker wire protocol; bumped on any message change.
-PROTOCOL_VERSION: int = 1
+#: v2 added the planner/sketch fields of :class:`ShardQuery` (the
+#: approximate candidate tier running inside each shard worker).
+PROTOCOL_VERSION: int = 2
 
 
 @dataclass(frozen=True)
@@ -55,6 +57,13 @@ class ShardQuery:
     max_pl_fetches: int | None = None
     #: Remaining wall-clock allowance at scatter time (``None`` = no deadline).
     deadline_seconds: float | None = None
+    #: Per-request planner options (``None`` = the engine's classic
+    #: selector path), forwarded verbatim to each shard's engine.
+    planner: object | None = None
+    #: Per-request sketch options of planner mode ``"sketch"`` (``None`` =
+    #: no approximate tier); each worker prunes against its own shard's
+    #: persisted sketch store.
+    sketch: object | None = None
 
 
 @dataclass(frozen=True)

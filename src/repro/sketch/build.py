@@ -1,0 +1,21 @@
+"""Bulk sketch construction over a corpus."""
+
+from __future__ import annotations
+
+from ..datamodel import TableCorpus
+from .index import SketchIndex, SketchIndexConfig
+
+
+def build_sketch_index(
+    corpus: TableCorpus, config: SketchIndexConfig | None = None
+) -> SketchIndex:
+    """Sketch every column of every corpus table into a fresh index.
+
+    The bulk counterpart of :meth:`SketchIndex.add_table`; the
+    :class:`~repro.index.builder.IndexBuilder` calls through here when asked
+    to emit sketches alongside the inverted index.
+    """
+    index = SketchIndex(config)
+    for table in corpus:
+        index.add_table(table)
+    return index

@@ -1,0 +1,371 @@
+"""The banded LSH index over per-column MinHash sketches.
+
+:class:`SketchIndex` keeps one :class:`~repro.sketch.minhash.ColumnSketch`
+per (table, column) and hashes each signature into ``bands`` buckets of
+``rows`` slots each.  A query signature collides with a column's bucket in
+at least one band with probability ``1 - (1 - s^rows)^bands`` at Jaccard
+similarity ``s`` — the classic S-curve — so the default recall-leaning
+shape (``num_perm=128``, ``bands=64``, ``rows=2``) all but guarantees that
+genuinely joinable tables survive the prune while unrelated tables fall
+out before the exact pipeline ever fetches their postings.
+
+Persistence mirrors the ``.seg`` segment discipline
+(:mod:`repro.ingest.live`): a JSON manifest plus a binary sketch file,
+both written to a temporary name, fsynced, and atomically renamed into
+place, with the directory fsynced afterwards — a crash mid-save leaves
+the previous generation intact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from array import array
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..datamodel import Table
+from ..exceptions import ConfigurationError, StorageError
+from .minhash import (
+    ColumnSketch,
+    minhash_signature,
+    permutation_params,
+)
+
+#: On-disk format version of the sketch file + manifest pair.
+SKETCH_FORMAT_VERSION = 1
+
+#: Magic prefix of the binary sketch file.
+SKETCH_MAGIC = b"MSKB"
+
+#: Default file stem: ``<stem>.bin`` holds the sketches, ``<stem>.json``
+#: the manifest describing them.
+SKETCH_FILE_STEM = "sketches"
+
+_HEADER = struct.Struct("<4sIIQ")
+_ENTRY = struct.Struct("<QIQ")
+
+
+@dataclass(frozen=True)
+class SketchIndexConfig:
+    """Shape of the MinHash signatures and the banded LSH split.
+
+    ``num_perm`` must equal ``bands * rows``; the defaults lean toward
+    recall (collision probability ~0.99 at Jaccard 0.5).
+    """
+
+    num_perm: int = 128
+    bands: int = 64
+    rows: int = 2
+    seed: int = 1_000_003
+
+    def __post_init__(self) -> None:
+        if self.num_perm <= 0 or self.bands <= 0 or self.rows <= 0:
+            raise ConfigurationError(
+                "num_perm, bands and rows must all be positive, got "
+                f"{self.num_perm}/{self.bands}/{self.rows}"
+            )
+        if self.bands * self.rows != self.num_perm:
+            raise ConfigurationError(
+                f"bands * rows must equal num_perm: {self.bands} * "
+                f"{self.rows} != {self.num_perm}"
+            )
+
+    def estimated_recall(self, threshold: float) -> float:
+        """Probability a column at Jaccard ``threshold`` shares a bucket."""
+        if threshold <= 0.0:
+            return 1.0
+        return 1.0 - (1.0 - threshold**self.rows) ** self.bands
+
+
+#: The process-wide default shape.
+DEFAULT_SKETCH_CONFIG = SketchIndexConfig()
+
+
+class SketchIndex:
+    """Per-column MinHash sketches behind a banded LSH candidate lookup."""
+
+    def __init__(self, config: SketchIndexConfig | None = None):
+        self.config = config or DEFAULT_SKETCH_CONFIG
+        self._params = permutation_params(self.config.num_perm, self.config.seed)
+        #: table_id -> column_index -> ColumnSketch
+        self._sketches: dict[int, dict[int, ColumnSketch]] = {}
+        #: One bucket dict per band: band key -> table ids.
+        self._buckets: list[dict[tuple[int, ...], set[int]]] = [
+            {} for _ in range(self.config.bands)
+        ]
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # Signatures
+    # ------------------------------------------------------------------
+    def signature(self, values: Iterable[str]) -> tuple[int, ...]:
+        """The MinHash signature of a value set under this index's seed."""
+        return minhash_signature(values, *self._params)
+
+    def _band_keys(self, signature: Sequence[int]) -> list[tuple[int, ...]]:
+        rows = self.config.rows
+        return [
+            tuple(signature[band * rows : (band + 1) * rows])
+            for band in range(self.config.bands)
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> int:
+        """Sketch every non-empty column of ``table``; returns columns added."""
+        added = 0
+        for column_index in range(table.num_columns):
+            values = table.distinct_column_values(column_index)
+            if not values:
+                continue
+            sketch = ColumnSketch(
+                table_id=table.table_id,
+                column_index=column_index,
+                cardinality=len(values),
+                signature=self.signature(values),
+            )
+            self.add_column_sketch(sketch)
+            added += 1
+        return added
+
+    def add_column_sketch(self, sketch: ColumnSketch) -> None:
+        """Insert one prebuilt column sketch (the load / builder path)."""
+        with self._lock:
+            self._sketches.setdefault(sketch.table_id, {})[
+                sketch.column_index
+            ] = sketch
+            for bucket, key in zip(
+                self._buckets, self._band_keys(sketch.signature)
+            ):
+                bucket.setdefault(key, set()).add(sketch.table_id)
+
+    def remove_table(self, table_id: int) -> bool:
+        """Drop every sketch of ``table_id``; returns whether any existed."""
+        with self._lock:
+            columns = self._sketches.pop(table_id, None)
+            if columns is None:
+                return False
+            for sketch in columns.values():
+                for bucket, key in zip(
+                    self._buckets, self._band_keys(sketch.signature)
+                ):
+                    members = bucket.get(key)
+                    if members is None:
+                        continue
+                    members.discard(table_id)
+                    if not members:
+                        del bucket[key]
+            return True
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def table_ids(self) -> set[int]:
+        """Ids of every sketched table."""
+        with self._lock:
+            return set(self._sketches)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of sketched tables."""
+        with self._lock:
+            return len(self._sketches)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(columns) for columns in self._sketches.values())
+
+    def column_sketch(self, table_id: int, column_index: int) -> ColumnSketch | None:
+        """The stored sketch of one column (``None`` when absent)."""
+        with self._lock:
+            return self._sketches.get(table_id, {}).get(column_index)
+
+    def candidate_tables(self, signature: Sequence[int]) -> set[int]:
+        """Tables sharing at least one LSH bucket with ``signature``."""
+        candidates: set[int] = set()
+        with self._lock:
+            for bucket, key in zip(self._buckets, self._band_keys(signature)):
+                members = bucket.get(key)
+                if members:
+                    candidates.update(members)
+        return candidates
+
+    def query(
+        self,
+        values: Iterable[str],
+        threshold: float = 0.0,
+        max_candidates: int | None = None,
+    ) -> list[tuple[int, float]]:
+        """Candidate tables for a query value set, best first.
+
+        Banded LSH proposes tables, the stored signatures refine each
+        proposal to an estimated containment (query values in the table's
+        best-matching column), and tables below ``threshold`` drop out.
+        The result is ``(table_id, estimated_containment)`` pairs sorted by
+        descending containment (ties by ascending id, so the order is
+        deterministic); ``max_candidates`` keeps only the best ones.
+        """
+        distinct = set(values)
+        signature = self.signature(distinct)
+        cardinality = len(distinct)
+        scored: list[tuple[int, float]] = []
+        with self._lock:
+            for table_id in self.candidate_tables(signature):
+                best = max(
+                    sketch.containment_of(signature, cardinality)
+                    for sketch in self._sketches[table_id].values()
+                )
+                if best >= threshold:
+                    scored.append((table_id, best))
+        scored.sort(key=lambda entry: (-entry[1], entry[0]))
+        if max_candidates is not None:
+            scored = scored[:max_candidates]
+        return scored
+
+    def estimated_recall(self, threshold: float) -> float:
+        """The LSH collision probability at Jaccard ``threshold``."""
+        return self.config.estimated_recall(threshold)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path, stem: str = SKETCH_FILE_STEM) -> Path:
+        """Persist the sketches into ``directory`` atomically.
+
+        Writes ``<stem>.bin`` (binary sketch file) and ``<stem>.json``
+        (manifest), each via tmp-write + fsync + rename; returns the
+        manifest path.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            sketches = [
+                columns[column_index]
+                for table_id, columns in sorted(self._sketches.items())
+                for column_index in sorted(columns)
+            ]
+        data_path = directory / f"{stem}.bin"
+        payload = bytearray(
+            _HEADER.pack(
+                SKETCH_MAGIC,
+                SKETCH_FORMAT_VERSION,
+                self.config.num_perm,
+                len(sketches),
+            )
+        )
+        for sketch in sketches:
+            payload += _ENTRY.pack(
+                sketch.table_id, sketch.column_index, sketch.cardinality
+            )
+            payload += array("Q", sketch.signature).tobytes()
+        _atomic_write(data_path, bytes(payload))
+        manifest = {
+            "format_version": SKETCH_FORMAT_VERSION,
+            "kind": "sketch-index",
+            "num_perm": self.config.num_perm,
+            "bands": self.config.bands,
+            "rows": self.config.rows,
+            "seed": self.config.seed,
+            "count": len(sketches),
+            "data_file": data_path.name,
+            "data_bytes": len(payload),
+        }
+        manifest_path = directory / f"{stem}.json"
+        _atomic_write(
+            manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+        )
+        return manifest_path
+
+    @classmethod
+    def load(
+        cls, directory: str | Path, stem: str = SKETCH_FILE_STEM
+    ) -> "SketchIndex":
+        """Load a persisted sketch index (see :meth:`save`)."""
+        directory = Path(directory)
+        manifest_path = directory / f"{stem}.json"
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError as exc:
+            raise StorageError(f"no sketch manifest at {manifest_path}") from exc
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"corrupt sketch manifest at {manifest_path}: {exc}"
+            ) from exc
+        if manifest.get("format_version") != SKETCH_FORMAT_VERSION:
+            raise StorageError(
+                f"sketch manifest {manifest_path} has format_version "
+                f"{manifest.get('format_version')}, expected "
+                f"{SKETCH_FORMAT_VERSION}"
+            )
+        config = SketchIndexConfig(
+            num_perm=int(manifest["num_perm"]),
+            bands=int(manifest["bands"]),
+            rows=int(manifest["rows"]),
+            seed=int(manifest["seed"]),
+        )
+        data_path = directory / str(manifest["data_file"])
+        try:
+            payload = data_path.read_bytes()
+        except FileNotFoundError as exc:
+            raise StorageError(f"missing sketch file at {data_path}") from exc
+        if len(payload) != int(manifest["data_bytes"]):
+            raise StorageError(
+                f"sketch file {data_path} is {len(payload)} bytes, manifest "
+                f"says {manifest['data_bytes']}"
+            )
+        if len(payload) < _HEADER.size:
+            raise StorageError(f"sketch file {data_path} is truncated")
+        magic, version, num_perm, count = _HEADER.unpack_from(payload, 0)
+        if magic != SKETCH_MAGIC or version != SKETCH_FORMAT_VERSION:
+            raise StorageError(
+                f"sketch file {data_path} has bad magic/version "
+                f"({magic!r}/{version})"
+            )
+        if num_perm != config.num_perm or count != int(manifest["count"]):
+            raise StorageError(
+                f"sketch file {data_path} disagrees with its manifest"
+            )
+        index = cls(config)
+        offset = _HEADER.size
+        signature_bytes = 8 * num_perm
+        for _ in range(count):
+            table_id, column_index, cardinality = _ENTRY.unpack_from(
+                payload, offset
+            )
+            offset += _ENTRY.size
+            signature = array("Q")
+            signature.frombytes(payload[offset : offset + signature_bytes])
+            offset += signature_bytes
+            index.add_column_sketch(
+                ColumnSketch(
+                    table_id=table_id,
+                    column_index=column_index,
+                    cardinality=cardinality,
+                    signature=tuple(signature),
+                )
+            )
+        return index
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via tmp + fsync + rename (crash safe)."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)
+    try:
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)

@@ -1,0 +1,48 @@
+"""Per-request knobs of the approximate candidate tier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SketchOptions:
+    """How aggressively the ``SketchPrune`` stage may shrink the candidate set.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum estimated containment (query values in the candidate column)
+        a table must reach to stay in the fetch universe.  ``0.0`` is the
+        exhaustive mode: the sketch stage passes every table through and the
+        run is byte-identical to the exact engine.
+    max_candidates:
+        Optional hard cap on the number of tables the stage lets through;
+        the survivors are the ``max_candidates`` best by estimated
+        containment.  ``None`` leaves the threshold as the only filter.
+    """
+
+    threshold: float = 0.0
+    max_candidates: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"sketch threshold must be within [0, 1], got {self.threshold}"
+            )
+        if self.max_candidates is not None and self.max_candidates <= 0:
+            raise ConfigurationError(
+                "sketch max_candidates must be positive, got "
+                f"{self.max_candidates}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the stage actually prunes (non-exhaustive settings)."""
+        return self.threshold > 0.0 or self.max_candidates is not None
+
+
+#: The exhaustive default every request starts from.
+DEFAULT_SKETCH_OPTIONS = SketchOptions()

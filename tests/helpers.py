@@ -21,6 +21,21 @@ def available_kernel_modes() -> list[str]:
     return modes
 
 
+def available_sketch_kernel_modes() -> list[str]:
+    """MinHash sketch kernel modes exercisable in this environment.
+
+    Always contains ``"fallback"`` (the pure-stdlib signature path);
+    ``"numpy"`` is appended when numpy is importable.  Mirrors
+    :func:`available_kernel_modes` for the ``MATE_SKETCH`` selector.
+    """
+    from repro.sketch import sketch_numpy_available
+
+    modes = ["fallback"]
+    if sketch_numpy_available():
+        modes.append("numpy")
+    return modes
+
+
 def legacy_discover(engine, query, k=None, *, budget=None, on_snapshot=None):
     """The pre-planner ``MateDiscovery.discover`` loop, kept verbatim.
 

@@ -50,6 +50,7 @@ def test_all_examples_are_covered():
         "batch_discovery_service.py",
         "live_ingest.py",
         "http_serving.py",
+        "sketch_discovery.py",
     }
     assert scripts == covered
 
@@ -112,6 +113,13 @@ def test_http_serving_round_trips_and_drains():
     output = run_example("http_serving.py")
     assert "served top-k identical to in-process engine: True" in output
     assert "server drained cleanly" in output
+
+
+def test_sketch_discovery_prunes_without_losing_the_topk():
+    output = run_example("sketch_discovery.py")
+    assert "threshold=0 top-k identical to exact: True" in output
+    assert "candidate tables after LSH prune: 4 (of 64)" in output
+    assert "top-k identical to exact: True" in output
 
 
 def test_composite_key_discovery_selects_timestamp_location():

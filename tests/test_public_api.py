@@ -18,6 +18,7 @@ EXPECTED_EXPORTS = [
     "AdmissionController",
     "BatchDiscoveryResult",
     "BatchStats",
+    "ColumnSketch",
     "CompactionPolicy",
     "Compactor",
     "ConfigurationError",
@@ -58,6 +59,9 @@ EXPECTED_EXPORTS = [
     "SessionResult",
     "ShardedInvertedIndex",
     "ShardedMateDiscovery",
+    "SketchIndex",
+    "SketchIndexConfig",
+    "SketchOptions",
     "StorageError",
     "SuperKeyGenerator",
     "Table",
@@ -70,6 +74,7 @@ EXPECTED_EXPORTS = [
     "available_hash_functions",
     "build_index",
     "build_sharded_index",
+    "build_sketch_index",
     "create_hash_function",
     "exact_joinability",
     "exact_joinability_score",
