@@ -1,0 +1,40 @@
+"""Benchmark: telemetry overhead on the request path (extension).
+
+Runs the telemetry overhead study (`repro.experiments.telemetry`) and
+asserts the subsystem's core promise: a default session — telemetry
+constructed, tracing off — stays within the idle-overhead guard of the
+bare engine, and enabling tracing actually produces spans.  The smoke
+benchmark the CI bench job tracks via ``scripts/export_bench_json.py``
+(``BENCH_telemetry.json``, guarded by
+``scripts/check_bench_stage_stats.py``).
+"""
+
+from repro.experiments import IDLE_OVERHEAD_LIMIT, run_telemetry
+
+from .common import bench_settings, publish
+
+#: Absolute slack (seconds) mirroring the CI guard: at smoke scale the
+#: totals are a few ms, where one scheduler tick would swamp 2%.
+IDLE_SLACK_SECONDS = 0.002
+
+
+def test_telemetry_overhead(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(run_telemetry, settings)
+    publish(result, "telemetry")
+
+    rows = {row["mode"]: row for row in result.row_dicts()}
+    assert set(rows) == {"engine_direct", "session_idle", "session_tracing"}
+
+    direct = float(rows["engine_direct"]["total s"])
+    idle = float(rows["session_idle"]["total s"])
+    assert direct > 0 and idle > 0
+
+    # The guarded claim: telemetry-off sessions cost (almost) nothing.
+    assert idle <= direct * IDLE_OVERHEAD_LIMIT + IDLE_SLACK_SECONDS, (
+        f"idle session {idle:.6f}s exceeds "
+        f"{IDLE_OVERHEAD_LIMIT}x bare engine {direct:.6f}s"
+    )
+
+    # Tracing mode must have exported spans, or the comparison is vacuous.
+    assert int(rows["session_tracing"]["spans"]) > 0

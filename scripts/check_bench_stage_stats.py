@@ -6,9 +6,11 @@ asserts that the benchmark JSON actually carries the prefilter stage
 columns the performance trajectory is tracked by, enforces the
 kernel-vs-loop regression guard — the vectorized prefilter
 (``repro.index.kernels``) must beat the per-row loop on the prefilter
-stage of ``BENCH_columnar.json`` — and enforces the sketch-tier
+stage of ``BENCH_columnar.json`` — enforces the sketch-tier
 recall-vs-speedup guard on ``BENCH_sketch.json`` (>= 5x candidate
-reduction at recall >= 0.95, threshold=0 byte-identical to exact).
+reduction at recall >= 0.95, threshold=0 byte-identical to exact), and
+enforces the idle-telemetry overhead guard on ``BENCH_telemetry.json``
+(a default session, telemetry off, stays within 2% of the bare engine).
 
 The speedup bound is deliberately lenient (CI runners are noisy and the
 smoke corpus is tiny); locally the kernels win by ~4-6x at benchmark
@@ -186,6 +188,54 @@ def check_sketch(directory: Path) -> list[str]:
     return problems
 
 
+#: Idle-telemetry ceiling: a default session (telemetry constructed but
+#: tracing off) may cost at most this factor over the bare engine.
+MAX_IDLE_TELEMETRY_OVERHEAD = 1.02
+
+#: Absolute slack on the idle-overhead guard, in seconds: at smoke scale
+#: the totals are a few ms, where a single scheduler tick would otherwise
+#: dominate the 2% relative bound.
+IDLE_TELEMETRY_SLACK_SECONDS = 0.002
+
+
+def check_telemetry(directory: Path) -> list[str]:
+    payload = _load(directory, "telemetry")
+    rows = {row["mode"]: row for row in payload["row_dicts"]}
+    expected = {"engine_direct", "session_idle", "session_tracing"}
+    if not expected <= set(rows):
+        return [
+            f"BENCH_telemetry.json rows {sorted(rows)} are missing "
+            f"{sorted(expected - set(rows))}"
+        ]
+    problems = []
+    try:
+        direct = float(rows["engine_direct"]["total s"])
+        idle = float(rows["session_idle"]["total s"])
+        tracing = float(rows["session_tracing"]["total s"])
+        spans = int(rows["session_tracing"]["spans"])
+    except (KeyError, ValueError) as exc:
+        problems.append(f"BENCH_telemetry.json lacks numeric guard columns: {exc}")
+        return problems
+    if min(direct, idle, tracing) <= 0:
+        problems.append("BENCH_telemetry.json has a non-positive total")
+        return problems
+    allowed = direct * MAX_IDLE_TELEMETRY_OVERHEAD + IDLE_TELEMETRY_SLACK_SECONDS
+    if idle > allowed:
+        problems.append(
+            "idle telemetry overhead regression: session_idle "
+            f"{idle:.6f}s exceeds {allowed:.6f}s "
+            f"({MAX_IDLE_TELEMETRY_OVERHEAD}x engine_direct {direct:.6f}s "
+            f"+ {IDLE_TELEMETRY_SLACK_SECONDS}s slack)"
+        )
+    # Tracing must actually have produced spans, or the "overhead" rows
+    # compared nothing.
+    if spans <= 0:
+        problems.append(
+            "BENCH_telemetry.json session_tracing exported no spans"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -200,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
         + check_planner(args.dir)
         + check_serve(args.dir)
         + check_sketch(args.dir)
+        + check_telemetry(args.dir)
     )
     if problems:
         for problem in problems:
@@ -208,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
     print(
         "bench stage stats OK: prefilter columns present, kernel beats "
         "loop, serving top-k identical, sketch prune within the "
-        "recall/speedup guard"
+        "recall/speedup guard, idle telemetry within the overhead guard"
     )
     return 0
 

@@ -23,6 +23,7 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "## Sketch tier",
         "## Vectorized execution",
         "## Process-parallel serving",
+        "## Telemetry",
     ),
     "README.md": (
         "--explain",
@@ -31,6 +32,8 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "Mmap-backed segments",
         "Approximate tier",
         "## Serving",
+        "/metrics",
+        "--trace-out",
     ),
 }
 

@@ -41,6 +41,7 @@ from repro.experiments import (  # noqa: E402
     run_planner,
     run_serving,
     run_sketch,
+    run_telemetry,
 )
 
 
@@ -68,6 +69,10 @@ def _bench_sketch(settings: ExperimentSettings) -> ExperimentResult:
     return run_sketch(settings)
 
 
+def _bench_telemetry(settings: ExperimentSettings) -> ExperimentResult:
+    return run_telemetry(settings)
+
+
 #: name -> callable(settings) -> ExperimentResult
 BENCHMARKS = {
     "columnar": _bench_columnar,
@@ -76,6 +81,7 @@ BENCHMARKS = {
     "serve": _bench_serve,
     "service": _bench_service,
     "sketch": _bench_sketch,
+    "telemetry": _bench_telemetry,
 }
 
 

@@ -8,6 +8,8 @@ deployment contract end to end over actual sockets:
 * concurrent ``POST /v1/discover`` requests (process-pool ``sharded``
   engine) return top-k results byte-identical to an in-process session on
   the same corpus;
+* ``GET /metrics`` serves Prometheus text exposition and the
+  ``repro_http_requests_total`` counter reflects the served requests;
 * a zero-capacity instance answers 429 with a ``Retry-After`` header
   (backpressure is visible to clients, not just internal);
 * SIGTERM drains gracefully: the server prints its drain banner and exits 0.
@@ -110,6 +112,43 @@ def discover_body(query) -> dict:
     }
 
 
+def scrape_metrics(base_url: str) -> str:
+    with urllib.request.urlopen(f"{base_url}/metrics", timeout=30) as response:
+        assert response.status == 200, f"/metrics answered {response.status}"
+        content_type = response.headers.get("Content-Type", "")
+        assert content_type.startswith("text/plain"), (
+            f"/metrics Content-Type {content_type!r} is not text/plain"
+        )
+        return response.read().decode("utf-8")
+
+
+def assert_metrics(text: str, min_requests: int) -> None:
+    """Validate the Prometheus exposition and the request counter's value."""
+    requests_total = None
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name and value, f"malformed sample line: {line!r}"
+        float(value)  # every sample value must parse as a number
+        if name == "repro_http_requests_total":
+            requests_total = float(value)
+    assert requests_total is not None, (
+        "repro_http_requests_total missing from /metrics"
+    )
+    assert requests_total >= min_requests, (
+        f"repro_http_requests_total={requests_total} after "
+        f"{min_requests} requests"
+    )
+    for metric in (
+        "repro_http_request_latency_seconds_bucket",
+        "repro_request_latency_seconds_bucket",
+        "repro_pool_requests_total",
+        "repro_admission_admitted_total",
+    ):
+        assert metric in text, f"{metric} missing from /metrics"
+
+
 def shutdown(process: subprocess.Popen) -> tuple[int, str]:
     process.send_signal(signal.SIGTERM)
     try:
@@ -168,6 +207,9 @@ def main(argv: list[str] | None = None) -> int:
                     f"  expected: {expected}"
                 )
             print(f"OK: {len(queries)} concurrent queries byte-identical")
+            metrics_text = scrape_metrics(base_url)
+            assert_metrics(metrics_text, min_requests=len(queries))
+            print("OK: /metrics serves Prometheus text with the request counter")
         finally:
             returncode, remainder = shutdown(process)
         assert returncode == 0, f"server exited {returncode} on SIGTERM"

@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Distributed-tracing smoke test (run by the CI ``serving`` job).
+
+Boots ``python -m repro.cli serve --execution process --trace-out ...`` on
+an ephemeral port, sends one traced discovery (client-chosen
+``X-Trace-Id``), and validates the exported JSONL span file end to end:
+
+* the response echoes the client's trace id in ``X-Trace-Id``;
+* every span in the file carries that trace id;
+* the spans form a **single tree**: exactly one root (``http.discover``),
+  every other span's ``parent_id`` resolves to a span in the file;
+* the tree crosses the process boundary: per-shard ``shard.discover``
+  spans are parented under ``pool.discover`` and were recorded in worker
+  processes (their ``pid`` differs from the server's).
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen import build_workload  # noqa: E402
+from repro.storage import save_corpus_json  # noqa: E402
+from repro.telemetry import read_trace_file, span_tree  # noqa: E402
+
+SERVE_BANNER = "serving on http://"
+NUM_SHARDS = 2
+TRACE_ID = "cafe" * 4
+
+
+def launch_server(corpus_path: Path, trace_path: Path) -> tuple:
+    env = dict(os.environ, PYTHONPATH=str(_SRC))
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            str(corpus_path),
+            "--port",
+            "0",
+            "--execution",
+            "process",
+            "--shards",
+            str(NUM_SHARDS),
+            "--trace-out",
+            str(trace_path),
+            "--log-json",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited during startup (rc={process.poll()})"
+            )
+        print(f"  [server] {line.rstrip()}")
+        if SERVE_BANNER in line:
+            return process, f"http://{line.split(SERVE_BANNER, 1)[1].strip()}"
+    raise AssertionError("server never printed its listening banner")
+
+
+def post_traced_discover(base_url: str, query) -> dict:
+    body = {
+        "query": {
+            "name": query.table.name,
+            "columns": list(query.table.columns),
+            "rows": [list(row) for row in query.table.rows],
+        },
+        "key_columns": list(query.key_columns),
+        "k": 5,
+        "engine": "sharded",
+    }
+    request = urllib.request.Request(
+        f"{base_url}/v1/discover",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"X-Trace-Id": TRACE_ID},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 200, f"discover answered {response.status}"
+        echoed = response.headers.get("X-Trace-Id")
+        assert echoed == TRACE_ID, (
+            f"X-Trace-Id echoed {echoed!r}, expected {TRACE_ID!r}"
+        )
+        return json.load(response)
+
+
+def validate_trace(trace_path: Path, server_pid: int) -> None:
+    spans = read_trace_file(trace_path)
+    assert spans, f"{trace_path} holds no spans"
+    for span in spans:
+        assert span["trace_id"] == TRACE_ID, (
+            f"span {span['name']} has trace_id {span['trace_id']!r}"
+        )
+
+    by_id = {span["span_id"]: span for span in spans}
+    tree = span_tree(spans)
+    roots = tree.get(None, [])
+    assert len(roots) == 1, (
+        f"expected exactly one root span, got "
+        f"{[span['name'] for span in roots]}"
+    )
+    root = roots[0]
+    assert root["name"] == "http.discover", f"root is {root['name']!r}"
+    for span in spans:
+        if span is root:
+            continue
+        assert span["parent_id"] in by_id, (
+            f"span {span['name']} has dangling parent {span['parent_id']!r}"
+        )
+
+    names = [span["name"] for span in spans]
+    for expected in ("http.discover", "session.discover", "pool.discover"):
+        assert names.count(expected) == 1, (
+            f"expected exactly one {expected!r} span, got {names}"
+        )
+    pool_span = next(s for s in spans if s["name"] == "pool.discover")
+    shard_spans = [s for s in spans if s["name"] == "shard.discover"]
+    assert len(shard_spans) == NUM_SHARDS, (
+        f"expected {NUM_SHARDS} shard.discover spans, got {len(shard_spans)}"
+    )
+    worker_pids = set()
+    for span in shard_spans:
+        assert span["parent_id"] == pool_span["span_id"], (
+            "shard.discover is not parented under pool.discover"
+        )
+        worker_pids.add(span["pid"])
+    assert all(pid != server_pid for pid in worker_pids), (
+        "worker spans report the server pid — they did not cross processes"
+    )
+    print(
+        f"OK: {len(spans)} spans, single tree under {TRACE_ID}, "
+        f"{len(shard_spans)} worker spans from pids {sorted(worker_pids)}"
+    )
+
+
+def main() -> int:
+    workload = build_workload("WT_100", seed=43, num_queries=1, corpus_scale=0.3)
+    with tempfile.TemporaryDirectory(prefix="mate-trace-smoke-") as tmp:
+        corpus_path = save_corpus_json(workload.corpus, Path(tmp) / "corpus.json")
+        trace_path = Path(tmp) / "trace.jsonl"
+
+        print("launching traced process-pool server ...")
+        process, base_url = launch_server(corpus_path, trace_path)
+        try:
+            envelope = post_traced_discover(base_url, workload.queries[0])
+            assert envelope.get("tables") is not None, "no tables in envelope"
+            print("OK: traced discovery answered, X-Trace-Id echoed")
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise AssertionError("server did not exit within 60s of SIGTERM")
+        assert process.returncode == 0, f"server exited {process.returncode}"
+
+        validate_trace(trace_path, server_pid=process.pid)
+
+    print("trace smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,10 @@ self-contained Python library:
   search, and composite-key discovery;
 * :mod:`repro.datagen` — synthetic corpora and the Table 1 query workloads;
 * :mod:`repro.experiments` — one module per table/figure of the paper plus
-  the extension studies.
+  the extension studies;
+* :mod:`repro.telemetry` — end-to-end observability: request tracing with
+  cross-process span trees, the metrics registry behind ``GET /metrics``,
+  trace-correlated JSON logging, and the slow-query log.
 
 Quickstart::
 
@@ -132,6 +135,14 @@ from .serve import (
     TenantQuota,
 )
 from .service import BatchDiscoveryResult, BatchStats, DiscoveryService
+from .telemetry import (
+    MetricsRegistry,
+    SlowQueryLog,
+    Telemetry,
+    Tracer,
+    read_trace_file,
+    span_tree,
+)
 
 __version__ = "1.0.0"
 
@@ -166,6 +177,7 @@ __all__ = [
     "MateConfig",
     "MateDiscovery",
     "MateError",
+    "MetricsRegistry",
     "Planner",
     "PlannerOptions",
     "ProcessShardPool",
@@ -183,12 +195,15 @@ __all__ = [
     "SketchIndex",
     "SketchIndexConfig",
     "SketchOptions",
+    "SlowQueryLog",
     "StorageError",
     "SuperKeyGenerator",
     "Table",
     "TableCorpus",
     "TableResult",
+    "Telemetry",
     "TenantQuota",
+    "Tracer",
     "XashHashFunction",
     "available_engines",
     "available_hash_functions",
@@ -198,8 +213,10 @@ __all__ = [
     "create_hash_function",
     "exact_joinability",
     "exact_joinability_score",
+    "read_trace_file",
     "register_engine",
     "required_number_of_ones",
+    "span_tree",
     "table_from_dicts",
     "top_k_by_exact_joinability",
     "__version__",

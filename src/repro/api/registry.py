@@ -167,6 +167,7 @@ def _build_sharded(session: "DiscoverySession", request: "DiscoveryRequest"):
             row_filter_mode=request.row_filter_mode,
             use_table_filters=request.use_table_filters,
             serve_config=serve_config,
+            telemetry=session.telemetry,
         )
     from ..core.parallel import ShardedMateDiscovery
 

@@ -35,6 +35,8 @@ Usage::
 from __future__ import annotations
 
 import asyncio
+import contextvars
+import logging
 import queue
 import threading
 import time
@@ -48,12 +50,25 @@ from ..exceptions import ConfigurationError, DiscoveryError, MateError
 from ..index import InvertedIndex, ShardedInvertedIndex, build_index
 from ..metrics import CacheCounters, DiscoveryCounters
 from ..service.cache import CachingIndex
+from ..telemetry import SlowQueryEntry, Telemetry
 from .registry import DEFAULT_REGISTRY, EngineRegistry, EngineSpec
 from .request import DiscoveryRequest, RequestBudget
 from .results import SessionBatch, SessionResult
 
 if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
     from ..service.service import BatchStats
+
+#: Structured logger of the session layer (JSON-formatted when the caller
+#: installs :func:`repro.telemetry.configure_json_logging`).
+_LOGGER = logging.getLogger("repro.session")
+
+
+def _attach_trace(error: MateError, span) -> MateError:
+    """Stamp the current trace id onto an error for log correlation."""
+    if span.trace_id:
+        error.trace_id = span.trace_id  # type: ignore[attr-defined]
+        span.set_attribute("error", str(error))
+    return error
 
 
 class DiscoverySession:
@@ -88,6 +103,11 @@ class DiscoverySession:
         Process-pool knobs (:class:`~repro.serve.pool.ServeConfig`) for
         ``execution="process"``; ``None`` derives the shard count from
         ``service_config.num_shards``.
+    telemetry:
+        The session's :class:`~repro.telemetry.Telemetry` bundle (tracer +
+        metrics registry + slow-query log).  ``None`` builds a default with
+        tracing *disabled* — metrics and the slow log stay live (they are
+        nearly free), spans cost one global-int check per request.
     """
 
     def __init__(
@@ -99,6 +119,7 @@ class DiscoverySession:
         registry: EngineRegistry | None = None,
         execution: str = "thread",
         serve_config=None,
+        telemetry: Telemetry | None = None,
     ):
         if execution not in ("thread", "process"):
             raise ConfigurationError(
@@ -110,6 +131,8 @@ class DiscoverySession:
         self.registry = registry or DEFAULT_REGISTRY
         self.execution = execution
         self.serve_config = serve_config
+        self._owns_telemetry = telemetry is None
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         if index is None:
             index = build_index(corpus, config=self.config)
         # Only a monolithic InvertedIndex can be partitioned here; sharded,
@@ -153,6 +176,63 @@ class DiscoverySession:
         self._sketch_lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Register session-level instruments into the telemetry registry.
+
+        This is where the formerly siloed aggregates join one scrapeable
+        surface: request counts and latency live in real instruments, the
+        LRU cache and the per-run discovery counters flow in through
+        scrape-time callbacks (their owners keep their own types).
+        """
+        metrics = self.telemetry.metrics
+        self._requests_total = metrics.counter(
+            "repro_session_requests_total", "Discovery requests accepted"
+        )
+        self._failures_total = metrics.counter(
+            "repro_session_failures_total", "Discovery requests that raised"
+        )
+        self._request_latency = metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end session.discover latency",
+        )
+        self._pl_fetched_total = metrics.counter(
+            "repro_discovery_pl_items_fetched_total",
+            "Posting-list items fetched across all requests",
+        )
+        self._tables_evaluated_total = metrics.counter(
+            "repro_discovery_tables_evaluated_total",
+            "Candidate tables fully evaluated across all requests",
+        )
+        self._sketch_candidates_total = metrics.counter(
+            "repro_sketch_candidates_total",
+            "Candidate tables admitted by the sketch tier across all requests",
+        )
+        counters = self.cache_counters if isinstance(
+            self.index, CachingIndex
+        ) else None
+        if counters is not None:
+            metrics.counter_callback(
+                "repro_cache_hits_total",
+                lambda: counters.hits,
+                "Posting-list cache hits",
+            )
+            metrics.counter_callback(
+                "repro_cache_misses_total",
+                lambda: counters.misses,
+                "Posting-list cache misses",
+            )
+            metrics.counter_callback(
+                "repro_cache_evictions_total",
+                lambda: counters.evictions,
+                "Posting-list cache evictions",
+            )
+        metrics.counter_callback(
+            "repro_slowlog_recorded_total",
+            lambda: self.telemetry.slow_log.recorded_total,
+            "Queries recorded by the slow-query log",
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -172,6 +252,10 @@ class DiscoverySession:
             closer = getattr(engine, "close", None)
             if callable(closer):
                 closer()
+        if self._owns_telemetry:
+            # A caller-provided bundle (the CLI's, a server's) outlives the
+            # session; only the private default is retired here.
+            self.telemetry.close()
 
     def __enter__(self) -> "DiscoverySession":
         return self
@@ -405,20 +489,81 @@ class DiscoverySession:
         ``supports_planner``; a request carrying either is refused on any
         other engine (the session never silently drops a knob it cannot
         enforce).  Errors raised anywhere below this call carry the engine
-        name and request label.
+        name and request label (and, with tracing enabled, the trace id).
+
+        The call runs under a ``session.discover`` root span; downstream
+        layers (the executor's stage spans, the process pool's worker
+        spans) attach to it through context propagation.  Every request
+        feeds the telemetry registry's request counter and latency
+        histogram, and runs crossing the slow-query threshold land in the
+        session's :class:`~repro.telemetry.SlowQueryLog`.
         """
-        try:
-            spec, engine = self._engine_for(request)
-        except MateError as error:
-            raise error.with_context(request=request)
-        k = self._resolve_k(request)
-        budget = request.make_budget()
-        try:
-            kwargs = self._run_kwargs(spec, request, budget, engine)
-            response = engine.discover(request.query, k=k, **kwargs)
-        except MateError as error:
-            raise error.with_context(engine=spec.name, request=request)
-        return SessionResult(request=request, engine=spec.name, response=response)
+        telemetry = self.telemetry
+        started = time.perf_counter()
+        self._requests_total.inc()
+        with telemetry.tracer.span(
+            "session.discover",
+            attributes={"request": request.label, "engine": request.engine},
+        ) as span:
+            try:
+                spec, engine = self._engine_for(request)
+            except MateError as error:
+                self._failures_total.inc()
+                raise _attach_trace(error.with_context(request=request), span)
+            k = self._resolve_k(request)
+            budget = request.make_budget()
+            try:
+                kwargs = self._run_kwargs(spec, request, budget, engine)
+                response = engine.discover(request.query, k=k, **kwargs)
+            except MateError as error:
+                self._failures_total.inc()
+                raise _attach_trace(
+                    error.with_context(engine=spec.name, request=request), span
+                )
+        result = SessionResult(request=request, engine=spec.name, response=response)
+        self._observe_request(request, spec.name, result, budget, started, span)
+        return result
+
+    def _observe_request(
+        self, request, engine_name, result, budget, started, span
+    ) -> None:
+        """Feed one finished request into metrics and the slow-query log."""
+        elapsed = time.perf_counter() - started
+        self._request_latency.observe(elapsed)
+        counters = result.counters
+        self._pl_fetched_total.inc(counters.pl_items_fetched)
+        self._tables_evaluated_total.inc(counters.tables_evaluated)
+        sketch_candidates = counters.extra.get("sketch_candidates")
+        if sketch_candidates is not None:
+            self._sketch_candidates_total.inc(sketch_candidates)
+        slow_log = self.telemetry.slow_log
+        if not slow_log.should_record(elapsed):
+            return
+        budget_state: dict[str, object] = {}
+        if budget is not None:
+            budget_state = {
+                "max_pl_fetches": request.max_pl_fetches,
+                "remaining_pl_fetches": budget.remaining_pl_fetches,
+                "deadline_seconds": request.deadline_seconds,
+                "exhausted": budget.exhausted,
+                "expired": budget.expired,
+            }
+        plan = result.plan_explain()
+        slow_log.record(
+            SlowQueryEntry(
+                request=request.label,
+                engine=engine_name,
+                seconds=elapsed,
+                threshold_seconds=slow_log.threshold_seconds,
+                trace_id=span.trace_id or None,
+                stages={
+                    name: stats.as_dict()
+                    for name, stats in counters.stages.items()
+                },
+                budget=budget_state,
+                plan=plan,
+            )
+        )
 
     # ------------------------------------------------------------------
     # Batching
@@ -472,10 +617,23 @@ class DiscoverySession:
 
         results: list[SessionResult | None] = []
         failures: list[Exception] = []
-        for outcome in outcomes:
+        for request, outcome in zip(request_list, outcomes):
             if isinstance(outcome, Exception):
                 failures.append(outcome)
                 results.append(None)
+                # Surface the failure through the structured logger, keyed
+                # by the query's trace id (stamped onto the error by
+                # discover()'s root span) — BatchStats.failures alone made
+                # batch errors invisible to log-based diagnosis.
+                _LOGGER.error(
+                    "batch query failed: %s",
+                    outcome,
+                    extra={
+                        "trace_id": getattr(outcome, "trace_id", None),
+                        "request_label": request.label,
+                        "engine": request.engine,
+                    },
+                )
             else:
                 results.append(outcome)
 
@@ -592,8 +750,12 @@ class DiscoverySession:
             finally:
                 snapshots.put(done)
 
+        # Run under a copy of the caller's context so tracer spans opened
+        # around the stream parent the engine's spans in the worker thread.
+        stream_context = contextvars.copy_context()
         worker = threading.Thread(
-            target=run, name="discovery-stream", daemon=True
+            target=stream_context.run, args=(run,),
+            name="discovery-stream", daemon=True,
         )
         worker.start()
         try:
@@ -643,8 +805,14 @@ class DiscoverySession:
     # Scheduling
     # ------------------------------------------------------------------
     def submit(self, request: DiscoveryRequest) -> "Future[SessionResult]":
-        """Schedule ``request`` on the session's thread pool (a Future)."""
-        return self._executor().submit(self.discover, request)
+        """Schedule ``request`` on the session's thread pool (a Future).
+
+        The submitting thread's :mod:`contextvars` context travels with the
+        task, so a span opened by the caller (the HTTP front end's
+        per-request span) parents the worker-side ``session.discover``.
+        """
+        context = contextvars.copy_context()
+        return self._executor().submit(context.run, self.discover, request)
 
     async def asubmit(self, request: DiscoveryRequest) -> SessionResult:
         """``await``-able :meth:`discover`, run on the session's thread pool."""

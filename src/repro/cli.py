@@ -53,6 +53,14 @@ Four sub-commands cover the typical workflow:
 ``suggest-key``
     Discover composite-key candidates (unique column combinations) for a CSV
     table, the undocumented-key situation the paper's introduction describes.
+``slowlog``
+    Fetch a running server's slow-query log (``GET /v1/slow``) and print
+    each entry with its trace id, per-stage timings, and budget state.
+
+``discover`` and ``serve`` additionally take ``--trace-out`` (export the
+request's span tree as JSONL — one line per span, across every worker
+process) and ``--log-json`` (structured JSON logs on stderr, each record
+carrying the current ``trace_id``).
 
 Example::
 
@@ -93,6 +101,7 @@ from .experiments import (
     run_table1,
     run_table2,
     run_table3,
+    run_telemetry,
     run_topk,
 )
 from .extensions import SimilarityJoinDiscovery, UnionSearch, discover_key_candidates
@@ -131,6 +140,7 @@ EXPERIMENT_RUNNERS = {
     "related_work": run_related_work,
     "short_values": run_short_values,
     "sketch": run_sketch,
+    "telemetry": run_telemetry,
 }
 
 
@@ -154,6 +164,46 @@ def _sketch_options(args: argparse.Namespace) -> SketchOptions:
         threshold=args.sketch_threshold,
         max_candidates=args.sketch_max_candidates,
     )
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to a sub-command."""
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="export the request span tree as JSON lines to this file "
+        "(one object per span, including shard-worker spans)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs on stderr, each record carrying "
+        "the active trace_id",
+    )
+    parser.add_argument(
+        "--slow-threshold", type=float, default=None,
+        help="record requests slower than this many seconds in the "
+        "slow-query log (servers expose it at GET /v1/slow)",
+    )
+
+
+def _telemetry_from_args(args: argparse.Namespace):
+    """Build a :class:`~repro.telemetry.Telemetry` from the shared flags.
+
+    Returns ``None`` (session default: metrics on, tracing off) when no
+    flag engages telemetry, so the zero-overhead path stays the default.
+    """
+    from .telemetry import Telemetry, configure_json_logging
+
+    if args.log_json:
+        configure_json_logging()
+    if args.trace_out is None and args.slow_threshold is None:
+        return None
+    if args.trace_out is not None:
+        return Telemetry.with_trace_file(
+            args.trace_out, slow_threshold_seconds=args.slow_threshold
+        )
+    from .telemetry import SlowQueryLog
+
+    return Telemetry(slow_log=SlowQueryLog(threshold_seconds=args.slow_threshold))
 
 
 
@@ -208,6 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "adaptive mid-run re-planning, or the sketch "
                           "candidate tier (implied by --sketch-threshold)")
     _add_sketch_arguments(discover)
+    _add_telemetry_arguments(discover)
     discover.add_argument("--explain", action="store_true",
                           help="print the executed query plan (seed-column "
                           "estimates, per-stage timings, re-plans)")
@@ -301,6 +352,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--default-engine", default="mate",
                             help="engine used when a request names none")
     serve_http.add_argument("--hash-size", type=int, default=128)
+    _add_telemetry_arguments(serve_http)
+
+    slowlog = subparsers.add_parser(
+        "slowlog", help="print a running server's slow-query log"
+    )
+    slowlog.add_argument(
+        "url",
+        help="server base URL (e.g. http://127.0.0.1:8080); "
+        "GET <url>/v1/slow is fetched",
+    )
+    slowlog.add_argument("--json", action="store_true",
+                         help="print the raw /v1/slow document instead of text")
 
     ingest = subparsers.add_parser(
         "ingest", help="stream tables into a persisted live index"
@@ -469,8 +532,15 @@ def _command_discover(args: argparse.Namespace) -> int:
         planner=PlannerOptions(mode=planner_mode),
         sketch=sketch,
     )
-    with DiscoverySession(corpus, index, config=config) as session:
+    telemetry = _telemetry_from_args(args)
+    with DiscoverySession(
+        corpus, index, config=config, telemetry=telemetry
+    ) as session:
         result = session.discover(request)
+    if telemetry is not None:
+        telemetry.close()
+        if args.trace_out is not None:
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
 
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -686,12 +756,14 @@ def _command_serve(args: argparse.Namespace) -> int:
             hedge_after_seconds=args.hedge_after,
             segments_dir=args.segments_dir,
         )
+    telemetry = _telemetry_from_args(args)
     session = DiscoverySession(
         corpus,
         config=config,
         service_config=service_config,
         execution=args.execution,
         serve_config=serve_config,
+        telemetry=telemetry,
     )
     admission = AdmissionController(
         max_pending=args.max_pending,
@@ -718,6 +790,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         return run_server(server)
     finally:
         session.close()
+        if telemetry is not None:
+            telemetry.close()
 
 
 def _command_profile(args: argparse.Namespace) -> int:
@@ -830,6 +904,50 @@ def _command_union(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_slowlog(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    url = args.url.rstrip("/") + "/v1/slow"
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            document = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"cannot fetch {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(document, indent=2))
+        return 0
+    entries = document.get("slow_queries", [])
+    print(
+        f"slow-query log: {document.get('recorded_total', 0)} recorded over "
+        f"{document.get('threshold_seconds')}s, "
+        f"{len(entries)}/{document.get('capacity')} retained (newest first)"
+    )
+    for entry in entries:
+        trace = entry.get("trace_id") or "-"
+        print(
+            f"  [{trace}] {entry.get('request')!r} via {entry.get('engine')}: "
+            f"{entry.get('seconds', 0.0):.3f}s"
+        )
+        for name, stats in (entry.get("stages") or {}).items():
+            print(
+                f"      {name}: {stats.get('calls', 0)} calls, "
+                f"{stats.get('seconds', 0.0) * 1000:.2f} ms, "
+                f"{stats.get('items_in', 0)} in / {stats.get('items_out', 0)} out"
+            )
+        budget = entry.get("budget") or {}
+        if budget:
+            print(
+                "      budget: "
+                f"max_pl_fetches={budget.get('max_pl_fetches')}, "
+                f"remaining={budget.get('remaining_pl_fetches')}, "
+                f"exhausted={budget.get('exhausted')}, "
+                f"expired={budget.get('expired')}"
+            )
+    return 0
+
+
 def _command_suggest_key(args: argparse.Namespace) -> int:
     table = table_from_csv(0, args.table)
     candidates = discover_key_candidates(table, max_arity=args.max_arity)
@@ -859,6 +977,7 @@ def main(argv: list[str] | None = None) -> int:
         "similarity": _command_similarity,
         "union": _command_union,
         "suggest-key": _command_suggest_key,
+        "slowlog": _command_slowlog,
     }
     return handlers[args.command](args)
 

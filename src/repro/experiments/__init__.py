@@ -28,8 +28,9 @@ fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_serving`), the columnar posting-layout comparison
 (:func:`run_columnar`), and the online-ingestion study
 (:func:`run_ingest`), the query-planner study
-(:func:`run_planner`), and the approximate sketch-tier study
-(:func:`run_sketch`).
+(:func:`run_planner`), the approximate sketch-tier study
+(:func:`run_sketch`), and the telemetry overhead study
+(:func:`run_telemetry`).
 """
 
 from .batch_service import DEFAULT_SERVICE_SHARD_COUNTS, run_batch_service
@@ -80,6 +81,7 @@ from .runner import (
     run_system,
 )
 from .table1 import run_table1
+from .telemetry import IDLE_OVERHEAD_LIMIT, TELEMETRY_MODES, run_telemetry
 from .table2 import DEFAULT_TABLE2_WORKLOADS, TABLE2_HASHES, run_table2
 from .table3 import DEFAULT_TABLE3_WORKLOADS, TABLE3_HASHES, run_table3
 from .topk import TOPK_HASHES, run_topk
@@ -104,11 +106,13 @@ __all__ = [
     "FIGURE6_SYSTEMS",
     "FREQUENCY_SOURCES",
     "HEURISTIC_ORDER",
+    "IDLE_OVERHEAD_LIMIT",
     "INGEST_STATES",
     "SHORT_VALUE_HASHES",
     "SKETCH_MODES_UNDER_TEST",
     "TABLE2_HASHES",
     "TABLE3_HASHES",
+    "TELEMETRY_MODES",
     "TOPK_HASHES",
     "WorkloadContext",
     "aggregate_results",
@@ -140,6 +144,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_table3",
+    "run_telemetry",
     "run_topk",
     "result_to_csv",
     "result_to_json",

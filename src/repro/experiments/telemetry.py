@@ -1,0 +1,146 @@
+"""Telemetry overhead study: what observability costs on the request path.
+
+The telemetry subsystem (:mod:`repro.telemetry`) promises that a session
+with telemetry *off* — the default — stays within 2% of running the engine
+directly, because every instrumented branch gates on a module-level "any
+enabled tracer?" integer before touching contextvars or clocks.  This
+experiment measures that promise so CI can enforce it
+(``scripts/check_bench_stage_stats.py`` over ``BENCH_telemetry.json``):
+
+* ``engine_direct`` — :class:`~repro.core.discovery.MateDiscovery` called
+  directly, no session, no telemetry anywhere: the floor.
+* ``session_idle`` — the same queries through a
+  :class:`~repro.api.session.DiscoverySession` with its default telemetry
+  (metrics registry live, tracing off, cache disabled so the comparison is
+  engine work, not cache hits).  This is the guarded configuration.
+* ``session_tracing`` — tracing *on* (spans collected in memory), to report
+  what full tracing costs when explicitly requested (not guarded).
+
+Timing is the **minimum over interleaved repeats** (``MATE_BENCH_REPEATS``,
+default 3): interleaving cancels slow drift (thermal, page cache), and the
+minimum is the standard noise-robust estimator for "how fast can this go".
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from ..api import DiscoveryRequest, DiscoverySession
+from ..config import ServiceConfig
+from ..core.discovery import MateDiscovery
+from ..datagen import build_workload
+from ..index import build_index
+from ..telemetry import InMemoryExporter, Telemetry, Tracer
+from .runner import ExperimentResult, ExperimentSettings
+
+#: Modes under comparison, in reporting order.
+TELEMETRY_MODES: tuple[str, ...] = (
+    "engine_direct",
+    "session_idle",
+    "session_tracing",
+)
+
+#: The CI guard: ``session_idle`` must stay within this factor of
+#: ``engine_direct`` (checked by ``scripts/check_bench_stage_stats.py``).
+IDLE_OVERHEAD_LIMIT = 1.02
+
+
+def _bench_repeats() -> int:
+    return max(1, int(os.environ.get("MATE_BENCH_REPEATS", "3")))
+
+
+def run_telemetry(
+    settings: ExperimentSettings, repeats: int | None = None
+) -> ExperimentResult:
+    """Measure session/telemetry overhead against the bare engine."""
+    repeats = repeats if repeats is not None else _bench_repeats()
+    workload = build_workload(
+        "WT_100",
+        seed=settings.seed,
+        num_queries=settings.num_queries,
+        corpus_scale=settings.corpus_scale,
+    )
+    corpus, queries = workload.corpus, workload.queries
+    config = settings.config(128)
+    index = build_index(corpus, config=config)
+    service_config = ServiceConfig(cache_capacity=0)
+
+    engine = MateDiscovery(corpus, index, config=config)
+    idle_session = DiscoverySession(
+        corpus, index, config=config, service_config=service_config
+    )
+    exporter = InMemoryExporter()
+    tracing_session = DiscoverySession(
+        corpus,
+        index,
+        config=config,
+        service_config=service_config,
+        telemetry=Telemetry(tracer=Tracer(exporter)),
+    )
+
+    requests = [DiscoveryRequest(query=query, k=settings.k) for query in queries]
+
+    def _run_direct() -> None:
+        for query in queries:
+            engine.discover(query, k=settings.k)
+
+    def _run_session(session: DiscoverySession) -> None:
+        for request in requests:
+            session.discover(request)
+
+    runners = {
+        "engine_direct": _run_direct,
+        "session_idle": lambda: _run_session(idle_session),
+        "session_tracing": lambda: _run_session(tracing_session),
+    }
+
+    best: dict[str, float] = {mode: float("inf") for mode in TELEMETRY_MODES}
+    span_count = 0
+    try:
+        # One untimed warm-up pass per mode (imports, allocator, branch
+        # predictors), then interleaved timed repeats.
+        for runner in runners.values():
+            runner()
+        exporter.drain()
+        for _ in range(repeats):
+            for mode in TELEMETRY_MODES:
+                started = time.perf_counter()
+                runners[mode]()
+                best[mode] = min(best[mode], time.perf_counter() - started)
+        span_count = len(exporter.drain())
+    finally:
+        idle_session.close()
+        tracing_session.close()
+
+    direct = best["engine_direct"]
+    headers = ["mode", "queries", "total s", "per-query ms", "vs direct", "spans"]
+    rows: list[list[object]] = []
+    for mode in TELEMETRY_MODES:
+        total = best[mode]
+        rows.append(
+            [
+                mode,
+                len(queries),
+                f"{total:.6f}",
+                f"{total * 1000 / max(1, len(queries)):.3f}",
+                f"{total / direct:.4f}" if direct > 0 else "n/a",
+                span_count if mode == "session_tracing" else 0,
+            ]
+        )
+
+    notes = [
+        f"min over {repeats} interleaved repeats (MATE_BENCH_REPEATS), "
+        "one untimed warm-up pass per mode; cache_capacity=0",
+        "session_idle is the guarded configuration: CI enforces "
+        f"total <= {IDLE_OVERHEAD_LIMIT:.2f} x engine_direct "
+        "(scripts/check_bench_stage_stats.py)",
+        "session_tracing collects spans in memory (InMemoryExporter); "
+        "spans column counts the last timed repeat's exported spans",
+    ]
+    return ExperimentResult(
+        name="Telemetry overhead: bare engine vs idle session vs tracing",
+        headers=headers,
+        rows=rows,
+        notes=notes,
+    )

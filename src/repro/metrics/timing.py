@@ -1,4 +1,17 @@
-"""Small timing helpers used by the discovery engines and experiments."""
+"""Small timing helpers used by the discovery engines and experiments.
+
+.. deprecated:: the ad-hoc primitives
+    :class:`Stopwatch` and :func:`timed` are kept as public shims for
+    existing callers, but plan/serve code must not time request work with
+    them anymore: request-path timing goes through tracer spans
+    (:meth:`repro.telemetry.trace.Tracer.span` /
+    :meth:`~repro.telemetry.trace.Tracer.emit`), which capture the same
+    duration *and* the trace identity, so the measurement lands in the
+    span tree, the metrics histograms, and the slow-query log instead of
+    a local variable.  :class:`StageStats` stays first-class: the executor
+    converts each stage's accumulated stats into synthetic spans at the
+    end of a run.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +23,11 @@ from typing import Iterator
 
 @dataclass
 class Stopwatch:
-    """Accumulates wall-clock time across multiple start/stop cycles."""
+    """Accumulates wall-clock time across multiple start/stop cycles.
+
+    .. deprecated:: kept as a compatibility shim; request-path code uses
+        tracer spans instead (see the module docstring).
+    """
 
     elapsed: float = 0.0
     _started_at: float | None = field(default=None, repr=False)
@@ -38,7 +55,11 @@ class Stopwatch:
 
 @contextmanager
 def timed() -> Iterator[Stopwatch]:
-    """Time a block of code: ``with timed() as t: ...; t.elapsed``."""
+    """Time a block of code: ``with timed() as t: ...; t.elapsed``.
+
+    .. deprecated:: kept as a compatibility shim; request-path code uses
+        tracer spans instead (see the module docstring).
+    """
     stopwatch = Stopwatch()
     stopwatch.start()
     try:

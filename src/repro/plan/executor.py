@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Callable
 from ..core.filters import should_prune_table
 from ..core.results import DiscoveryResult
 from ..metrics import DiscoveryCounters
+from ..telemetry import trace as _trace
 from .context import PlanContext
 from .options import PlannerOptions
 from .planner import PlanReport, QueryPlan, STAGE_SKETCH_PRUNE
@@ -106,6 +107,12 @@ class Executor:
             counters.deadline_expired = int(budget.expired)
             complete = budget.complete
         counters.runtime_seconds = time.perf_counter() - started
+        # One aggregate span per executed stage, synthesized from the
+        # StageStats the (hot) stage loop already collects — the tracer adds
+        # no per-candidate work, and when no tracer is enabled anywhere this
+        # whole block is a single global-int check.
+        if _trace._ACTIVE:
+            self._emit_spans(context, counters, k)
         names = {
             table_id: engine.corpus.get_table(table_id).name
             for table_id, _ in context.topk.result_tuples()
@@ -120,3 +127,40 @@ class Executor:
             complete=complete,
             plan=context.report,
         )
+
+    @staticmethod
+    def _emit_spans(context: PlanContext, counters: DiscoveryCounters, k: int) -> None:
+        """Export a ``plan.execute`` span plus one child span per stage.
+
+        The stage spans absorb each stage's :class:`StageStats` — calls,
+        accumulated seconds, items in/out — as span attributes, so the
+        per-stage timing that used to live only in the counters is part of
+        the trace tree.
+        """
+        entry = _trace.current_entry()
+        if entry is None:
+            return
+        tracer, parent = entry
+        exec_span = tracer.emit(
+            "plan.execute",
+            parent,
+            duration=counters.runtime_seconds,
+            attributes={
+                "seed_column": context.plan.seed.column,
+                "k": k,
+                "pl_items_fetched": counters.pl_items_fetched,
+                "tables_evaluated": counters.tables_evaluated,
+            },
+        )
+        for name, stats in counters.stages.items():
+            tracer.emit(
+                f"stage.{name}",
+                exec_span,
+                duration=stats.seconds,
+                attributes={
+                    "calls": stats.calls,
+                    "items_in": stats.items_in,
+                    "items_out": stats.items_out,
+                },
+                start=exec_span.start,
+            )

@@ -8,11 +8,19 @@ live in :mod:`repro.serve.quotas` and the session itself, so a hand-rolled
 Routes::
 
     GET  /healthz       liveness + drain state (200 serving / 503 draining)
+    GET  /metrics       the telemetry registry in Prometheus text format
     GET  /v1/engines    registered engine names
     GET  /v1/stats      admission counters + pool/scatter-gather statistics
+                        + a snapshot of the telemetry metrics registry
+    GET  /v1/slow       the slow-query log ring buffer, newest first
     POST /v1/discover   one DiscoveryRequest; the response body is the
                         stable SessionResult JSON envelope of
                         :meth:`repro.api.results.SessionResult.to_dict`
+
+Tracing: ``POST /v1/discover`` accepts an ``X-Trace-Id`` request header
+(joining the caller's trace) and always echoes the request's trace id back
+in the ``X-Trace-Id`` response header, so a client can grep the server's
+span file / slow log for exactly its request.
 
 ``POST /v1/discover`` carries the query table inline::
 
@@ -39,11 +47,13 @@ import asyncio
 import json
 import math
 import signal
+import time
 from typing import TYPE_CHECKING
 
 from ..api.request import DiscoveryRequest
 from ..datamodel import QueryTable, Table
 from ..exceptions import MateError
+from ..telemetry.trace import TraceContext
 from .quotas import AdmissionController
 
 if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
@@ -51,6 +61,9 @@ if TYPE_CHECKING:  # pragma: no cover - imported for annotations only
 
 #: Largest accepted ``POST /v1/discover`` body, in bytes.
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Content type of the ``GET /metrics`` Prometheus exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class _HttpError(Exception):
@@ -93,7 +106,24 @@ class DiscoveryHTTPServer:
         self.default_engine = default_engine
         self.drain_timeout = drain_timeout
         self._server: asyncio.AbstractServer | None = None
-        self.requests_served = 0
+        # The server's counters live in the session's telemetry registry
+        # (the same one GET /metrics renders); admission counters join it
+        # through scrape-time callbacks.
+        self.telemetry = session.telemetry
+        registry = self.telemetry.metrics
+        self._requests_total = registry.counter(
+            "repro_http_requests_total", "Completed POST /v1/discover requests"
+        )
+        self._request_latency = registry.histogram(
+            "repro_http_request_latency_seconds",
+            "POST /v1/discover latency (admission to response)",
+        )
+        self.admission.register_metrics(registry)
+
+    @property
+    def requests_served(self) -> int:
+        """Completed discovery requests (now backed by the registry)."""
+        return int(self._requests_total.value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -185,13 +215,20 @@ class DiscoveryHTTPServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: "dict | str",
         extra_headers: dict[str, str] | None = None,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # A dict payload is a JSON route; a str payload is pre-rendered text
+        # (the Prometheus exposition of GET /metrics).
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         lines = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             "Connection: close",
         ]
@@ -220,10 +257,24 @@ class DiscoveryHTTPServer:
             if method != "GET":
                 return 405, {"error": "engines is GET-only"}, None
             return 200, {"engines": self.session.registry.names()}, None
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}, None
+            return 200, self.telemetry.metrics.render_prometheus(), None
         if path == "/v1/stats":
             if method != "GET":
                 return 405, {"error": "stats is GET-only"}, None
             return 200, self._stats(), None
+        if path == "/v1/slow":
+            if method != "GET":
+                return 405, {"error": "slow is GET-only"}, None
+            slow_log = self.telemetry.slow_log
+            return 200, {
+                "threshold_seconds": slow_log.threshold_seconds,
+                "capacity": slow_log.capacity,
+                "recorded_total": slow_log.recorded_total,
+                "slow_queries": slow_log.entries(),
+            }, None
         if path == "/v1/discover":
             if method != "POST":
                 return 405, {"error": "discover is POST-only"}, None
@@ -236,6 +287,10 @@ class DiscoveryHTTPServer:
             "admission": self.admission.stats(),
             "engines": self.session.engines(),
             "execution": getattr(self.session, "execution", "thread"),
+            # The registry snapshot is the same data GET /metrics renders as
+            # Prometheus text — /v1/stats is rebuilt on top of it while the
+            # legacy fields above keep their shape.
+            "metrics": self.telemetry.metrics.snapshot(),
         }
         # Surface pool statistics when a process pool is among the cached
         # engines (scatter/gather stage totals, hedge counters, workers).
@@ -265,15 +320,36 @@ class DiscoveryHTTPServer:
                 request = self._parse_request(body)
             except _HttpError as error:
                 return error.status, {"error": error.message}, None
-            try:
-                result = await self.session.asubmit(request)
-            except MateError as error:
-                return 500, {"error": str(error)}, None
-            self.requests_served += 1
-            return 200, result.to_dict(), None
+            # Join the caller's trace when it sent X-Trace-Id; otherwise a
+            # fresh root is opened (when tracing is enabled).  The trace id
+            # is always echoed back so the client can correlate.
+            trace_header = headers.get("x-trace-id", "").strip()
+            parent = TraceContext(trace_id=trace_header) if trace_header else None
+            started = time.perf_counter()
+            tracer = self.telemetry.tracer
+            with tracer.span(
+                "http.discover",
+                parent=parent,
+                attributes={"tenant": tenant, "engine": request.engine},
+            ) as span:
+                try:
+                    result = await self.session.asubmit(request)
+                except MateError as error:
+                    span.set_attribute("error", str(error))
+                    return 500, {"error": str(error)}, self._trace_headers(
+                        span, trace_header
+                    )
+            self._request_latency.observe(time.perf_counter() - started)
+            self._requests_total.inc()
+            return 200, result.to_dict(), self._trace_headers(span, trace_header)
         finally:
             assert decision.ticket is not None
             self.admission.release(decision.ticket)
+
+    @staticmethod
+    def _trace_headers(span, trace_header: str) -> dict[str, str] | None:
+        trace_id = span.trace_id or trace_header
+        return {"X-Trace-Id": trace_id} if trace_id else None
 
     def _parse_request(self, body: bytes) -> DiscoveryRequest:
         try:

@@ -60,6 +60,7 @@ from ..exceptions import ConfigurationError, DiscoveryError
 from ..index import IndexBuilder
 from ..metrics.serving import ServeMetrics
 from ..metrics.timing import StageStats
+from ..telemetry import trace as _trace
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolStats,
@@ -155,11 +156,21 @@ def _worker_main(
     parent died) arrives.  SIGINT is ignored: on Ctrl-C the parent drives a
     graceful drain and shuts workers down explicitly.
     """
+    from contextlib import nullcontext
+
     from ..api.request import RequestBudget
     from ..core.discovery import MateDiscovery
     from ..exceptions import MateError
     from ..sketch import SketchIndex
     from ..storage.paged import reopen_segment
+    from ..telemetry.trace import CollectingExporter, Tracer
+
+    # Lazy worker-side tracer: built on the first traced query (protocol v3
+    # puts a TraceContext on the ShardQuery), collects finished spans in
+    # memory and ships them back on each ShardResult.  Untraced workloads
+    # never pay for it.
+    worker_exporter: CollectingExporter | None = None
+    worker_tracer: Tracer | None = None
 
     try:  # pragma: no cover - signal wiring is exercised via the CLI smoke
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -235,20 +246,43 @@ def _worker_main(
                     run_kwargs["planner"] = message.planner
                 if message.sketch is not None:
                     run_kwargs["sketch"] = message.sketch
-                started = time.perf_counter()
-                result = engine.discover(
-                    message.query, k=message.k, budget=budget, **run_kwargs
-                )
-                result.counters.runtime_seconds = time.perf_counter() - started
-                consumed = 0
-                exhausted = expired = False
-                if budget is not None:
-                    if message.max_pl_fetches is not None:
-                        consumed = message.max_pl_fetches - (
-                            budget.remaining_pl_fetches or 0
-                        )
-                    exhausted = budget.exhausted
-                    expired = budget.expired
+                if message.trace is not None:
+                    if worker_tracer is None:
+                        worker_exporter = CollectingExporter()
+                        worker_tracer = Tracer(worker_exporter)
+                    span_cm = worker_tracer.span(
+                        "shard.discover",
+                        parent=message.trace,
+                        attributes={
+                            "shard_index": shard_index,
+                            "replica": replica,
+                        },
+                    )
+                else:
+                    span_cm = nullcontext()
+                with span_cm as span:
+                    started = time.perf_counter()
+                    result = engine.discover(
+                        message.query, k=message.k, budget=budget, **run_kwargs
+                    )
+                    result.counters.runtime_seconds = (
+                        time.perf_counter() - started
+                    )
+                    consumed = 0
+                    exhausted = expired = False
+                    if budget is not None:
+                        if message.max_pl_fetches is not None:
+                            consumed = message.max_pl_fetches - (
+                                budget.remaining_pl_fetches or 0
+                            )
+                        exhausted = budget.exhausted
+                        expired = budget.expired
+                    if span is not None:
+                        span.set_attribute("tables", len(result.tables))
+                        span.set_attribute("consumed_pl_fetches", consumed)
+                spans: tuple = ()
+                if message.trace is not None and worker_exporter is not None:
+                    spans = tuple(worker_exporter.drain())
                 reply = ShardResult(
                     task_id=message.task_id,
                     shard_index=shard_index,
@@ -258,6 +292,7 @@ def _worker_main(
                     exhausted=exhausted,
                     expired=expired,
                     seconds=result.counters.runtime_seconds,
+                    spans=spans,
                 )
             except MateError as error:
                 reply = ShardError(
@@ -360,6 +395,7 @@ class ProcessShardPool:
         row_filter_mode: str = "superkey",
         use_table_filters: bool = True,
         serve_config: ServeConfig | None = None,
+        telemetry=None,
     ):
         self.config = config or MateConfig()
         if self.config.index_layout != "columnar":
@@ -375,6 +411,9 @@ class ProcessShardPool:
         self.shards = shard_corpus(corpus, self.serve_config.num_shards)
         self.last_shard_statistics: list[ShardStatistics] = []
         self.metrics = ServeMetrics()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._register_metrics(telemetry.metrics)
         self._tasks: dict[int, _TaskSlot] = {}
         self._tasks_lock = threading.Lock()
         self._task_ids = itertools.count(1)
@@ -413,6 +452,42 @@ class ProcessShardPool:
         except BaseException:
             self.close()
             raise
+
+    def _register_metrics(self, registry) -> None:
+        """Expose the pool's :class:`ServeMetrics` through the registry.
+
+        Scrape-time callbacks keep :class:`ServeMetrics` the single source
+        of truth (the pool keeps mutating its plain fields on the hot path)
+        while ``GET /metrics`` and ``/v1/stats`` read everything from one
+        place.
+        """
+        metrics = self.metrics
+        for name, fn, help_text in (
+            ("repro_pool_requests_total", lambda: metrics.requests,
+             "Scatter/gather requests served by the process pool"),
+            ("repro_pool_hedges_sent_total", lambda: metrics.hedges_sent,
+             "Duplicate shard probes sent past the hedge delay"),
+            ("repro_pool_hedge_wins_total", lambda: metrics.hedge_wins,
+             "Hedged probes where the mirror answered first"),
+            ("repro_pool_replies_discarded_total",
+             lambda: metrics.replies_discarded,
+             "Late or duplicate shard replies dropped"),
+            ("repro_pool_scatter_seconds_total", lambda: metrics.scatter.seconds,
+             "Cumulative scatter-side seconds"),
+            ("repro_pool_gather_seconds_total", lambda: metrics.gather.seconds,
+             "Cumulative gather-side seconds"),
+            ("repro_pool_shard_seconds_total", lambda: metrics.shard_seconds,
+             "Cumulative worker-side engine seconds across shards"),
+            ("repro_pool_straggler_seconds_total",
+             lambda: metrics.straggler_seconds,
+             "Cumulative slowest-shard seconds per request"),
+        ):
+            registry.counter_callback(name, fn, help_text)
+        registry.gauge_callback(
+            "repro_pool_num_shards",
+            lambda: self.num_shards,
+            "Worker processes (= corpus shards) of the pool",
+        )
 
     # ------------------------------------------------------------------
     # Startup
@@ -591,6 +666,33 @@ class ProcessShardPool:
         if k <= 0:
             raise DiscoveryError(f"k must be positive, got {k}")
 
+        # Distributed tracing: when the caller runs under a span (the
+        # session's root), open a pool span beneath it and ride its context
+        # on every ShardQuery; the workers' finished spans come back on the
+        # ShardResults and are re-exported here so the whole cross-process
+        # tree lands in the caller's exporter.  One global-int check when
+        # tracing is off.
+        tracer = pool_span = trace_context = None
+        if _trace._ACTIVE:
+            entry = _trace.current_entry()
+            if entry is not None:
+                tracer = entry[0]
+                pool_span = tracer.start_span(
+                    "pool.discover",
+                    attributes={"num_shards": self.num_shards, "k": k},
+                )
+                trace_context = pool_span.context()
+        try:
+            return self._discover_traced(
+                query, k, budget, planner, sketch, tracer, trace_context
+            )
+        finally:
+            if tracer is not None and pool_span is not None:
+                tracer.end_span(pool_span)
+
+    def _discover_traced(
+        self, query, k, budget, planner, sketch, tracer, trace_context
+    ) -> DiscoveryResult:
         shares = split_budget(
             budget.remaining_pl_fetches if budget is not None else None,
             self.num_shards,
@@ -612,6 +714,7 @@ class ProcessShardPool:
                         deadline_left,
                         planner,
                         sketch,
+                        trace_context,
                     )
                 )
         scatter.add_items(self.num_shards, self.num_shards)
@@ -628,6 +731,9 @@ class ProcessShardPool:
                     if slot.message is not None:
                         self._tasks.pop(slot.message.task_id, None)
 
+        if tracer is not None:
+            for reply in replies:
+                tracer.export_foreign(reply.spans)
         merged = self._merge(replies, k, budget)
         gather.add_items(
             sum(len(reply.result.tables) for reply in replies),
@@ -654,6 +760,7 @@ class ProcessShardPool:
         deadline_left: float | None,
         planner=None,
         sketch=None,
+        trace_context=None,
     ) -> _TaskSlot:
         task_id = next(self._task_ids)
         message = ShardQuery(
@@ -664,6 +771,7 @@ class ProcessShardPool:
             deadline_seconds=deadline_left,
             planner=planner,
             sketch=sketch,
+            trace=trace_context,
         )
         slot = _TaskSlot(shard_index)
         slot.message = message

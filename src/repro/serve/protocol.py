@@ -27,11 +27,16 @@ from dataclasses import dataclass
 
 from ..core.results import DiscoveryResult
 from ..datamodel import QueryTable
+from ..telemetry.trace import TraceContext
 
 #: Version of the parent/worker wire protocol; bumped on any message change.
 #: v2 added the planner/sketch fields of :class:`ShardQuery` (the
 #: approximate candidate tier running inside each shard worker).
-PROTOCOL_VERSION: int = 2
+#: v3 added distributed tracing: the ``trace`` context on
+#: :class:`ShardQuery` and the finished worker ``spans`` shipped back on
+#: :class:`ShardResult`, so one exporter file reconstructs the full
+#: cross-process span tree.
+PROTOCOL_VERSION: int = 3
 
 
 @dataclass(frozen=True)
@@ -64,6 +69,10 @@ class ShardQuery:
     #: no approximate tier); each worker prunes against its own shard's
     #: persisted sketch store.
     sketch: object | None = None
+    #: Distributed-tracing context (trace id + parent span id) of the
+    #: scattering request; ``None`` when tracing is off.  The worker opens
+    #: its ``shard.discover`` span under this parent.
+    trace: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -84,6 +93,10 @@ class ShardResult:
     expired: bool = False
     #: Wall-clock seconds the worker spent inside the engine.
     seconds: float = 0.0
+    #: Finished span dictionaries collected in the worker for this task
+    #: (empty when the query carried no trace context); the parent
+    #: re-exports them so the cross-process tree lands in one file.
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)

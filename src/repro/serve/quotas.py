@@ -185,6 +185,34 @@ class AdmissionController:
         """Block until every admitted request has been released."""
         return self._drained.wait(timeout)
 
+    def register_metrics(self, registry) -> None:
+        """Expose the admission counters through a telemetry registry.
+
+        Scrape-time callbacks, so the controller's own counters stay the
+        single source of truth and ``GET /metrics`` always sees the live
+        values.
+        """
+        registry.counter_callback(
+            "repro_admission_admitted_total",
+            lambda: self.admitted_total,
+            "Requests admitted by the controller",
+        )
+        registry.counter_callback(
+            "repro_admission_rejected_total",
+            lambda: self.rejected_total,
+            "Requests rejected with 429 (capacity or tenant quota)",
+        )
+        registry.counter_callback(
+            "repro_admission_drained_rejects_total",
+            lambda: self.drained_rejects,
+            "Requests refused with 503 while draining",
+        )
+        registry.gauge_callback(
+            "repro_admission_inflight",
+            lambda: self._inflight,
+            "Requests currently being served",
+        )
+
     def stats(self) -> dict[str, object]:
         """Counter snapshot for the ``/v1/stats`` endpoint."""
         with self._lock:

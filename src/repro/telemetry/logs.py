@@ -1,0 +1,72 @@
+"""Structured JSON logging over the stdlib :mod:`logging` machinery.
+
+:class:`JsonLogFormatter` renders every record as one JSON object per line
+carrying the message, logger name, level, wall-clock timestamp, and — the
+part that makes logs greppable against traces — the ``trace_id``: either
+the one attached to the record via ``extra={"trace_id": ...}`` or, failing
+that, the trace id of the span currently open in this execution context.
+
+No handler is installed at import time (library rule); the CLI's
+``--log-json`` flag and tests call :func:`configure_json_logging`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+from .trace import current_trace_id
+
+#: Attributes of a LogRecord that are not user-supplied ``extra`` fields.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Formats records as single-line JSON with trace correlation."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: dict[str, object] = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = getattr(record, "trace_id", None) or current_trace_id()
+        if trace_id:
+            document["trace_id"] = trace_id
+        if record.exc_info and record.exc_info[0] is not None:
+            document["exception"] = self.formatException(record.exc_info)
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and key != "trace_id":
+                document[key] = value
+        return json.dumps(document, sort_keys=True, default=str)
+
+
+def configure_json_logging(
+    stream: IO[str] | None = None,
+    level: int = logging.INFO,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Install a JSON handler on the ``repro`` logger tree; returns it.
+
+    Idempotent enough for CLI use: an existing handler with a
+    :class:`JsonLogFormatter` on the target logger is reused instead of
+    stacking duplicates.
+    """
+    logger = logging.getLogger(logger_name)
+    for handler in logger.handlers:
+        if isinstance(handler.formatter, JsonLogFormatter):
+            logger.setLevel(level)
+            return handler
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler
+
+
+__all__ = ["JsonLogFormatter", "configure_json_logging"]

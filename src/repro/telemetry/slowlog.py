@@ -1,0 +1,84 @@
+"""The slow-query log: a threshold-triggered ring buffer of bad requests.
+
+When a discovery run's wall clock crosses ``threshold_seconds`` the session
+records one :class:`SlowQueryEntry` — the request identity, the executed
+plan explanation, per-stage timings, the budget ledger, and the trace id —
+into a bounded deque.  The newest entries are served by ``GET /v1/slow``
+and the ``repro slowlog`` CLI, so a p99 regression is diagnosable from a
+running server without turning full tracing on first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SlowQueryEntry:
+    """One recorded slow query (everything needed to explain it later)."""
+
+    request: str
+    engine: str
+    seconds: float
+    threshold_seconds: float
+    trace_id: str | None = None
+    recorded_at: float = field(default_factory=time.time)
+    stages: dict[str, dict[str, float]] = field(default_factory=dict)
+    budget: dict[str, object] = field(default_factory=dict)
+    plan: dict[str, object] | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "request": self.request,
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "threshold_seconds": self.threshold_seconds,
+            "trace_id": self.trace_id,
+            "recorded_at": self.recorded_at,
+            "stages": self.stages,
+            "budget": self.budget,
+            "plan": self.plan,
+        }
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring buffer of :class:`SlowQueryEntry`."""
+
+    def __init__(self, capacity: int = 64, threshold_seconds: float = 1.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if threshold_seconds < 0:
+            raise ValueError(
+                f"threshold_seconds must be non-negative, got {threshold_seconds}"
+            )
+        self.capacity = capacity
+        self.threshold_seconds = threshold_seconds
+        self._entries: deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.recorded_total = 0
+
+    def should_record(self, seconds: float) -> bool:
+        """Whether a run of ``seconds`` crosses the slow threshold."""
+        return seconds >= self.threshold_seconds
+
+    def record(self, entry: SlowQueryEntry) -> None:
+        """Append ``entry`` (oldest entries fall off past ``capacity``)."""
+        with self._lock:
+            self._entries.append(entry)
+            self.recorded_total += 1
+
+    def entries(self) -> list[dict[str, object]]:
+        """Recorded slow queries, newest first, as plain dictionaries."""
+        with self._lock:
+            snapshot = list(self._entries)
+        return [entry.as_dict() for entry in reversed(snapshot)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]

@@ -45,6 +45,7 @@ EXPECTED_EXPORTS = [
     "MateConfig",
     "MateDiscovery",
     "MateError",
+    "MetricsRegistry",
     "Planner",
     "PlannerOptions",
     "ProcessShardPool",
@@ -62,12 +63,15 @@ EXPECTED_EXPORTS = [
     "SketchIndex",
     "SketchIndexConfig",
     "SketchOptions",
+    "SlowQueryLog",
     "StorageError",
     "SuperKeyGenerator",
     "Table",
     "TableCorpus",
     "TableResult",
+    "Telemetry",
     "TenantQuota",
+    "Tracer",
     "XashHashFunction",
     "__version__",
     "available_engines",
@@ -78,8 +82,10 @@ EXPECTED_EXPORTS = [
     "create_hash_function",
     "exact_joinability",
     "exact_joinability_score",
+    "read_trace_file",
     "register_engine",
     "required_number_of_ones",
+    "span_tree",
     "table_from_dicts",
     "top_k_by_exact_joinability",
 ]
