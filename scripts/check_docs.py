@@ -23,6 +23,7 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "## Sketch tier",
         "## Vectorized execution",
         "## Process-parallel serving",
+        "## SQL pushdown",
         "## Telemetry",
     ),
     "README.md": (
@@ -34,6 +35,7 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
         "## Serving",
         "/metrics",
         "--trace-out",
+        "SQL pushdown",
     ),
 }
 

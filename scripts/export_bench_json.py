@@ -39,6 +39,7 @@ from repro.experiments import (  # noqa: E402
     run_columnar,
     run_ingest,
     run_planner,
+    run_pushdown,
     run_serving,
     run_sketch,
     run_telemetry,
@@ -69,6 +70,10 @@ def _bench_sketch(settings: ExperimentSettings) -> ExperimentResult:
     return run_sketch(settings)
 
 
+def _bench_sql(settings: ExperimentSettings) -> ExperimentResult:
+    return run_pushdown(settings)
+
+
 def _bench_telemetry(settings: ExperimentSettings) -> ExperimentResult:
     return run_telemetry(settings)
 
@@ -81,6 +86,7 @@ BENCHMARKS = {
     "serve": _bench_serve,
     "service": _bench_service,
     "sketch": _bench_sketch,
+    "sql": _bench_sql,
     "telemetry": _bench_telemetry,
 }
 

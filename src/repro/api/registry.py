@@ -243,6 +243,25 @@ def _build_live(session: "DiscoverySession", request: "DiscoveryRequest"):
     )
 
 
+def _build_sql(session: "DiscoverySession", request: "DiscoveryRequest"):
+    # Algorithm 1 pushed down into the SQLite posting store.  When the
+    # session owns a storage backend the accelerator lives (and persists)
+    # there; otherwise the engine builds a private in-memory one from the
+    # session index at construction time.
+    from ..engine_sql import SQLPushdownEngine
+
+    return SQLPushdownEngine(
+        session.corpus,
+        session.base_index,
+        config=session.config,
+        hash_function_name=request.hash_function,
+        column_selector=request.column_selector,
+        row_filter_mode=request.row_filter_mode,
+        use_table_filters=request.use_table_filters,
+        backend=getattr(session, "storage", None),
+    )
+
+
 def _register_builtins(registry: EngineRegistry) -> None:
     registry.register(
         "mate",
@@ -282,6 +301,13 @@ def _register_builtins(registry: EngineRegistry) -> None:
         "prefix_tree",
         _build_prefix_tree,
         description="Li et al. prefix-tree related-work baseline",
+    )
+    registry.register(
+        "sql",
+        _build_sql,
+        description="SQL pushdown: candidate generation + the XASH reject "
+        "compiled into the SQLite posting store (byte-identical top-k)",
+        supports_budget=True,
     )
     registry.register(
         "live",

@@ -92,6 +92,7 @@ from .experiments import (
     run_ingest,
     run_init_column,
     run_planner,
+    run_pushdown,
     run_related_work,
     run_scaling,
     run_serving,
@@ -132,6 +133,7 @@ EXPERIMENT_RUNNERS = {
     "index_generation": run_index_generation,
     "ingest": run_ingest,
     "planner": run_planner,
+    "pushdown": run_pushdown,
     "scaling": run_scaling,
     "fetch_cost": run_fetch_cost,
     "frequency_source": run_frequency_source,
@@ -236,9 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--key", nargs="+", required=True, help="composite key columns")
     discover.add_argument("--database", type=Path, default=None,
                           help="SQLite database with a prebuilt index")
+    # No static choices= here: the registry is open (register_engine), so
+    # the accepted set is resolved at dispatch time in _command_discover and
+    # the help text simply reflects whatever is registered right now.
     discover.add_argument("--engine", "--system", dest="engine",
-                          choices=available_engines(), default="mate",
-                          help="registered discovery engine "
+                          default="mate",
+                          help="registered discovery engine, one of: "
+                          f"{', '.join(available_engines())} "
                           "(--system is the deprecated alias)")
     discover.add_argument("--k", type=int, default=10)
     discover.add_argument("--hash-size", type=int, default=128)
@@ -505,13 +511,24 @@ def _print_plan_explain(result) -> None:
 
 
 def _command_discover(args: argparse.Namespace) -> int:
+    engines = available_engines()
+    if args.engine not in engines:
+        print(
+            f"unknown engine {args.engine!r}; registered engines: "
+            f"{', '.join(engines)}",
+            file=sys.stderr,
+        )
+        return 2
     corpus = load_corpus_json(args.corpus)
     config = MateConfig(
         hash_size=args.hash_size, k=args.k, index_layout=args.layout
     )
+    # The backend (when given) stays open for the whole run: storage-aware
+    # engines — the "sql" pushdown — keep their accelerator schema in it.
+    backend = None
     if args.database is not None and Path(args.database).exists():
-        with SQLiteBackend(args.database) as backend:
-            index = backend.load_index("main")
+        backend = SQLiteBackend(args.database)
+        index = backend.load_index("main")
     else:
         index = build_index(corpus, config=config)
 
@@ -533,10 +550,14 @@ def _command_discover(args: argparse.Namespace) -> int:
         sketch=sketch,
     )
     telemetry = _telemetry_from_args(args)
-    with DiscoverySession(
-        corpus, index, config=config, telemetry=telemetry
-    ) as session:
-        result = session.discover(request)
+    try:
+        with DiscoverySession(
+            corpus, index, config=config, telemetry=telemetry, storage=backend
+        ) as session:
+            result = session.discover(request)
+    finally:
+        if backend is not None:
+            backend.close()
     if telemetry is not None:
         telemetry.close()
         if args.trace_out is not None:

@@ -29,8 +29,9 @@ fetch cost (:func:`run_fetch_cost`), the rare-character frequency source
 (:func:`run_columnar`), and the online-ingestion study
 (:func:`run_ingest`), the query-planner study
 (:func:`run_planner`), the approximate sketch-tier study
-(:func:`run_sketch`), and the telemetry overhead study
-(:func:`run_telemetry`).
+(:func:`run_sketch`), the telemetry overhead study
+(:func:`run_telemetry`), and the SQL-pushdown engine comparison
+(:func:`run_pushdown`).
 """
 
 from .batch_service import DEFAULT_SERVICE_SHARD_COUNTS, run_batch_service
@@ -48,6 +49,7 @@ from .index_stats import run_index_generation
 from .ingest import DEFAULT_INGEST_WORKLOAD, INGEST_STATES, run_ingest
 from .init_column import HEURISTIC_ORDER, run_init_column
 from .planner import PLANNER_MODES_UNDER_TEST, run_planner
+from .pushdown import PUSHDOWN_SCALE_FACTORS, run_pushdown
 from .related_work import DEFAULT_RELATED_WORK_WORKLOADS, run_related_work
 from .reporting import (
     format_ratio,
@@ -108,6 +110,7 @@ __all__ = [
     "HEURISTIC_ORDER",
     "IDLE_OVERHEAD_LIMIT",
     "INGEST_STATES",
+    "PUSHDOWN_SCALE_FACTORS",
     "SHORT_VALUE_HASHES",
     "SKETCH_MODES_UNDER_TEST",
     "TABLE2_HASHES",
@@ -134,6 +137,7 @@ __all__ = [
     "run_init_column",
     "run_mate",
     "run_planner",
+    "run_pushdown",
     "run_related_work",
     "run_scaling",
     "run_serving",

@@ -16,11 +16,25 @@ logical schema mirrors the extended inverted index:
 * ``super_keys(index_name, table_id, row_index, super_key)`` holds the
   per-row super keys (stored as hex text because they can exceed 64 bits),
 * ``indexes(name, hash_function, hash_size, layout, format_version)`` holds
-  index metadata.
+  index metadata,
+* ``pushdown_postings(index_name, value, pos, table_id, column_index,
+  row_index, super_key, super_key_int)`` and ``pushdown_meta`` hold the
+  denormalised accelerator schema the SQL-pushdown engine
+  (:mod:`repro.engine_sql`) compiles discovery queries against — one row per
+  posting-list item with the row super key packed alongside it as a
+  fixed-width big-endian BLOB (plus a plain integer column when the hash
+  fits in 63 bits, so the reject can run as pure-SQL bitwise arithmetic).
 
 Databases written before the columnar layout existed lack the ``layout`` /
 ``format_version`` columns; they are added on open with a ``legacy`` / ``1``
-default, so old files keep loading unchanged.
+default, so old files keep loading unchanged.  The accelerator tables are
+created ``IF NOT EXISTS`` on open, so pre-pushdown databases migrate by
+simply being opened (the accelerator itself is rebuilt on demand).
+
+Read connections run under ``journal_mode=WAL`` (file-backed databases),
+``synchronous=NORMAL``, and a generous ``mmap_size`` so concurrent readers —
+the serve pool, the pushdown engine — do not serialize on the default
+rollback journal.
 """
 
 from __future__ import annotations
@@ -107,7 +121,49 @@ CREATE TABLE IF NOT EXISTS super_keys (
     super_key TEXT NOT NULL,
     PRIMARY KEY (index_name, table_id, row_index)
 );
+CREATE INDEX IF NOT EXISTS postings_value_covering
+    ON postings (index_name, value, table_id, column_index, row_index);
+CREATE TABLE IF NOT EXISTS pushdown_postings (
+    index_name TEXT NOT NULL,
+    value TEXT NOT NULL,
+    pos INTEGER NOT NULL,
+    table_id INTEGER NOT NULL,
+    column_index INTEGER NOT NULL,
+    row_index INTEGER NOT NULL,
+    super_key BLOB NOT NULL,
+    super_key_hi INTEGER,
+    super_key_lo INTEGER
+);
+CREATE INDEX IF NOT EXISTS pushdown_by_value
+    ON pushdown_postings (index_name, value, pos);
+CREATE INDEX IF NOT EXISTS pushdown_by_table
+    ON pushdown_postings (index_name, table_id, value);
+CREATE TABLE IF NOT EXISTS pushdown_meta (
+    index_name TEXT PRIMARY KEY,
+    hash_function TEXT NOT NULL,
+    hash_size INTEGER NOT NULL,
+    key_width INTEGER NOT NULL,
+    item_count INTEGER NOT NULL,
+    format_version INTEGER NOT NULL
+);
 """
+
+#: mmap window for read connections; SQLite clamps it to the file size.
+_MMAP_SIZE_BYTES = 256 * 1024 * 1024
+
+
+def _apply_read_pragmas(connection: sqlite3.Connection, path: str) -> None:
+    """Tune a connection for concurrent read-heavy workloads.
+
+    WAL only applies to file-backed databases (an in-memory database has no
+    journal to switch); ``synchronous=NORMAL`` is the documented safe level
+    under WAL and ``mmap_size`` lets large posting scans page straight from
+    the OS cache.
+    """
+    connection.execute(f"PRAGMA mmap_size = {_MMAP_SIZE_BYTES}")
+    connection.execute("PRAGMA synchronous = NORMAL")
+    if path != ":memory:":
+        connection.execute("PRAGMA journal_mode = WAL")
 
 
 class SQLiteBackend(StorageBackend):
@@ -116,12 +172,31 @@ class SQLiteBackend(StorageBackend):
     def __init__(self, path: str | Path = ":memory:"):
         self.path = str(path)
         try:
-            self._connection = sqlite3.connect(self.path)
+            # check_same_thread=False: sessions run discovery on worker
+            # threads (``discover_stream``); access is serialized by the
+            # engines that borrow the connection.
+            self._connection = sqlite3.connect(
+                self.path, check_same_thread=False
+            )
         except sqlite3.Error as exc:  # pragma: no cover - environment dependent
             raise StorageError(f"cannot open SQLite database at {self.path}") from exc
+        _apply_read_pragmas(self._connection, self.path)
         self._connection.executescript(_SCHEMA)
         self._migrate_index_metadata()
         self._connection.commit()
+
+    def read_connection(self) -> sqlite3.Connection:
+        """Return a connection suitable for concurrent reads.
+
+        File-backed databases get a fresh pragma-tuned connection so WAL
+        readers genuinely run in parallel; an in-memory database has exactly
+        one store, so the shared primary connection is returned instead.
+        """
+        if self.path == ":memory:":
+            return self._connection
+        connection = sqlite3.connect(self.path, check_same_thread=False)
+        _apply_read_pragmas(connection, self.path)
+        return connection
 
     def _migrate_index_metadata(self) -> None:
         """Add the layout/format_version columns to pre-columnar databases."""
@@ -221,6 +296,14 @@ class SQLiteBackend(StorageBackend):
                 "DELETE FROM posting_columns WHERE index_name = ?", (name,)
             )
             connection.execute("DELETE FROM super_keys WHERE index_name = ?", (name,))
+            # A re-saved index invalidates any accelerator derived from the
+            # previous contents; the pushdown engine rebuilds on demand.
+            connection.execute(
+                "DELETE FROM pushdown_postings WHERE index_name = ?", (name,)
+            )
+            connection.execute(
+                "DELETE FROM pushdown_meta WHERE index_name = ?", (name,)
+            )
             connection.execute(
                 "INSERT INTO indexes "
                 "(name, hash_function, hash_size, layout, format_version) "
@@ -326,6 +409,43 @@ class SQLiteBackend(StorageBackend):
                 "DELETE FROM posting_columns WHERE index_name = ?", (name,)
             )
             connection.execute("DELETE FROM super_keys WHERE index_name = ?", (name,))
+            connection.execute(
+                "DELETE FROM pushdown_postings WHERE index_name = ?", (name,)
+            )
+            connection.execute(
+                "DELETE FROM pushdown_meta WHERE index_name = ?", (name,)
+            )
+
+    # ------------------------------------------------------------------
+    # Pushdown accelerator
+    # ------------------------------------------------------------------
+    def build_pushdown(self, name: str, index: InvertedIndex) -> int:
+        """(Re)build the pushdown accelerator for ``index`` under ``name``.
+
+        Returns the number of posting items materialised.  The heavy lifting
+        lives in :mod:`repro.engine_sql.accelerator`; this wrapper exists so
+        callers holding only a backend need not import the engine package.
+        """
+        from ..engine_sql.accelerator import build_accelerator
+
+        return build_accelerator(self._connection, name, index)
+
+    def ensure_pushdown(self, name: str, index: InvertedIndex) -> int:
+        """Build the accelerator for ``index`` unless a valid one exists.
+
+        Validates provenance (hash function/size, key width, format version)
+        and row count before trusting an existing accelerator, so a stale or
+        tampered one is rebuilt rather than silently queried.
+        """
+        from ..engine_sql.accelerator import ensure_accelerator
+
+        return ensure_accelerator(self._connection, name, index)
+
+    def pushdown_meta(self, name: str) -> dict | None:
+        """Return the accelerator metadata row for ``name``, if built."""
+        from ..engine_sql.accelerator import accelerator_meta
+
+        return accelerator_meta(self._connection, name)
 
     def close(self) -> None:
         self._connection.close()

@@ -204,6 +204,9 @@ class TestHTTPServer:
         status, body, _ = harness.request("GET", "/v1/engines")
         assert status == 200
         assert body["engines"] == sorted(session.registry.names())
+        # Registry-backed engines surface automatically; the pushdown
+        # engine must be addressable over HTTP like any other.
+        assert "sql" in body["engines"]
 
     def test_unknown_route_is_404(self, harness):
         status, body, _ = harness.request("GET", "/nope")
